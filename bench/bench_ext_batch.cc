@@ -1,0 +1,59 @@
+// Extension ablation: batched task assignment (the Figure-2 crowdsourcing
+// flow).
+//
+// Real platforms post many tasks concurrently; a strategy's information is
+// stale by up to batch_size - 1 assignments. FP tolerates batching well —
+// its pending-aware keys spread a batch across the current level — while
+// MU concentrates each batch on whatever looked most unstable when the
+// batch was posted. batch_size = 1 is the paper's Algorithm 1.
+#include <cstdio>
+#include <memory>
+
+#include "bench/common/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace incentag;
+
+  int64_t n = 300;
+  int64_t seed = 42;
+  int64_t budget = 1200;
+  std::string batches_csv = "1,8,32,128,512";
+  util::FlagSet flags;
+  flags.AddInt("n", &n, "resources to generate");
+  flags.AddInt("seed", &seed, "corpus seed");
+  flags.AddInt("budget", &budget, "post tasks");
+  flags.AddString("batches", &batches_csv, "comma-separated batch sizes");
+  INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+
+  auto bench_ds = bench::MakeDataset(n, static_cast<uint64_t>(seed));
+  const sim::PreparedDataset& ds = bench_ds->dataset;
+  std::vector<int64_t> batches = bench::ParseBudgetList(batches_csv);
+  std::printf("extension: batched assignment (%zu resources, budget "
+              "%lld)\n",
+              ds.size(), static_cast<long long>(budget));
+
+  std::printf("\n%8s  %10s  %10s  %10s  %10s\n", "batch", "FP", "MU",
+              "FP-MU", "RR");
+  for (int64_t batch : batches) {
+    std::printf("%8lld", static_cast<long long>(batch));
+    for (const char* name : {"FP", "MU", "FP-MU", "RR"}) {
+      auto strategy = bench::MakeStrategy(name, nullptr);
+      core::EngineOptions options;
+      options.budget = budget;
+      options.omega = 5;
+      options.batch_size = batch;
+      core::AllocationEngine engine(options, &ds.initial_posts,
+                                    &ds.references);
+      core::VectorPostStream stream = ds.MakeStream();
+      auto report = engine.Run(strategy.get(), &stream);
+      INCENTAG_CHECK(report.ok());
+      std::printf("  %10.4f", report.value().final_metrics.avg_quality);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected: FP and RR are batch-insensitive; MU degrades "
+              "with batch size (stale MA scores concentrate each batch)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension ablation (paper Section VI): user preferences in the crowd.
+//
+// Free Choice under a community crowd (taggers stick to their preferred
+// topic area with probability `focus`) concentrates posts even harder on
+// popular areas than popularity alone: the under-tagged tail of niche
+// areas is starved and FC wastes more of its budget. The targeted
+// strategies are unaffected — they assign resources, not taggers — which
+// is exactly why incentive-based tagging needs them.
+#include <cstdio>
+#include <memory>
+
+#include "bench/common/bench_common.h"
+#include "src/core/strategy_fc.h"
+#include "src/core/strategy_fp.h"
+#include "src/sim/preference_crowd.h"
+#include "src/util/flags.h"
+#include "src/util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace incentag;
+
+  int64_t n = 300;
+  int64_t seed = 42;
+  int64_t budget = 1500;
+  util::FlagSet flags;
+  flags.AddInt("n", &n, "resources to generate");
+  flags.AddInt("seed", &seed, "corpus seed");
+  flags.AddInt("budget", &budget, "post tasks");
+  INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+
+  auto bench_ds = bench::MakeDataset(n, static_cast<uint64_t>(seed));
+  const sim::PreparedDataset& ds = bench_ds->dataset;
+  std::vector<sim::CategoryId> areas(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const auto& info = bench_ds->corpus->resource(ds.source_ids[i]);
+    areas[i] = bench_ds->corpus->hierarchy().category(info.primary).parent;
+  }
+  std::printf("extension: tagger communities (%zu resources, budget "
+              "%lld)\n",
+              ds.size(), static_cast<long long>(budget));
+
+  std::printf("\n%-22s  %10s  %10s  %12s\n", "crowd", "quality", "wasted",
+              "under-tagged");
+  for (double focus : {0.0, 0.5, 0.8, 0.95}) {
+    sim::PreferenceCrowd::Options crowd_options;
+    crowd_options.focus = focus;
+    sim::PreferenceCrowd crowd(areas, ds.popularity, crowd_options, 99);
+    core::FreeChoiceStrategy fc(crowd.MakePicker());
+    core::RunReport report =
+        bench::RunAtBudget(*bench_ds, &fc, budget, /*omega=*/5);
+    std::printf("FC  (focus = %4.2f)      %10.4f  %10lld  %12lld\n", focus,
+                report.final_metrics.avg_quality,
+                static_cast<long long>(report.final_metrics.wasted_posts),
+                static_cast<long long>(report.final_metrics.under_tagged));
+  }
+  core::FewestPostsStrategy fp;
+  core::RunReport fp_report =
+      bench::RunAtBudget(*bench_ds, &fp, budget, /*omega=*/5);
+  std::printf("%-22s  %10.4f  %10lld  %12lld\n", "FP  (crowd-independent)",
+              fp_report.final_metrics.avg_quality,
+              static_cast<long long>(fp_report.final_metrics.wasted_posts),
+              static_cast<long long>(fp_report.final_metrics.under_tagged));
+
+  std::printf("\nexpected: FC degrades as focus grows (community attention "
+              "concentrates); FP is immune\n");
+  return 0;
+}

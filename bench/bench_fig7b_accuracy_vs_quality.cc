@@ -1,0 +1,62 @@
+// Figure 7(b): similarity-ranking accuracy vs tagging quality.
+//
+// Every (strategy, budget) run yields one point (x = set tagging quality,
+// y = Kendall tau of the pair ranking). The paper reports a correlation
+// above 98% between the two via Eq. 15 — evidence that the tagging-quality
+// metric predicts downstream IR usefulness.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_common.h"
+#include "bench/common/similarity_eval.h"
+#include "src/util/flags.h"
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace incentag;
+
+  int64_t n = 250;
+  int64_t seed = 42;
+  int64_t omega = 5;
+  std::string budget_csv = "0,250,500,750,1000,1250,1500";
+  util::FlagSet flags;
+  flags.AddInt("n", &n, "resources to generate");
+  flags.AddInt("seed", &seed, "corpus seed");
+  flags.AddInt("omega", &omega, "MA window for MU / FP-MU");
+  flags.AddString("budgets", &budget_csv, "comma-separated budget list");
+  INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+
+  auto bench_ds = bench::MakeDataset(n, static_cast<uint64_t>(seed));
+  bench::SimilarityEvaluator evaluator(*bench_ds);
+  std::vector<int64_t> budgets = bench::ParseBudgetList(budget_csv);
+  std::printf("Figure 7(b): ranking accuracy vs tagging quality "
+              "(%zu resources)\n",
+              bench_ds->dataset.size());
+
+  std::vector<double> qualities;
+  std::vector<double> taus;
+  std::printf("\n%-8s  %8s  %10s  %10s\n", "strat", "budget", "quality",
+              "tau");
+  sim::CrowdModel crowd(bench_ds->dataset.popularity, 1.0, 99);
+  for (const char* name : bench::kPracticalStrategies) {
+    for (int64_t budget : budgets) {
+      auto strategy = bench::MakeStrategy(name, &crowd);
+      core::RunReport report = bench::RunAtBudget(
+          *bench_ds, strategy.get(), budget, static_cast<int>(omega));
+      const double quality = report.final_metrics.avg_quality;
+      const double tau = evaluator.RankingAccuracy(report.allocation);
+      qualities.push_back(quality);
+      taus.push_back(tau);
+      std::printf("%-8s  %8lld  %10.4f  %10.4f\n", name,
+                  static_cast<long long>(budget), quality, tau);
+    }
+  }
+
+  const double corr = util::PearsonCorrelation(qualities, taus);
+  std::printf("\nPearson correlation (Eq. 15) between tagging quality and "
+              "ranking accuracy: %.1f%%  (paper: over 98%%)\n",
+              100.0 * corr);
+  return 0;
+}

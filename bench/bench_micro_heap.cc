@@ -1,0 +1,71 @@
+// Ablation (DESIGN.md §2.3): IndexedHeap update-key vs a lazy
+// std::priority_queue for the MU/FP re-prioritisation workload.
+//
+// MU re-prioritises the chosen resource after every post task. The lazy
+// approach pushes a fresh entry and discards stale ones on pop, so its
+// queue grows with the number of updates; IndexedHeap keeps each id once.
+#include <benchmark/benchmark.h>
+
+#include <queue>
+#include <vector>
+
+#include "src/util/indexed_heap.h"
+#include "src/util/random.h"
+
+namespace {
+
+using incentag::util::IndexedHeap;
+using incentag::util::Rng;
+
+// Workload: n resources, `updates` rounds of "take the min, give it a new
+// priority" — exactly MU's loop.
+void BM_IndexedHeapUpdateWorkload(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int updates = 4096;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    IndexedHeap heap(n);
+    for (size_t i = 0; i < n; ++i) heap.Push(i, rng.NextDouble());
+    state.ResumeTiming();
+    for (int u = 0; u < updates; ++u) {
+      size_t id = heap.Top();
+      heap.Update(id, rng.NextDouble());
+    }
+    benchmark::DoNotOptimize(heap.Top());
+  }
+  state.SetItemsProcessed(state.iterations() * updates);
+}
+BENCHMARK(BM_IndexedHeapUpdateWorkload)->Arg(1024)->Arg(16384);
+
+void BM_LazyPriorityQueueUpdateWorkload(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int updates = 4096;
+  using Entry = std::pair<double, size_t>;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+    std::vector<double> current(n);
+    for (size_t i = 0; i < n; ++i) {
+      current[i] = rng.NextDouble();
+      pq.emplace(current[i], i);
+    }
+    state.ResumeTiming();
+    for (int u = 0; u < updates; ++u) {
+      // Pop stale entries until the top matches the live priority.
+      while (pq.top().first != current[pq.top().second]) pq.pop();
+      size_t id = pq.top().second;
+      pq.pop();
+      current[id] = rng.NextDouble();
+      pq.emplace(current[id], id);
+    }
+    benchmark::DoNotOptimize(pq.size());
+  }
+  state.SetItemsProcessed(state.iterations() * updates);
+}
+BENCHMARK(BM_LazyPriorityQueueUpdateWorkload)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

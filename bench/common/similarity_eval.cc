@@ -1,0 +1,37 @@
+#include "bench/common/similarity_eval.h"
+
+#include "src/ir/rank_correlation.h"
+#include "src/ir/similarity.h"
+
+namespace incentag {
+namespace bench {
+
+SimilarityEvaluator::SimilarityEvaluator(const BenchDataset& bench_ds)
+    : bench_ds_(bench_ds) {
+  const sim::PreparedDataset& ds = bench_ds.dataset;
+  const size_t n = ds.size();
+  year_ = BuildYearSequences(ds);
+  ground_truth_.reserve(n * (n - 1) / 2);
+  const sim::TopicHierarchy& tree = bench_ds.corpus->hierarchy();
+  for (size_t i = 0; i < n; ++i) {
+    const sim::CategoryId a =
+        bench_ds.corpus->resource(ds.source_ids[i]).primary;
+    for (size_t j = i + 1; j < n; ++j) {
+      const sim::CategoryId b =
+          bench_ds.corpus->resource(ds.source_ids[j]).primary;
+      ground_truth_.push_back(tree.Similarity(a, b));
+    }
+  }
+}
+
+double SimilarityEvaluator::RankingAccuracy(
+    const std::vector<int64_t>& allocation) const {
+  const sim::PreparedDataset& ds = bench_ds_.dataset;
+  std::vector<core::RfdVector> rfds =
+      ir::BuildRfds(year_, CountsAfter(ds, allocation));
+  std::vector<double> sims = ir::AllPairSimilarities(rfds);
+  return ir::KendallTau(sims, ground_truth_);
+}
+
+}  // namespace bench
+}  // namespace incentag

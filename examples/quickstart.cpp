@@ -1,0 +1,73 @@
+// Quickstart: the incentag pipeline in ~60 lines.
+//
+// 1. Generate a small synthetic tagging corpus (the del.icio.us stand-in).
+// 2. Prepare the dataset: find each resource's practically-stable rfd and
+//    split its year of posts at the "January" cut.
+// 3. Spend a budget of post tasks with the Fewest Posts First strategy —
+//    the one the paper ultimately recommends — and watch the average
+//    tagging quality of the resource set improve.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/allocation.h"
+#include "src/core/strategy_fp.h"
+#include "src/sim/dataset_prep.h"
+#include "src/sim/generator.h"
+
+int main() {
+  using namespace incentag;
+
+  // 1. A corpus of 300 resources with Zipf popularity and topical tags.
+  sim::CorpusConfig corpus_config;
+  corpus_config.num_resources = 300;
+  corpus_config.seed = 7;
+  auto corpus = sim::Corpus::Generate(corpus_config);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Dataset preparation (paper Section V-A): keep resources whose rfd
+  //    provably stabilises, record stable rfds/points, cut at "January".
+  sim::PrepConfig prep_config;
+  auto dataset = sim::PrepareFromCorpus(corpus.value(), prep_config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "prep: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: %zu resources kept (of %lld scanned)\n",
+              dataset.value().size(),
+              static_cast<long long>(dataset.value().scanned));
+
+  // 3. Allocate a budget of 1,000 post tasks with FP and report quality.
+  core::EngineOptions options;
+  options.budget = 1000;
+  options.omega = 5;
+  options.checkpoints = {0, 250, 500, 750, 1000};
+  core::AllocationEngine engine(options, &dataset.value().initial_posts,
+                                &dataset.value().references);
+  core::FewestPostsStrategy fp;
+  core::VectorPostStream stream = dataset.value().MakeStream();
+  auto report = engine.Run(&fp, &stream);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%8s  %10s  %12s\n", "budget", "quality", "under-tagged");
+  for (const core::AllocationMetrics& m : report.value().checkpoints) {
+    std::printf("%8lld  %10.4f  %12lld\n",
+                static_cast<long long>(m.budget_used), m.avg_quality,
+                static_cast<long long>(m.under_tagged));
+  }
+  std::printf(
+      "\nFP raised the set's tagging quality by %.1f%% with %lld tasks.\n",
+      100.0 * (report.value().final_metrics.avg_quality /
+                   report.value().checkpoints.front().avg_quality -
+               1.0),
+      static_cast<long long>(report.value().budget_spent));
+  return 0;
+}

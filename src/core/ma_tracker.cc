@@ -1,0 +1,34 @@
+#include "src/core/ma_tracker.h"
+
+#include <cassert>
+
+namespace incentag {
+namespace core {
+
+MaTracker::MaTracker(int omega) : omega_(omega) {
+  assert(omega >= 2);
+  ring_.resize(static_cast<size_t>(omega - 1), 0.0);
+}
+
+void MaTracker::AddAdjacentSimilarity(double sim) {
+  ++posts_;
+  last_sim_ = sim;
+  // The window for m(k, w) covers adjacent similarities at posts
+  // j = k-w+2 .. k: exactly the last w-1 values. Overwrite the oldest.
+  if (filled_ == ring_.size()) {
+    window_sum_ -= ring_[next_];
+  } else {
+    ++filled_;
+  }
+  ring_[next_] = sim;
+  window_sum_ += sim;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+double MaTracker::Score() const {
+  assert(HasScore());
+  return window_sum_ / static_cast<double>(omega_ - 1);
+}
+
+}  // namespace core
+}  // namespace incentag

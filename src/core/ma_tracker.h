@@ -1,0 +1,54 @@
+// Moving Average (MA) score m_i(k, omega) — paper Definition 7.
+//
+//   m_i(k, w) = 1/(w-1) * sum_{j = k-w+2 .. k} s(F(j-1), F(j))
+//
+// i.e. the mean of the last (w-1) adjacent similarities, defined once the
+// resource has received at least w posts. MaTracker keeps the last (w-1)
+// adjacent similarities in a ring buffer with a running sum — the queue
+// observation from Appendix C — so feeding one similarity costs O(1).
+#ifndef INCENTAG_CORE_MA_TRACKER_H_
+#define INCENTAG_CORE_MA_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace incentag {
+namespace core {
+
+class MaTracker {
+ public:
+  // omega must be >= 2 (Definition 7).
+  explicit MaTracker(int omega);
+
+  int omega() const { return omega_; }
+  // Number of posts observed so far (k).
+  int64_t posts() const { return posts_; }
+
+  // Records the adjacent similarity produced by the k-th post,
+  // s(F(k-1), F(k)). Call once per post, in order, starting with k = 1.
+  void AddAdjacentSimilarity(double sim);
+
+  // True once k >= omega, i.e. m(k, omega) is defined.
+  bool HasScore() const { return posts_ >= omega_; }
+
+  // m_i(k, omega); requires HasScore().
+  double Score() const;
+
+  // The most recent adjacent similarity (0 before the first post).
+  double LastAdjacentSimilarity() const { return last_sim_; }
+
+ private:
+  int omega_;
+  int64_t posts_ = 0;
+  double last_sim_ = 0.0;
+  double window_sum_ = 0.0;
+  std::vector<double> ring_;  // capacity omega - 1
+  size_t next_ = 0;           // ring slot to overwrite
+  size_t filled_ = 0;         // number of valid ring entries
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_MA_TRACKER_H_

@@ -1,0 +1,99 @@
+// PostStream: the source of future posts during an allocation run.
+//
+// When the engine assigns a post task to resource i (paper Algorithm 1,
+// steps 5-6), the completed task materialises as "the next post resource i
+// would receive" — in the paper's evaluation, the next post of i's 2007
+// sequence after the January cut-off. PostStream abstracts that source so
+// the engine works identically over a materialised dataset
+// (VectorPostStream) and over the lazily generated synthetic streams of
+// src/sim.
+//
+// ReplayablePostStream additionally exposes random access to the future,
+// which the offline-optimal DP planner requires ("this solution assumes
+// that all the posts ... are known in advance", Section III-D).
+#ifndef INCENTAG_CORE_POST_STREAM_H_
+#define INCENTAG_CORE_POST_STREAM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace incentag {
+namespace core {
+
+class PostStream {
+ public:
+  virtual ~PostStream() = default;
+
+  // Number of resources the stream serves.
+  virtual size_t num_resources() const = 0;
+
+  // True if resource i can supply at least one more post.
+  virtual bool HasNext(ResourceId i) = 0;
+
+  // Consumes and returns the next post of resource i. Requires HasNext(i).
+  // The reference stays valid until the next call for the same resource.
+  virtual const Post& Next(ResourceId i) = 0;
+
+  // Number of posts already consumed for resource i.
+  virtual int64_t Consumed(ResourceId i) const = 0;
+};
+
+// A PostStream whose future is fully known ahead of time.
+class ReplayablePostStream : public PostStream {
+ public:
+  // Returns the post that the k-th future Next(i) call will yield
+  // (0-based, counted from the stream's initial state, independent of the
+  // current cursor). Requires k < Available(i).
+  virtual const Post& Peek(ResourceId i, int64_t k) = 0;
+
+  // Total number of future posts resource i can supply (from the initial
+  // state, independent of the current cursor).
+  virtual int64_t Available(ResourceId i) = 0;
+
+  // Resets all cursors to the initial state.
+  virtual void Reset() = 0;
+};
+
+// Replayable stream over per-resource post vectors (the materialised
+// "rest of the year" of a prepared dataset).
+class VectorPostStream : public ReplayablePostStream {
+ public:
+  explicit VectorPostStream(std::vector<PostSequence> sequences)
+      : sequences_(std::move(sequences)), cursors_(sequences_.size(), 0) {}
+
+  size_t num_resources() const override { return sequences_.size(); }
+
+  bool HasNext(ResourceId i) override {
+    return cursors_[i] < static_cast<int64_t>(sequences_[i].size());
+  }
+
+  const Post& Next(ResourceId i) override {
+    return sequences_[i][static_cast<size_t>(cursors_[i]++)];
+  }
+
+  int64_t Consumed(ResourceId i) const override { return cursors_[i]; }
+
+  const Post& Peek(ResourceId i, int64_t k) override {
+    return sequences_[i][static_cast<size_t>(k)];
+  }
+
+  int64_t Available(ResourceId i) override {
+    return static_cast<int64_t>(sequences_[i].size());
+  }
+
+  void Reset() override {
+    for (auto& c : cursors_) c = 0;
+  }
+
+ private:
+  std::vector<PostSequence> sequences_;
+  std::vector<int64_t> cursors_;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_POST_STREAM_H_

@@ -1,0 +1,54 @@
+// ResourceState: the online, strategy-visible state of one resource.
+//
+// The allocation framework (paper Algorithm 1) lets strategies observe
+// "previous posts (e.g., the number of posts that have already been given to
+// a resource so far, and their tags' frequencies) as well as the new posts
+// submitted by taggers". ResourceState is exactly that observable state:
+// post count, tag counts / rfd, and the MA score — and nothing that requires
+// ground truth (stable rfds stay private to the evaluation).
+#ifndef INCENTAG_CORE_RESOURCE_STATE_H_
+#define INCENTAG_CORE_RESOURCE_STATE_H_
+
+#include <cstdint>
+
+#include "src/core/ma_tracker.h"
+#include "src/core/rfd.h"
+#include "src/core/types.h"
+
+namespace incentag {
+namespace core {
+
+class ResourceState {
+ public:
+  // omega is the MA window (the strategies' parameter, default 5 in the
+  // paper's experiments).
+  explicit ResourceState(int omega) : ma_(omega) {}
+
+  // Applies one post; updates counts and MA. Returns the adjacent
+  // similarity s(F(k-1), F(k)).
+  double AddPost(const Post& post) {
+    double sim = counts_.AddPost(post);
+    ma_.AddAdjacentSimilarity(sim);
+    return sim;
+  }
+
+  // Number of posts received so far (c_i + x_i during a run).
+  int64_t posts() const { return counts_.posts(); }
+
+  const TagCounts& counts() const { return counts_; }
+  const MaTracker& ma() const { return ma_; }
+
+  // True once the MA score m(k, omega) is defined (k >= omega).
+  bool has_ma_score() const { return ma_.HasScore(); }
+  // Requires has_ma_score().
+  double ma_score() const { return ma_.Score(); }
+
+ private:
+  TagCounts counts_;
+  MaTracker ma_;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_RESOURCE_STATE_H_

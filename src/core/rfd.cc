@@ -1,0 +1,138 @@
+#include "src/core/rfd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace incentag {
+namespace core {
+
+int64_t TagCounts::Count(TagId tag) const {
+  auto it = counts_.find(tag);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double TagCounts::RelativeFrequency(TagId tag) const {
+  if (total_tags_ == 0) return 0.0;  // Definition 4, k == 0 case.
+  return static_cast<double>(Count(tag)) / static_cast<double>(total_tags_);
+}
+
+double TagCounts::AddPost(const Post& post) {
+  assert(!post.empty());
+  // The new count vector is h' = h + e_P where e_P is the indicator of the
+  // post's tag set. Then
+  //   dot(h, h')   = ||h||^2 + sum_{t in P} h(t)
+  //   ||h'||^2     = ||h||^2 + sum_{t in P} (2 h(t) + 1)
+  // and cos(F(k-1), F(k)) = cos(h, h') because cosine ignores scaling.
+  const double old_norm_sq = static_cast<double>(norm_sq_);
+  int64_t overlap = 0;  // sum over post tags of the old h(t)
+  for (TagId tag : post.tags) {
+    auto [it, inserted] = counts_.try_emplace(tag, 0);
+    overlap += it->second;
+    norm_sq_ += 2 * it->second + 1;
+    ++it->second;
+  }
+  total_tags_ += static_cast<int64_t>(post.tags.size());
+  ++posts_;
+  if (old_norm_sq == 0.0) return 0.0;  // s(F(0), F(1)) = 0 by Eq. 16.
+  const double dot = old_norm_sq + static_cast<double>(overlap);
+  return dot /
+         (std::sqrt(old_norm_sq) * std::sqrt(static_cast<double>(norm_sq_)));
+}
+
+RfdVector TagCounts::Snapshot() const {
+  std::vector<std::pair<TagId, double>> weights;
+  weights.reserve(counts_.size());
+  for (const auto& [tag, count] : counts_) {
+    weights.emplace_back(tag, static_cast<double>(count));
+  }
+  return RfdVector::FromWeights(std::move(weights));
+}
+
+RfdVector RfdVector::FromWeights(
+    std::vector<std::pair<TagId, double>> weights) {
+  std::sort(weights.begin(), weights.end());
+  // Merge duplicates.
+  size_t out = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    assert(weights[i].second >= 0.0);
+    if (out > 0 && weights[out - 1].first == weights[i].first) {
+      weights[out - 1].second += weights[i].second;
+    } else {
+      weights[out++] = weights[i];
+    }
+  }
+  weights.resize(out);
+  // Drop zero weights so empty() reflects an all-zero vector.
+  std::erase_if(weights, [](const auto& e) { return e.second == 0.0; });
+  double norm_sq = 0.0;
+  for (const auto& [tag, w] : weights) norm_sq += w * w;
+  RfdVector v;
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [tag, w] : weights) w *= inv;
+    v.entries_ = std::move(weights);
+  }
+  return v;
+}
+
+double RfdVector::Weight(TagId tag) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), tag,
+      [](const std::pair<TagId, double>& e, TagId t) { return e.first < t; });
+  if (it == entries_.end() || it->first != tag) return 0.0;
+  return it->second;
+}
+
+double Cosine(const TagCounts& a, const TagCounts& b) {
+  if (a.posts() == 0 || b.posts() == 0) return 0.0;
+  // Iterate the smaller map and probe the larger one.
+  const TagCounts* small = &a;
+  const TagCounts* large = &b;
+  if (small->distinct_tags() > large->distinct_tags()) {
+    std::swap(small, large);
+  }
+  double dot = 0.0;
+  for (const auto& [tag, count] : small->counts()) {
+    int64_t other = large->Count(tag);
+    if (other != 0) dot += static_cast<double>(count * other);
+  }
+  if (dot == 0.0) return 0.0;
+  return dot / (std::sqrt(a.norm_squared()) * std::sqrt(b.norm_squared()));
+}
+
+double Cosine(const TagCounts& a, const RfdVector& b) {
+  if (a.posts() == 0 || b.empty()) return 0.0;
+  double dot = 0.0;
+  // b is unit-norm, so cos = dot(h_a, b) / ||h_a||.
+  for (const auto& [tag, w] : b.entries()) {
+    int64_t count = a.Count(tag);
+    if (count != 0) dot += static_cast<double>(count) * w;
+  }
+  if (dot == 0.0) return 0.0;
+  return dot / std::sqrt(a.norm_squared());
+}
+
+double Cosine(const RfdVector& a, const RfdVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  // Sorted-merge over the two entry lists.
+  double dot = 0.0;
+  auto ia = a.entries().begin();
+  auto ib = b.entries().begin();
+  while (ia != a.entries().end() && ib != b.entries().end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      dot += ia->second * ib->second;
+      ++ia;
+      ++ib;
+    }
+  }
+  // Both unit-norm already.
+  return dot;
+}
+
+}  // namespace core
+}  // namespace incentag

@@ -1,0 +1,53 @@
+#include "src/core/stability.h"
+
+namespace incentag {
+namespace core {
+
+StabilityDetector::StabilityDetector(StabilityParams params)
+    : params_(params), ma_(params.omega) {}
+
+bool StabilityDetector::AddPost(const Post& post) {
+  double sim = counts_.AddPost(post);
+  ma_.AddAdjacentSimilarity(sim);
+  if (!stable_point_.has_value() && ma_.HasScore() &&
+      ma_.Score() > params_.tau) {
+    stable_point_ = counts_.posts();
+    stable_rfd_ = counts_.Snapshot();
+    return true;
+  }
+  return false;
+}
+
+std::optional<double> StabilityDetector::ma_score() const {
+  if (!ma_.HasScore()) return std::nullopt;
+  return ma_.Score();
+}
+
+StabilityDetector ScanSequence(const PostSequence& posts,
+                               StabilityParams params) {
+  StabilityDetector detector(params);
+  for (const Post& post : posts) detector.AddPost(post);
+  return detector;
+}
+
+std::vector<StabilityTracePoint> StabilityTrace(const PostSequence& posts,
+                                                StabilityParams params) {
+  std::vector<StabilityTracePoint> trace;
+  trace.reserve(posts.size());
+  TagCounts counts;
+  MaTracker ma(params.omega);
+  for (const Post& post : posts) {
+    double sim = counts.AddPost(post);
+    ma.AddAdjacentSimilarity(sim);
+    StabilityTracePoint point;
+    point.k = counts.posts();
+    point.adjacent_similarity = sim;
+    point.ma_defined = ma.HasScore();
+    point.ma_score = point.ma_defined ? ma.Score() : 0.0;
+    trace.push_back(point);
+  }
+  return trace;
+}
+
+}  // namespace core
+}  // namespace incentag

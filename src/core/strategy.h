@@ -1,0 +1,76 @@
+// The incentive-allocation strategy interface (paper Algorithm 1).
+//
+// The engine invests one reward unit at a time: it asks the strategy to
+// CHOOSE a resource, presents the resource to a tagger (draws the next post
+// from the stream), applies the post, then calls UPDATE so the strategy can
+// refresh its bookkeeping. INIT runs once before the loop.
+//
+// Strategies observe the world exclusively through StrategyContext: the
+// per-resource online states (post counts, rfds, MA scores). They never see
+// reference stable rfds or unconsumed future posts — only the DP planner
+// (dp_planner.h), which the paper calls "of theoretical interest only", is
+// allowed those.
+#ifndef INCENTAG_CORE_STRATEGY_H_
+#define INCENTAG_CORE_STRATEGY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/core/resource_state.h"
+#include "src/core/types.h"
+
+namespace incentag {
+namespace core {
+
+// Read-only view of the observable world, owned by the engine. The states
+// vector lives for the whole run; states are updated in place between
+// Choose() and Update().
+struct StrategyContext {
+  const std::vector<ResourceState>* states = nullptr;
+  // MA window omega used by MU / FP-MU (paper default: 5).
+  int omega = 5;
+
+  size_t num_resources() const { return states->size(); }
+  const ResourceState& state(ResourceId i) const { return (*states)[i]; }
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  // Short identifier used in reports ("FC", "RR", "FP", "MU", "FP-MU",
+  // "DP").
+  virtual std::string_view name() const = 0;
+
+  // Called once before the budget loop with the initial states (the posts
+  // already received, c_i). The context outlives the run.
+  virtual void Init(const StrategyContext& ctx) = 0;
+
+  // Returns the resource to receive the next post task, or
+  // kInvalidResource when the strategy cannot choose (e.g. MU with no
+  // MA-eligible resource); the engine then stops the run early.
+  virtual ResourceId Choose() = 0;
+
+  // Called immediately after Choose() when the task is *assigned* (budget
+  // committed) but before any tagger completes it. In batched operation
+  // (EngineOptions::batch_size > 1, modelling the Figure-2 crowdsourcing
+  // flow where many tasks are posted concurrently) several assignments
+  // happen before any completion, so bookkeeping that must see pending
+  // tasks — FP's post counts, FP-MU's warm-up budget, a plan's remaining
+  // allocation — belongs here. Default: nothing.
+  virtual void OnAssigned(ResourceId /*chosen*/) {}
+
+  // Called after the chosen resource's state has been updated with the
+  // completed post task.
+  virtual void Update(ResourceId chosen) = 0;
+
+  // Called when the stream ran out of posts for `i` (only possible with
+  // materialised datasets). The strategy must stop proposing `i`.
+  virtual void OnExhausted(ResourceId i) = 0;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_STRATEGY_H_

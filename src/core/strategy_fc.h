@@ -1,0 +1,70 @@
+// Free Choice (FC) — paper Section IV-A.
+//
+// Taggers freely decide which resource to tag; CHOOSE simply returns the
+// tagger's pick. FC is the baseline that models existing collaborative
+// tagging systems, where attention concentrates on popular resources.
+//
+// The picker is injected as a callback so that core stays independent of
+// the crowd model: src/sim/crowd.h supplies a popularity-biased picker.
+#ifndef INCENTAG_CORE_STRATEGY_FC_H_
+#define INCENTAG_CORE_STRATEGY_FC_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/core/strategy.h"
+
+namespace incentag {
+namespace core {
+
+class FreeChoiceStrategy : public Strategy {
+ public:
+  // `picker` models one tagger choosing a resource; it is called once per
+  // post task and must return a valid ResourceId.
+  explicit FreeChoiceStrategy(std::function<ResourceId()> picker)
+      : picker_(std::move(picker)) {}
+
+  std::string_view name() const override { return "FC"; }
+
+  void Init(const StrategyContext& ctx) override {
+    exhausted_.assign(ctx.num_resources(), false);
+    num_exhausted_ = 0;
+  }
+
+  ResourceId Choose() override {
+    // Taggers never pick a resource that cannot accept posts any more; we
+    // model that by redrawing (bounded, then giving up).
+    if (num_exhausted_ == exhausted_.size()) return kInvalidResource;
+    for (int attempt = 0; attempt < kMaxRedraws; ++attempt) {
+      ResourceId pick = picker_();
+      if (!exhausted_[pick]) return pick;
+    }
+    // Popularity weights may make redraws futile; fall back to scanning.
+    for (ResourceId i = 0; i < exhausted_.size(); ++i) {
+      if (!exhausted_[i]) return i;
+    }
+    return kInvalidResource;
+  }
+
+  void Update(ResourceId /*chosen*/) override {}
+
+  void OnExhausted(ResourceId i) override {
+    if (!exhausted_[i]) {
+      exhausted_[i] = true;
+      ++num_exhausted_;
+    }
+  }
+
+ private:
+  static constexpr int kMaxRedraws = 64;
+
+  std::function<ResourceId()> picker_;
+  std::vector<bool> exhausted_;
+  size_t num_exhausted_ = 0;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_STRATEGY_FC_H_

@@ -1,0 +1,72 @@
+// Fewest Posts First (FP) — paper Section IV-C, Algorithm 3.
+//
+// Always gives the next post task to the resource with the fewest posts
+// (c_i + x_i). The priority queue of the paper is realised as an
+// IndexedHeap so the chosen resource's key is updated in place after each
+// task: O((n + B) log n) time and O(n) space as Table V states.
+//
+// Ties break toward the smaller resource id, making runs deterministic.
+#ifndef INCENTAG_CORE_STRATEGY_FP_H_
+#define INCENTAG_CORE_STRATEGY_FP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/strategy.h"
+#include "src/util/indexed_heap.h"
+
+namespace incentag {
+namespace core {
+
+class FewestPostsStrategy : public Strategy {
+ public:
+  std::string_view name() const override { return "FP"; }
+
+  void Init(const StrategyContext& ctx) override {
+    ctx_ = &ctx;
+    pending_.assign(ctx.num_resources(), 0);
+    heap_ = std::make_unique<util::IndexedHeap>(ctx.num_resources());
+    for (ResourceId i = 0; i < ctx.num_resources(); ++i) {
+      heap_->Push(i, static_cast<double>(ctx.state(i).posts()));
+    }
+  }
+
+  ResourceId Choose() override {
+    if (heap_->empty()) return kInvalidResource;
+    return static_cast<ResourceId>(heap_->Top());
+  }
+
+  // FP orders by posts *including pending assignments* (the paper's
+  // Algorithm 3 keys on c[i] + x[i], where x counts assigned tasks), so
+  // a batch spreads across the level instead of piling onto one resource.
+  void OnAssigned(ResourceId chosen) override {
+    ++pending_[chosen];
+    Rekey(chosen);
+  }
+
+  void Update(ResourceId chosen) override {
+    if (pending_[chosen] > 0) --pending_[chosen];
+    Rekey(chosen);
+  }
+
+  void OnExhausted(ResourceId i) override {
+    if (heap_->Contains(i)) heap_->Remove(i);
+  }
+
+ private:
+  void Rekey(ResourceId i) {
+    if (heap_->Contains(i)) {
+      heap_->Update(i, static_cast<double>(ctx_->state(i).posts() +
+                                           pending_[i]));
+    }
+  }
+
+  const StrategyContext* ctx_ = nullptr;
+  std::vector<int64_t> pending_;
+  std::unique_ptr<util::IndexedHeap> heap_;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_STRATEGY_FP_H_

@@ -1,0 +1,83 @@
+// Cost-aware Fewest Posts First — the greedy companion to the Section
+// III-C variable-reward extension.
+//
+// With heterogeneous task costs, plain FP can burn the budget on the
+// cheapest-to-identify but most expensive-to-reward resources. This
+// strategy keeps FP's primary ordering (fewest posts first — Figure 5's
+// argument is unchanged: the marginal quality gain is largest there) and
+// breaks ties toward the cheaper resource, so a level of equally-tagged
+// resources is filled in ascending cost order. With uniform costs it
+// behaves exactly like FewestPostsStrategy.
+#ifndef INCENTAG_CORE_STRATEGY_FP_COST_H_
+#define INCENTAG_CORE_STRATEGY_FP_COST_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/strategy.h"
+#include "src/util/indexed_heap.h"
+
+namespace incentag {
+namespace core {
+
+class CostAwareFpStrategy : public Strategy {
+ public:
+  // The cost model must outlive the strategy.
+  explicit CostAwareFpStrategy(const CostModel* costs) : costs_(costs) {}
+
+  std::string_view name() const override { return "FP-$"; }
+
+  void Init(const StrategyContext& ctx) override {
+    ctx_ = &ctx;
+    pending_.assign(ctx.num_resources(), 0);
+    heap_ = std::make_unique<util::IndexedHeap>(ctx.num_resources());
+    for (ResourceId i = 0; i < ctx.num_resources(); ++i) {
+      heap_->Push(i, Priority(i));
+    }
+  }
+
+  ResourceId Choose() override {
+    if (heap_->empty()) return kInvalidResource;
+    return static_cast<ResourceId>(heap_->Top());
+  }
+
+  void OnAssigned(ResourceId chosen) override {
+    ++pending_[chosen];
+    if (heap_->Contains(chosen)) heap_->Update(chosen, Priority(chosen));
+  }
+
+  void Update(ResourceId chosen) override {
+    if (pending_[chosen] > 0) --pending_[chosen];
+    if (heap_->Contains(chosen)) heap_->Update(chosen, Priority(chosen));
+  }
+
+  void OnExhausted(ResourceId i) override {
+    if (heap_->Contains(i)) heap_->Remove(i);
+  }
+
+ private:
+  // Lexicographic (posts, cost) packed into one double. Costs are clamped
+  // into [0, kCostRange); posts * kCostRange stays well under 2^53 for any
+  // realistic run, so the encoding is exact.
+  static constexpr double kCostRange = 1 << 20;
+
+  double Priority(ResourceId i) const {
+    const double cost = static_cast<double>(
+        std::min<int64_t>(costs_->cost(i), (1 << 20) - 1));
+    return static_cast<double>(ctx_->state(i).posts() + pending_[i]) *
+               kCostRange +
+           cost;
+  }
+
+  const CostModel* costs_;
+  const StrategyContext* ctx_ = nullptr;
+  std::vector<int64_t> pending_;
+  std::unique_ptr<util::IndexedHeap> heap_;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_STRATEGY_FP_COST_H_

@@ -1,0 +1,60 @@
+// Most Unstable First (MU) — paper Section IV-D, Algorithm 4.
+//
+// Chooses the resource with the smallest MA score: presumably the one whose
+// rfd needs stabilising the most. Resources that have received fewer than
+// omega posts have no MA score and are ignored (the weakness that motivates
+// FP-MU). The incremental MA maintenance of Appendix C lives in MaTracker;
+// this class only orders resources, so each decision costs O(log n).
+#ifndef INCENTAG_CORE_STRATEGY_MU_H_
+#define INCENTAG_CORE_STRATEGY_MU_H_
+
+#include <memory>
+
+#include "src/core/strategy.h"
+#include "src/util/indexed_heap.h"
+
+namespace incentag {
+namespace core {
+
+class MostUnstableStrategy : public Strategy {
+ public:
+  std::string_view name() const override { return "MU"; }
+
+  void Init(const StrategyContext& ctx) override {
+    ctx_ = &ctx;
+    heap_ = std::make_unique<util::IndexedHeap>(ctx.num_resources());
+    for (ResourceId i = 0; i < ctx.num_resources(); ++i) {
+      // Algorithm 4 INIT: only resources with at least omega posts.
+      if (ctx.state(i).has_ma_score()) {
+        heap_->Push(i, ctx.state(i).ma_score());
+      }
+    }
+  }
+
+  ResourceId Choose() override {
+    if (heap_->empty()) return kInvalidResource;
+    return static_cast<ResourceId>(heap_->Top());
+  }
+
+  void Update(ResourceId chosen) override {
+    // The chosen resource had >= omega posts and just gained one more, so
+    // its MA score is still defined. (Guard: it may have been removed by
+    // OnExhausted between assignment and completion.)
+    if (heap_->Contains(chosen)) {
+      heap_->Update(chosen, ctx_->state(chosen).ma_score());
+    }
+  }
+
+  void OnExhausted(ResourceId i) override {
+    if (heap_->Contains(i)) heap_->Remove(i);
+  }
+
+ private:
+  const StrategyContext* ctx_ = nullptr;
+  std::unique_ptr<util::IndexedHeap> heap_;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_STRATEGY_MU_H_

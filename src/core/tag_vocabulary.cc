@@ -1,0 +1,31 @@
+#include "src/core/tag_vocabulary.h"
+
+#include <cassert>
+
+namespace incentag {
+namespace core {
+
+TagId TagVocabulary::Intern(std::string_view tag) {
+  auto it = ids_.find(std::string(tag));
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(tag);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+util::Result<TagId> TagVocabulary::Find(std::string_view tag) const {
+  auto it = ids_.find(std::string(tag));
+  if (it == ids_.end()) {
+    return util::Status::NotFound("unknown tag: " + std::string(tag));
+  }
+  return it->second;
+}
+
+const std::string& TagVocabulary::Name(TagId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace core
+}  // namespace incentag

@@ -1,0 +1,46 @@
+// TagVocabulary: bidirectional mapping between tag strings and TagIds.
+//
+// All core computations run on dense integer TagIds; the vocabulary is the
+// single point where external tag strings (from a dump file or a generator)
+// are interned. Interning is append-only: ids are stable for the lifetime of
+// the vocabulary.
+#ifndef INCENTAG_CORE_TAG_VOCABULARY_H_
+#define INCENTAG_CORE_TAG_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/status.h"
+
+namespace incentag {
+namespace core {
+
+class TagVocabulary {
+ public:
+  TagVocabulary() = default;
+
+  // Returns the id of `tag`, interning it if unseen. Tags are
+  // case-sensitive; callers normalise case upstream if desired.
+  TagId Intern(std::string_view tag);
+
+  // Returns the id of `tag` or NotFound if it was never interned.
+  util::Result<TagId> Find(std::string_view tag) const;
+
+  // Returns the string for `id`; requires id < size().
+  const std::string& Name(TagId id) const;
+
+  // Number of distinct tags (|T|).
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> ids_;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_TAG_VOCABULARY_H_

@@ -1,0 +1,138 @@
+#include "src/ir/rank_correlation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+
+namespace incentag {
+namespace ir {
+
+namespace {
+
+// Number of inversions (i < j with v[i] > v[j]), counted by merge sort.
+uint64_t CountInversions(std::vector<double>* v) {
+  const size_t n = v->size();
+  std::vector<double> buffer(n);
+  uint64_t inversions = 0;
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const size_t mid = lo + width;
+      const size_t hi = std::min(lo + 2 * width, n);
+      size_t a = lo;
+      size_t b = mid;
+      size_t out = lo;
+      while (a < mid && b < hi) {
+        if ((*v)[a] <= (*v)[b]) {
+          buffer[out++] = (*v)[a++];
+        } else {
+          // v[a..mid) are all > v[b]: each forms an inversion with v[b].
+          inversions += mid - a;
+          buffer[out++] = (*v)[b++];
+        }
+      }
+      while (a < mid) buffer[out++] = (*v)[a++];
+      while (b < hi) buffer[out++] = (*v)[b++];
+      std::copy(buffer.begin() + static_cast<ptrdiff_t>(lo),
+                buffer.begin() + static_cast<ptrdiff_t>(hi),
+                v->begin() + static_cast<ptrdiff_t>(lo));
+    }
+  }
+  return inversions;
+}
+
+// Sum over equal-value runs of t*(t-1)/2, where equality is decided by
+// `same` over consecutive sorted elements.
+template <typename Iter, typename SamePred>
+uint64_t TiePairs(Iter begin, Iter end, SamePred same) {
+  uint64_t pairs = 0;
+  Iter run_start = begin;
+  for (Iter it = begin; it != end; ++it) {
+    if (it != run_start && !same(*run_start, *it)) run_start = it;
+    pairs += static_cast<uint64_t>(std::distance(run_start, it));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+double KendallTau(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (xs[a] != xs[b]) return xs[a] < xs[b];
+    return ys[a] < ys[b];
+  });
+
+  // Tie counts in x and joint (x, y) ties, over the (x, y)-sorted order.
+  std::vector<std::pair<double, double>> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = {xs[order[i]], ys[order[i]]};
+  const uint64_t xtie =
+      TiePairs(sorted.begin(), sorted.end(),
+               [](const auto& a, const auto& b) { return a.first == b.first; });
+  const uint64_t ntie =
+      TiePairs(sorted.begin(), sorted.end(),
+               [](const auto& a, const auto& b) { return a == b; });
+
+  // Discordant pairs: inversions of y in the (x, y)-sorted order.
+  std::vector<double> y_in_x_order(n);
+  for (size_t i = 0; i < n; ++i) y_in_x_order[i] = sorted[i].second;
+  const uint64_t discordant = CountInversions(&y_in_x_order);
+
+  // Tie count in y alone (y_in_x_order is now sorted by the merge sort).
+  const uint64_t ytie =
+      TiePairs(y_in_x_order.begin(), y_in_x_order.end(),
+               [](double a, double b) { return a == b; });
+
+  const uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const double denom_x = static_cast<double>(total - xtie);
+  const double denom_y = static_cast<double>(total - ytie);
+  if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;
+
+  const double con_minus_dis =
+      static_cast<double>(total) - static_cast<double>(xtie) -
+      static_cast<double>(ytie) + static_cast<double>(ntie) -
+      2.0 * static_cast<double>(discordant);
+  return con_minus_dis / (std::sqrt(denom_x) * std::sqrt(denom_y));
+}
+
+double KendallTauBrute(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  uint64_t xtie = 0;
+  uint64_t ytie = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx == 0.0) ++xtie;
+      if (dy == 0.0) ++ytie;
+      if (dx == 0.0 || dy == 0.0) continue;
+      if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const double denom_x = static_cast<double>(total - xtie);
+  const double denom_y = static_cast<double>(total - ytie);
+  if (denom_x <= 0.0 || denom_y <= 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) /
+         (std::sqrt(denom_x) * std::sqrt(denom_y));
+}
+
+}  // namespace ir
+}  // namespace incentag

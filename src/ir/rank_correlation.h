@@ -1,0 +1,29 @@
+// Rank correlation for the similarity-accuracy experiment (Figure 7).
+//
+// The paper "ranks all pairs of resources by their cosine similarity [and]
+// compares the ranking to a ground truth with Kendall's tau correlation
+// coefficient". With n resources there are m = n(n-1)/2 pairs, so the naive
+// O(m^2) tau is hopeless; KendallTau implements the Knight (1966)
+// merge-sort algorithm in O(m log m), in its tau-b form so that the heavily
+// tied hierarchy ground truth is handled correctly.
+#ifndef INCENTAG_IR_RANK_CORRELATION_H_
+#define INCENTAG_IR_RANK_CORRELATION_H_
+
+#include <vector>
+
+namespace incentag {
+namespace ir {
+
+// Kendall's tau-b between two equal-length series. Returns 0 when either
+// series is constant or shorter than 2.
+double KendallTau(const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+// Reference O(m^2) implementation (tau-b). For tests and tiny inputs only.
+double KendallTauBrute(const std::vector<double>& xs,
+                       const std::vector<double>& ys);
+
+}  // namespace ir
+}  // namespace incentag
+
+#endif  // INCENTAG_IR_RANK_CORRELATION_H_

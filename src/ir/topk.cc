@@ -1,0 +1,47 @@
+#include "src/ir/topk.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace incentag {
+namespace ir {
+
+std::vector<ScoredResource> TopKSimilar(
+    const std::vector<core::RfdVector>& rfds, core::ResourceId subject,
+    size_t k) {
+  assert(subject < rfds.size());
+  std::vector<ScoredResource> scored;
+  scored.reserve(rfds.size() - 1);
+  for (size_t i = 0; i < rfds.size(); ++i) {
+    if (i == subject) continue;
+    scored.push_back(ScoredResource{
+        static_cast<core::ResourceId>(i),
+        core::Cosine(rfds[subject], rfds[i])});
+  }
+  const size_t take = std::min(k, scored.size());
+  auto by_score = [](const ScoredResource& a, const ScoredResource& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  };
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    by_score);
+  scored.resize(take);
+  return scored;
+}
+
+size_t OverlapCount(const std::vector<ScoredResource>& a,
+                    const std::vector<ScoredResource>& b) {
+  size_t overlap = 0;
+  for (const ScoredResource& x : a) {
+    for (const ScoredResource& y : b) {
+      if (x.id == y.id) {
+        ++overlap;
+        break;
+      }
+    }
+  }
+  return overlap;
+}
+
+}  // namespace ir
+}  // namespace incentag

@@ -1,0 +1,38 @@
+// Top-k most-similar-resource queries (paper Section V-C.1).
+//
+// "We pick a subject webpage ... determine r*'s rfd ... All other webpages'
+// rfds are then compared with F* using cosine similarity. The top-10 most
+// similar webpages are so determined." TopKSimilar implements exactly that
+// query; ties break toward the smaller resource id for determinism.
+#ifndef INCENTAG_IR_TOPK_H_
+#define INCENTAG_IR_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rfd.h"
+#include "src/core/types.h"
+
+namespace incentag {
+namespace ir {
+
+struct ScoredResource {
+  core::ResourceId id = 0;
+  double similarity = 0.0;
+};
+
+// The k resources most similar to `subject` (excluding the subject itself),
+// in descending similarity order.
+std::vector<ScoredResource> TopKSimilar(
+    const std::vector<core::RfdVector>& rfds, core::ResourceId subject,
+    size_t k);
+
+// Number of ids the two result lists share (order-insensitive) — the
+// "9 out of 10 of the ideal list" measure used when discussing Table VI.
+size_t OverlapCount(const std::vector<ScoredResource>& a,
+                    const std::vector<ScoredResource>& b);
+
+}  // namespace ir
+}  // namespace incentag
+
+#endif  // INCENTAG_IR_TOPK_H_

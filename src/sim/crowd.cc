@@ -1,0 +1,32 @@
+#include "src/sim/crowd.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace incentag {
+namespace sim {
+
+namespace {
+std::vector<double> PowWeights(const std::vector<double>& popularity,
+                               double alpha) {
+  std::vector<double> weights;
+  weights.reserve(popularity.size());
+  for (double p : popularity) {
+    assert(p >= 0.0);
+    weights.push_back(p <= 0.0 ? 0.0 : std::pow(p, alpha));
+  }
+  return weights;
+}
+}  // namespace
+
+CrowdModel::CrowdModel(const std::vector<double>& popularity, double alpha,
+                       uint64_t seed)
+    : dist_(PowWeights(popularity, alpha)),
+      rng_(util::MixSeeds(seed, 0xC404Dull)) {}
+
+core::ResourceId CrowdModel::Pick() {
+  return static_cast<core::ResourceId>(dist_.Sample(&rng_));
+}
+
+}  // namespace sim
+}  // namespace incentag

@@ -1,0 +1,113 @@
+#include "src/sim/preference_crowd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace incentag {
+namespace sim {
+
+PreferenceCrowd::PreferenceCrowd(
+    const std::vector<CategoryId>& resource_areas,
+    const std::vector<double>& popularity, Options options, uint64_t seed)
+    : options_(options),
+      resource_areas_(resource_areas),
+      rng_(util::MixSeeds(seed, 0xFA45ull)) {
+  assert(resource_areas.size() == popularity.size());
+  assert(options.focus >= 0.0 && options.focus <= 1.0);
+  const size_t n = resource_areas.size();
+
+  // Collect distinct areas in first-seen order.
+  std::vector<double> area_popularity;
+  std::vector<size_t> area_index(0);
+  auto area_of = [&](CategoryId area) -> size_t {
+    for (size_t a = 0; a < areas_.size(); ++a) {
+      if (areas_[a] == area) return a;
+    }
+    areas_.push_back(area);
+    area_popularity.push_back(0.0);
+    area_resources_.emplace_back();
+    return areas_.size() - 1;
+  };
+
+  std::vector<std::vector<double>> area_weights;
+  double total_popularity = 0.0;
+  std::vector<double> global_weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double w =
+        popularity[i] <= 0.0
+            ? 0.0
+            : std::pow(popularity[i], options.popularity_alpha);
+    global_weights[i] = w;
+    const size_t a = area_of(resource_areas[i]);
+    if (area_weights.size() < areas_.size()) {
+      area_weights.resize(areas_.size());
+    }
+    area_resources_[a].push_back(static_cast<core::ResourceId>(i));
+    area_weights[a].push_back(w);
+    area_popularity[a] += w;
+    total_popularity += w;
+  }
+  assert(total_popularity > 0.0);
+
+  // Tagger communities sized by their area's popularity share.
+  area_share_.resize(areas_.size());
+  for (size_t a = 0; a < areas_.size(); ++a) {
+    area_share_[a] = area_popularity[a] / total_popularity;
+  }
+  community_dist_ = util::DiscreteDistribution(area_share_);
+  for (size_t a = 0; a < areas_.size(); ++a) {
+    // An area whose resources all have zero weight cannot be sampled
+    // within; fall back to uniform within the area.
+    bool all_zero = true;
+    for (double w : area_weights[a]) {
+      if (w > 0.0) all_zero = false;
+    }
+    if (all_zero) {
+      std::fill(area_weights[a].begin(), area_weights[a].end(), 1.0);
+    }
+    area_dist_.emplace_back(area_weights[a]);
+  }
+  global_dist_ = util::DiscreteDistribution(global_weights);
+}
+
+core::ResourceId PreferenceCrowd::Pick() {
+  const size_t community = community_dist_.Sample(&rng_);
+  if (rng_.NextBool(options_.focus)) {
+    const size_t within = area_dist_[community].Sample(&rng_);
+    return area_resources_[community][within];
+  }
+  return static_cast<core::ResourceId>(global_dist_.Sample(&rng_));
+}
+
+double PreferenceCrowd::CommunityShare(CategoryId area) const {
+  for (size_t a = 0; a < areas_.size(); ++a) {
+    if (areas_[a] == area) return area_share_[a];
+  }
+  return 0.0;
+}
+
+double PreferenceCrowd::AcceptanceProbability(core::ResourceId i) const {
+  assert(i < resource_areas_.size());
+  const double community = CommunityShare(resource_areas_[i]);
+  return options_.focus * community + (1.0 - options_.focus);
+}
+
+core::CostModel PreferenceCrowd::MakeCostModel(int64_t base_cost) const {
+  assert(base_cost >= 1);
+  double best = 0.0;
+  for (core::ResourceId i = 0; i < resource_areas_.size(); ++i) {
+    best = std::max(best, AcceptanceProbability(i));
+  }
+  std::vector<int64_t> costs(resource_areas_.size(), 1);
+  for (core::ResourceId i = 0; i < resource_areas_.size(); ++i) {
+    const double ratio = best / AcceptanceProbability(i);
+    costs[i] = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::llround(static_cast<double>(base_cost) * ratio)));
+  }
+  return core::CostModel(std::move(costs));
+}
+
+}  // namespace sim
+}  // namespace incentag

@@ -1,0 +1,84 @@
+// PreferenceCrowd: taggers with topical preferences — a concrete
+// realisation of the paper's Section VI future work ("how user preference
+// should be considered in the allocation process").
+//
+// Taggers form communities, one per topic area, sized by the area's share
+// of total resource popularity. A tagger tags inside their own area with
+// probability `focus` and explores uniformly otherwise. Two consequences,
+// both exposed here:
+//
+//  * Free Choice becomes community-biased (MakePicker), concentrating
+//    posts even harder on the head of popular areas than popularity alone.
+//  * A post task on a niche resource reaches fewer willing taggers, so
+//    filling it costs more. AcceptanceProbability quantifies that, and
+//    MakeCostModel turns it into Section III-C reward amounts — linking
+//    the preference extension to the variable-cost extension.
+#ifndef INCENTAG_SIM_PREFERENCE_CROWD_H_
+#define INCENTAG_SIM_PREFERENCE_CROWD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/types.h"
+#include "src/sim/topic_hierarchy.h"
+#include "src/util/discrete_distribution.h"
+#include "src/util/random.h"
+
+namespace incentag {
+namespace sim {
+
+class PreferenceCrowd {
+ public:
+  struct Options {
+    // Probability that a tagger picks within their own community's area.
+    double focus = 0.8;
+    // Popularity exponent within an area (1 = proportional).
+    double popularity_alpha = 1.0;
+  };
+
+  // `resource_areas[i]` is the area (depth-1 category) of resource i;
+  // `popularity[i]` its non-negative weight. Sizes must match.
+  PreferenceCrowd(const std::vector<CategoryId>& resource_areas,
+                  const std::vector<double>& popularity, Options options,
+                  uint64_t seed);
+
+  // One tagger's free choice under community preferences.
+  core::ResourceId Pick();
+
+  // Picker bound to this crowd (for FreeChoiceStrategy). The crowd must
+  // outlive the callable.
+  std::function<core::ResourceId()> MakePicker() {
+    return [this] { return Pick(); };
+  }
+
+  // Probability that a random tagger is willing to take a post task on
+  // resource i: their community matches, or they are exploring.
+  double AcceptanceProbability(core::ResourceId i) const;
+
+  // Reward amounts inversely proportional to acceptance, normalised so the
+  // best-staffed resource costs ~`base_cost` units (>= 1). Niche resources
+  // cost proportionally more — the price of reaching their audience.
+  core::CostModel MakeCostModel(int64_t base_cost = 1) const;
+
+  // Share of taggers whose community is `area` (0 for unknown areas).
+  double CommunityShare(CategoryId area) const;
+
+ private:
+  Options options_;
+  std::vector<CategoryId> resource_areas_;
+  // Distinct areas, their tagger shares, and per-area resource samplers.
+  std::vector<CategoryId> areas_;
+  std::vector<double> area_share_;
+  util::DiscreteDistribution community_dist_;
+  std::vector<std::vector<core::ResourceId>> area_resources_;
+  std::vector<util::DiscreteDistribution> area_dist_;
+  util::DiscreteDistribution global_dist_;
+  util::Rng rng_;
+};
+
+}  // namespace sim
+}  // namespace incentag
+
+#endif  // INCENTAG_SIM_PREFERENCE_CROWD_H_

@@ -1,0 +1,136 @@
+#include "src/sim/tag_profile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "src/util/zipf.h"
+
+namespace incentag {
+namespace sim {
+
+namespace {
+
+const char* const kTagSuffixes[] = {
+    "",        "-tutorial", "-reference", "-tools",  "-blog",
+    "-news",   "-howto",    "-examples",  "-community", "-research",
+    "-review", "-archive",  "-guide",     "-wiki",   "-faq",
+    "-tips",
+};
+constexpr size_t kNumTagSuffixes = std::size(kTagSuffixes);
+
+const char* const kCommonTags[] = {
+    "cool", "interesting", "useful", "web",       "toread",
+    "daily", "fun",        "free",   "online",    "resources",
+    "misc", "bookmark",    "share",  "reference2", "later",
+};
+constexpr size_t kNumCommonTags = std::size(kCommonTags);
+
+// Zipf-shaped weights over `tags`, with a mild random jitter so categories
+// are not identically shaped.
+TagDistribution WeightTags(const std::vector<core::TagId>& tags, double skew,
+                           util::Rng* rng) {
+  TagDistribution dist;
+  dist.reserve(tags.size());
+  std::vector<double> weights = util::ZipfWeights(tags.size(), skew);
+  for (size_t i = 0; i < tags.size(); ++i) {
+    double jitter = 0.75 + 0.5 * rng->NextDouble();
+    dist.emplace_back(tags[i], weights[i] * jitter);
+  }
+  NormalizeDistribution(&dist);
+  return dist;
+}
+
+}  // namespace
+
+void NormalizeDistribution(TagDistribution* dist) {
+  std::sort(dist->begin(), dist->end());
+  size_t out = 0;
+  for (size_t i = 0; i < dist->size(); ++i) {
+    if ((*dist)[i].second <= 0.0) continue;
+    if (out > 0 && (*dist)[out - 1].first == (*dist)[i].first) {
+      (*dist)[out - 1].second += (*dist)[i].second;
+    } else {
+      (*dist)[out++] = (*dist)[i];
+    }
+  }
+  dist->resize(out);
+  double total = 0.0;
+  for (const auto& [tag, w] : *dist) total += w;
+  assert(total > 0.0 || dist->empty());
+  if (total > 0.0) {
+    for (auto& [tag, w] : *dist) w /= total;
+  }
+}
+
+TagDistribution MixDistributions(
+    const std::vector<std::pair<const TagDistribution*, double>>& parts) {
+  TagDistribution out;
+  for (const auto& [dist, scale] : parts) {
+    if (scale <= 0.0) continue;
+    for (const auto& [tag, w] : *dist) out.emplace_back(tag, w * scale);
+  }
+  NormalizeDistribution(&out);
+  return out;
+}
+
+ProfileSet::ProfileSet(const TopicHierarchy& tree,
+                       const ProfileConfig& config,
+                       core::TagVocabulary* vocab, util::Rng* rng)
+    : config_(config) {
+  assert(config.tags_per_category >= 1);
+  assert(config.common_tags >= 1);
+
+  // Global common tags become the root profile.
+  std::vector<core::TagId> common;
+  for (int i = 0; i < config.common_tags; ++i) {
+    if (static_cast<size_t>(i) < kNumCommonTags) {
+      common.push_back(vocab->Intern(kCommonTags[i]));
+    } else {
+      common.push_back(
+          vocab->Intern("common-" + std::to_string(i)));
+    }
+  }
+
+  // Own-tag blocks per category (deterministic names).
+  std::vector<std::vector<core::TagId>> own(tree.size());
+  for (CategoryId id = 0; id < tree.size(); ++id) {
+    const Category& cat = tree.category(id);
+    if (cat.depth == 0) continue;
+    for (int i = 0; i < config.tags_per_category; ++i) {
+      std::string name =
+          static_cast<size_t>(i) < kNumTagSuffixes
+              ? cat.short_name + kTagSuffixes[i]
+              : cat.short_name + "-" + std::to_string(i);
+      own[id].push_back(vocab->Intern(name));
+    }
+  }
+
+  profiles_.resize(tree.size());
+  // Root: common tags only.
+  profiles_[0] = WeightTags(common, config.tag_weight_skew, rng);
+  // Areas: own tags + a pinch of common.
+  for (CategoryId id = 1; id < tree.size(); ++id) {
+    const Category& cat = tree.category(id);
+    if (cat.depth != 1) continue;
+    TagDistribution own_dist =
+        WeightTags(own[id], config.tag_weight_skew, rng);
+    profiles_[id] =
+        MixDistributions({{&own_dist, 0.85}, {&profiles_[0], 0.15}});
+  }
+  // Leaves: own tags + area tags + common tags.
+  for (CategoryId id = 1; id < tree.size(); ++id) {
+    const Category& cat = tree.category(id);
+    if (!cat.is_leaf) continue;
+    TagDistribution own_dist =
+        WeightTags(own[id], config.tag_weight_skew, rng);
+    profiles_[id] = MixDistributions({
+        {&own_dist, config.leaf_own_weight},
+        {&profiles_[cat.parent], config.leaf_area_weight},
+        {&profiles_[0], config.leaf_common_weight},
+    });
+  }
+}
+
+}  // namespace sim
+}  // namespace incentag

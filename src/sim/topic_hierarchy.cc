@@ -1,0 +1,100 @@
+#include "src/sim/topic_hierarchy.h"
+
+#include <cassert>
+
+namespace incentag {
+namespace sim {
+
+namespace {
+
+struct AreaSpec {
+  const char* area;
+  std::vector<const char*> leaves;
+};
+
+// The fixed category tree. Leaf names deliberately cover the webpages of
+// the paper's Tables VI and VII (physics vs java, video editing vs video
+// sharing, photo editing vs photo sharing, architecture vs news, sports).
+const std::vector<AreaSpec>& AreaSpecs() {
+  static const std::vector<AreaSpec>* specs = new std::vector<AreaSpec>{
+      {"science", {"physics", "chemistry", "biology", "math"}},
+      {"programming", {"java", "python", "webdev", "databases"}},
+      {"media",
+       {"video-editing", "video-sharing", "photo-editing", "photo-sharing",
+        "music"}},
+      {"society", {"news", "architecture", "politics", "education"}},
+      {"leisure", {"sports", "travel", "games", "cooking"}},
+  };
+  return *specs;
+}
+
+}  // namespace
+
+TopicHierarchy TopicHierarchy::BuildDefault() {
+  TopicHierarchy tree;
+  CategoryId root = tree.AddCategory("root", 0, 0, /*is_leaf=*/false);
+  assert(root == 0);
+  for (const AreaSpec& spec : AreaSpecs()) {
+    CategoryId area =
+        tree.AddCategory(spec.area, root, 1, /*is_leaf=*/false);
+    for (const char* leaf : spec.leaves) {
+      tree.AddCategory(leaf, area, 2, /*is_leaf=*/true);
+    }
+  }
+  return tree;
+}
+
+CategoryId TopicHierarchy::AddCategory(std::string_view short_name,
+                                       CategoryId parent, int depth,
+                                       bool is_leaf) {
+  Category cat;
+  cat.short_name = std::string(short_name);
+  if (depth == 0) {
+    cat.name = std::string(short_name);
+  } else {
+    cat.name = categories_[parent].depth == 0
+                   ? std::string(short_name)
+                   : categories_[parent].name + "/" + std::string(short_name);
+  }
+  cat.parent = depth == 0 ? static_cast<CategoryId>(categories_.size())
+                          : parent;
+  cat.depth = depth;
+  cat.is_leaf = is_leaf;
+  CategoryId id = static_cast<CategoryId>(categories_.size());
+  categories_.push_back(std::move(cat));
+  if (is_leaf) leaves_.push_back(id);
+  return id;
+}
+
+util::Result<CategoryId> TopicHierarchy::FindLeaf(
+    std::string_view short_name) const {
+  for (CategoryId id : leaves_) {
+    if (categories_[id].short_name == short_name) return id;
+  }
+  return util::Status::NotFound("no leaf category named " +
+                                std::string(short_name));
+}
+
+CategoryId TopicHierarchy::Lca(CategoryId a, CategoryId b) const {
+  assert(a < categories_.size() && b < categories_.size());
+  while (a != b) {
+    if (categories_[a].depth >= categories_[b].depth) {
+      a = categories_[a].parent;
+    } else {
+      b = categories_[b].parent;
+    }
+  }
+  return a;
+}
+
+double TopicHierarchy::Similarity(CategoryId a, CategoryId b) const {
+  if (a == b) return 1.0;
+  const int depth_sum = categories_[a].depth + categories_[b].depth;
+  if (depth_sum == 0) return 1.0;  // both are the root
+  const CategoryId lca = Lca(a, b);
+  return 2.0 * static_cast<double>(categories_[lca].depth) /
+         static_cast<double>(depth_sum);
+}
+
+}  // namespace sim
+}  // namespace incentag

@@ -1,0 +1,74 @@
+// TopicHierarchy: the category tree behind the synthetic corpus.
+//
+// Plays two roles that the paper fills with external data:
+//
+//  1. It drives tag-profile generation (src/sim/tag_profile.h): resources in
+//     the same leaf category share most of their latent tags, siblings share
+//     some, unrelated categories share only the global common tags.
+//  2. It is the ground truth for the Section V-C.2 experiment: the paper
+//     ranks resource pairs by their distance in the Open Directory Project
+//     hierarchy; we rank them by proximity in this tree (Wu-Palmer
+//     similarity), which plays the identical role of an rfd-independent
+//     reference ranking.
+//
+// The tree is fixed (independent of the corpus seed): two levels below the
+// root, with human-readable names so the Table VI / VII case studies read
+// like the paper's. Randomness enters only through resource-to-category
+// assignment in the generator.
+#ifndef INCENTAG_SIM_TOPIC_HIERARCHY_H_
+#define INCENTAG_SIM_TOPIC_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace incentag {
+namespace sim {
+
+using CategoryId = uint32_t;
+
+struct Category {
+  std::string name;        // e.g. "media/video-editing"
+  std::string short_name;  // e.g. "video-editing"
+  CategoryId parent;       // own id for the root
+  int depth;               // root = 0
+  bool is_leaf;
+};
+
+class TopicHierarchy {
+ public:
+  // Builds the fixed two-level hierarchy (root -> areas -> leaves).
+  static TopicHierarchy BuildDefault();
+
+  size_t size() const { return categories_.size(); }
+  const Category& category(CategoryId id) const { return categories_[id]; }
+
+  // Ids of all leaf categories, in declaration order.
+  const std::vector<CategoryId>& leaves() const { return leaves_; }
+
+  // Finds a leaf by its short name ("physics", "java", ...).
+  util::Result<CategoryId> FindLeaf(std::string_view short_name) const;
+
+  // Wu-Palmer similarity: 2*depth(LCA) / (depth(a) + depth(b)); 1 when
+  // a == b. In the fixed tree: 1 for the same leaf, 0.5 for siblings under
+  // the same area, 0 across areas.
+  double Similarity(CategoryId a, CategoryId b) const;
+
+  // Lowest common ancestor of two categories.
+  CategoryId Lca(CategoryId a, CategoryId b) const;
+
+ private:
+  CategoryId AddCategory(std::string_view short_name, CategoryId parent,
+                         int depth, bool is_leaf);
+
+  std::vector<Category> categories_;
+  std::vector<CategoryId> leaves_;
+};
+
+}  // namespace sim
+}  // namespace incentag
+
+#endif  // INCENTAG_SIM_TOPIC_HIERARCHY_H_

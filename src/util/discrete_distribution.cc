@@ -1,0 +1,35 @@
+#include "src/util/discrete_distribution.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace incentag {
+namespace util {
+
+DiscreteDistribution::DiscreteDistribution(
+    const std::vector<double>& weights) {
+  cdf_.reserve(weights.size());
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total_ += w;
+    cdf_.push_back(total_);
+  }
+  assert(total_ > 0.0);
+}
+
+double DiscreteDistribution::Pmf(size_t i) const {
+  assert(i < cdf_.size());
+  double prev = (i == 0) ? 0.0 : cdf_[i - 1];
+  return (cdf_[i] - prev) / total_;
+}
+
+size_t DiscreteDistribution::Sample(Rng* rng) const {
+  assert(!cdf_.empty());
+  double target = rng->NextDouble() * total_;
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), target);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace util
+}  // namespace incentag

@@ -1,0 +1,137 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+
+#include "src/util/text.h"
+
+namespace incentag {
+namespace util {
+
+void FlagSet::AddInt(std::string name, int64_t* target, std::string help) {
+  flags_.push_back(
+      Flag{std::move(name), Kind::kInt, target, std::move(help)});
+}
+
+void FlagSet::AddDouble(std::string name, double* target, std::string help) {
+  flags_.push_back(
+      Flag{std::move(name), Kind::kDouble, target, std::move(help)});
+}
+
+void FlagSet::AddBool(std::string name, bool* target, std::string help) {
+  flags_.push_back(
+      Flag{std::move(name), Kind::kBool, target, std::move(help)});
+}
+
+void FlagSet::AddString(std::string name, std::string* target,
+                        std::string help) {
+  flags_.push_back(
+      Flag{std::move(name), Kind::kString, target, std::move(help)});
+}
+
+const FlagSet::Flag* FlagSet::Find(std::string_view name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagSet::SetValue(const Flag& flag, std::string_view value) {
+  switch (flag.kind) {
+    case Kind::kInt: {
+      Result<int64_t> v = ParseInt64(value);
+      if (!v.ok()) return v.status();
+      *static_cast<int64_t*>(flag.target) = v.value();
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      Result<double> v = ParseDouble(value);
+      if (!v.ok()) return v.status();
+      *static_cast<double*>(flag.target) = v.value();
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      std::string lower = AsciiToLower(value);
+      if (lower == "true" || lower == "1" || lower.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (lower == "false" || lower == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + flag.name + ": " +
+                                       std::string(value));
+      }
+      return Status::OK();
+    }
+    case Kind::kString: {
+      *static_cast<std::string*>(flag.target) = std::string(value);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected argument: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::string_view value;
+    bool has_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + std::string(name));
+    }
+    if (!has_value) {
+      // Bool flags may stand alone; everything else consumes the next arg.
+      if (flag->kind == Kind::kBool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for --" +
+                                       std::string(name));
+      }
+      value = argv[++i];
+    }
+    INCENTAG_RETURN_IF_ERROR(SetValue(*flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out;
+  for (const Flag& f : flags_) {
+    char line[256];
+    const char* kind = "";
+    switch (f.kind) {
+      case Kind::kInt:
+        kind = "int";
+        break;
+      case Kind::kDouble:
+        kind = "float";
+        break;
+      case Kind::kBool:
+        kind = "bool";
+        break;
+      case Kind::kString:
+        kind = "string";
+        break;
+    }
+    std::snprintf(line, sizeof(line), "  --%-18s (%s)  %s\n", f.name.c_str(),
+                  kind, f.help.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace incentag

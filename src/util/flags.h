@@ -1,0 +1,59 @@
+// Tiny command-line flag parser shared by examples and bench harnesses.
+//
+// Every experiment binary accepts `--name=value` / `--name value` overrides
+// (scale, seed, budget, ...). This is intentionally small: no registry, no
+// global state — a FlagSet is built in main(), parsed once, and queried.
+//
+// Example:
+//   incentag::util::FlagSet flags;
+//   int n = 800;
+//   flags.AddInt("n", &n, "number of resources");
+//   INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+#ifndef INCENTAG_UTIL_FLAGS_H_
+#define INCENTAG_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace incentag {
+namespace util {
+
+// A set of typed --key=value flags bound to caller-owned variables.
+class FlagSet {
+ public:
+  // Pointers must outlive Parse(). The bound variable keeps its value when
+  // the flag is absent, so initialise it with the default.
+  void AddInt(std::string name, int64_t* target, std::string help);
+  void AddDouble(std::string name, double* target, std::string help);
+  void AddBool(std::string name, bool* target, std::string help);
+  void AddString(std::string name, std::string* target, std::string help);
+
+  // Parses argv; returns InvalidArgument on unknown flags or bad values.
+  // Accepts "--k=v", "--k v", and bare "--k" for bool flags.
+  Status Parse(int argc, const char* const* argv);
+
+  // One line per flag: "--name (default) help".
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  Status SetValue(const Flag& flag, std::string_view value);
+  const Flag* Find(std::string_view name) const;
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_FLAGS_H_

@@ -1,0 +1,172 @@
+// IndexedHeap: a binary min-heap over a fixed id space with update-key.
+//
+// The FP and MU strategies (paper Algorithms 3 and 4) keep every resource in
+// a priority queue and re-prioritise the chosen resource after each completed
+// post task. A plain std::priority_queue would need lazy deletion (push a
+// fresh entry, skip stale ones on pop), growing unboundedly under adversarial
+// update patterns. IndexedHeap stores each id at most once and supports
+// Update() in O(log n) via a position index, which keeps MU's memory exactly
+// O(n) as Table V requires.
+//
+// Keys are ordered by (priority, id): ties break toward the smaller id so
+// that strategy behaviour is deterministic and unit-testable.
+#ifndef INCENTAG_UTIL_INDEXED_HEAP_H_
+#define INCENTAG_UTIL_INDEXED_HEAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace incentag {
+namespace util {
+
+// Min-heap keyed by double priority over ids in [0, capacity).
+class IndexedHeap {
+ public:
+  // Ids must be < capacity. The heap starts empty.
+  explicit IndexedHeap(size_t capacity)
+      : pos_(capacity, kAbsent) {}
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  size_t capacity() const { return pos_.size(); }
+
+  // True if `id` is currently in the heap.
+  bool Contains(size_t id) const {
+    assert(id < pos_.size());
+    return pos_[id] != kAbsent;
+  }
+
+  // Priority of `id`; requires Contains(id).
+  double PriorityOf(size_t id) const {
+    assert(Contains(id));
+    return heap_[pos_[id]].priority;
+  }
+
+  // Inserts `id` with `priority`; requires !Contains(id).
+  void Push(size_t id, double priority) {
+    assert(id < pos_.size());
+    assert(!Contains(id));
+    heap_.push_back(Entry{priority, id});
+    pos_[id] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+  }
+
+  // Changes the priority of `id` (up or down); requires Contains(id).
+  void Update(size_t id, double priority) {
+    assert(Contains(id));
+    size_t i = pos_[id];
+    double old = heap_[i].priority;
+    heap_[i].priority = priority;
+    if (Less(Entry{priority, id}, Entry{old, id})) {
+      SiftUp(i);
+    } else {
+      SiftDown(i);
+    }
+  }
+
+  // Inserts or updates.
+  void PushOrUpdate(size_t id, double priority) {
+    if (Contains(id)) {
+      Update(id, priority);
+    } else {
+      Push(id, priority);
+    }
+  }
+
+  // Id with the minimum (priority, id) pair; requires !empty().
+  size_t Top() const {
+    assert(!empty());
+    return heap_[0].id;
+  }
+
+  double TopPriority() const {
+    assert(!empty());
+    return heap_[0].priority;
+  }
+
+  // Removes and returns the top id.
+  size_t Pop() {
+    assert(!empty());
+    size_t id = heap_[0].id;
+    RemoveAt(0);
+    return id;
+  }
+
+  // Removes an arbitrary id; requires Contains(id).
+  void Remove(size_t id) {
+    assert(Contains(id));
+    RemoveAt(pos_[id]);
+  }
+
+  // Removes everything (capacity is unchanged).
+  void Clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kAbsent;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    double priority;
+    size_t id;
+  };
+
+  static constexpr size_t kAbsent = static_cast<size_t>(-1);
+
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.id < b.id;
+  }
+
+  void Place(size_t i, const Entry& e) {
+    heap_[i] = e;
+    pos_[e.id] = i;
+  }
+
+  void SiftUp(size_t i) {
+    Entry e = heap_[i];
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!Less(e, heap_[parent])) break;
+      Place(i, heap_[parent]);
+      i = parent;
+    }
+    Place(i, e);
+  }
+
+  void SiftDown(size_t i) {
+    Entry e = heap_[i];
+    const size_t n = heap_.size();
+    for (;;) {
+      size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && Less(heap_[child + 1], heap_[child])) ++child;
+      if (!Less(heap_[child], e)) break;
+      Place(i, heap_[child]);
+      i = child;
+    }
+    Place(i, e);
+  }
+
+  void RemoveAt(size_t i) {
+    pos_[heap_[i].id] = kAbsent;
+    Entry last = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      heap_[i] = last;
+      pos_[last.id] = i;
+      // The moved entry may need to travel either direction.
+      SiftUp(i);
+      SiftDown(pos_[last.id]);
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<size_t> pos_;  // id -> index in heap_, or kAbsent
+};
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_INDEXED_HEAP_H_

@@ -1,0 +1,62 @@
+// Minimal leveled logging for incentag.
+//
+// The library itself logs sparingly (benchmarks and examples print their own
+// reports). The macros write a single line to stderr and are safe to call
+// from any translation unit. Verbosity is controlled at runtime:
+//
+//   incentag::util::SetLogLevel(incentag::util::LogLevel::kWarning);
+#ifndef INCENTAG_UTIL_LOGGING_H_
+#define INCENTAG_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace incentag {
+namespace util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Sets the minimum level that will be printed. Thread-compatible: call it
+// before spawning workers.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: printf-style sink used by the macros below.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace util
+}  // namespace incentag
+
+#define INCENTAG_LOG_DEBUG(...)                                       \
+  ::incentag::util::LogMessage(::incentag::util::LogLevel::kDebug,    \
+                               __FILE__, __LINE__, __VA_ARGS__)
+#define INCENTAG_LOG_INFO(...)                                        \
+  ::incentag::util::LogMessage(::incentag::util::LogLevel::kInfo,     \
+                               __FILE__, __LINE__, __VA_ARGS__)
+#define INCENTAG_LOG_WARN(...)                                        \
+  ::incentag::util::LogMessage(::incentag::util::LogLevel::kWarning,  \
+                               __FILE__, __LINE__, __VA_ARGS__)
+#define INCENTAG_LOG_ERROR(...)                                       \
+  ::incentag::util::LogMessage(::incentag::util::LogLevel::kError,    \
+                               __FILE__, __LINE__, __VA_ARGS__)
+
+// Fatal check used for programmer errors (not data errors; those use
+// Status). Always on, also in release builds.
+#define INCENTAG_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::incentag::util::LogMessage(::incentag::util::LogLevel::kError,    \
+                                   __FILE__, __LINE__,                    \
+                                   "CHECK failed: %s", #cond);            \
+      ::std::abort();                                                     \
+    }                                                                     \
+  } while (false)
+
+#endif  // INCENTAG_UTIL_LOGGING_H_

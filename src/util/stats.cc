@@ -1,0 +1,112 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace incentag {
+namespace util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = xs[i] - mean_x;
+    double dy = ys[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+void LogHistogram::Add(uint64_t value) {
+  ++total_;
+  if (value == 0) {
+    ++zeros_;
+    return;
+  }
+  size_t bucket = 0;
+  uint64_t threshold = 10;
+  while (value >= threshold && bucket < 18) {
+    ++bucket;
+    threshold *= 10;
+  }
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+}
+
+uint64_t LogHistogram::BucketCount(size_t i) const {
+  return i < buckets_.size() ? buckets_[i] : 0;
+}
+
+std::string LogHistogram::ToString() const {
+  std::string out;
+  char line[128];
+  if (zeros_ > 0) {
+    std::snprintf(line, sizeof(line), "%12s: %llu\n", "0",
+                  static_cast<unsigned long long>(zeros_));
+    out += line;
+  }
+  uint64_t lo = 1;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t hi = lo * 10;
+    std::snprintf(line, sizeof(line), "%5llu..%-5llu: %llu\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi - 1),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+    lo = hi;
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace incentag

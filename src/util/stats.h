@@ -1,0 +1,71 @@
+// Summary statistics and histograms used by the benchmark harnesses.
+//
+// Figure 1(b) is a log-log histogram of posts-per-resource; the Section I
+// statistics are percentiles and shares over the same distribution; Figure
+// 7(b) reports the Pearson correlation of Eq. 15. These helpers implement
+// those aggregations once, with tests, so every bench prints from the same
+// code.
+#ifndef INCENTAG_UTIL_STATS_H_
+#define INCENTAG_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace incentag {
+namespace util {
+
+// Running mean / variance (Welford). Numerically stable for long streams.
+class RunningStats {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Pearson correlation coefficient (Eq. 15 of the paper). Returns 0 when
+// either series has zero variance or the series are shorter than 2.
+// Requires xs.size() == ys.size().
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+// p-th percentile (0 <= p <= 100) by linear interpolation on a copy of
+// `values`. Returns 0 for an empty vector.
+double Percentile(std::vector<double> values, double p);
+
+// Histogram with logarithmic (base-10) buckets starting at 1, mirroring the
+// axes of the paper's Figure 1(b): bucket i covers [10^i, 10^(i+1)).
+class LogHistogram {
+ public:
+  void Add(uint64_t value);
+  // Count of values in [10^i, 10^(i+1)); i < NumBuckets().
+  uint64_t BucketCount(size_t i) const;
+  size_t NumBuckets() const { return buckets_.size(); }
+  uint64_t total() const { return total_; }
+  uint64_t zeros() const { return zeros_; }
+
+  // Multi-line "10^i..10^(i+1): count" rendering for bench output.
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+  uint64_t zeros_ = 0;
+};
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_STATS_H_

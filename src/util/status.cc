@@ -1,0 +1,41 @@
+#include "src/util/status.h"
+
+namespace incentag {
+namespace util {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace util
+}  // namespace incentag

@@ -1,0 +1,146 @@
+// Status and Result<T>: exception-free error handling for incentag.
+//
+// The library follows the RocksDB/Arrow convention: fallible operations
+// return a Status (or a Result<T> when they also produce a value), and
+// callers are expected to check it. Exceptions are not used anywhere in
+// incentag.
+//
+// Example:
+//   incentag::util::Result<Dataset> ds = Dataset::Load(path);
+//   if (!ds.ok()) {
+//     LOG_ERROR("load failed: %s", ds.status().ToString().c_str());
+//     return ds.status();
+//   }
+//   Use(ds.value());
+#ifndef INCENTAG_UTIL_STATUS_H_
+#define INCENTAG_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace incentag {
+namespace util {
+
+// Machine-readable error category. Keep the list short; the human-readable
+// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kIoError,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap value type describing the outcome of an operation. OK statuses
+// carry no allocation; error statuses carry a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" for OK statuses, otherwise "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// A Status plus a value of type T when (and only when) the status is OK.
+// Accessing value() on a non-OK result aborts in debug builds and is
+// undefined in release builds; always check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace incentag
+
+// Propagates an error Status from an expression, RocksDB-style:
+//   INCENTAG_RETURN_IF_ERROR(DoThing());
+#define INCENTAG_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::incentag::util::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+#endif  // INCENTAG_UTIL_STATUS_H_

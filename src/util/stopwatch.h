@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for the runtime figures (paper Figures 6(g), 6(h)).
+#ifndef INCENTAG_UTIL_STOPWATCH_H_
+#define INCENTAG_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace incentag {
+namespace util {
+
+// Starts running on construction; Elapsed* report time since construction
+// or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_STOPWATCH_H_

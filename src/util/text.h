@@ -1,0 +1,49 @@
+// Small text-processing helpers for the dataset pipeline.
+//
+// The del.icio.us-style dump format (src/sim/delicious_format.h) is a plain
+// tab/space separated text format; these helpers keep the parser free of
+// locale-dependent or allocating std machinery.
+#ifndef INCENTAG_UTIL_TEXT_H_
+#define INCENTAG_UTIL_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace incentag {
+namespace util {
+
+// Removes ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+// Splits on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+// Parses a base-10 signed integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+// Parses a base-10 unsigned integer; the whole string must be consumed.
+Result<uint64_t> ParseUint64(std::string_view s);
+
+// Parses a floating-point number; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+// Lower-cases ASCII letters in place; returns the argument for chaining.
+std::string AsciiToLower(std::string_view s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_TEXT_H_

@@ -1,0 +1,45 @@
+#include "src/util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace incentag {
+namespace util {
+
+ZipfSampler::ZipfSampler(size_t n, double s) : s_(s), total_(0.0) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  cdf_.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    total_ += std::pow(static_cast<double>(k + 1), -s);
+    cdf_.push_back(total_);
+  }
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double target = rng->NextDouble() * total_;
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), target);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t k) const {
+  assert(k < cdf_.size());
+  double prev = (k == 0) ? 0.0 : cdf_[k - 1];
+  return (cdf_[k] - prev) / total_;
+}
+
+std::vector<double> ZipfWeights(size_t n, double s) {
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    w[k] = std::pow(static_cast<double>(k + 1), -s);
+    total += w[k];
+  }
+  for (double& x : w) x /= total;
+  return w;
+}
+
+}  // namespace util
+}  // namespace incentag

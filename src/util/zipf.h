@@ -1,0 +1,49 @@
+// Bounded Zipf (zeta) distribution sampler.
+//
+// The del.icio.us post-per-resource distribution in the paper's Figure 1(b)
+// is a power law spanning five orders of magnitude; the simulator uses Zipf
+// draws for resource popularity, post sizes, and tag profile shapes.
+//
+// Sampling uses the classic inverse-CDF over precomputed cumulative weights
+// (O(log n) per draw), which is exact and fast enough for corpus-scale n.
+#ifndef INCENTAG_UTIL_ZIPF_H_
+#define INCENTAG_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace incentag {
+namespace util {
+
+// Draws values in [0, n) with P(k) proportional to 1 / (k + 1)^s.
+class ZipfSampler {
+ public:
+  // n must be >= 1; s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  // Number of distinct values.
+  size_t size() const { return cdf_.size(); }
+  // The skew exponent.
+  double exponent() const { return s_; }
+
+  // Samples one value in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  // Probability mass of value k.
+  double Pmf(size_t k) const;
+
+ private:
+  double s_;
+  double total_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == total_
+};
+
+// Convenience: the normalised Zipf weight vector {1/(k+1)^s} / Z, length n.
+std::vector<double> ZipfWeights(size_t n, double s);
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_ZIPF_H_

@@ -1,0 +1,62 @@
+#include "src/core/tag_vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace core {
+namespace {
+
+TEST(TagVocabularyTest, InternAssignsSequentialIds) {
+  TagVocabulary vocab;
+  EXPECT_EQ(vocab.Intern("google"), 0u);
+  EXPECT_EQ(vocab.Intern("earth"), 1u);
+  EXPECT_EQ(vocab.Intern("maps"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(TagVocabularyTest, InternIsIdempotent) {
+  TagVocabulary vocab;
+  TagId a = vocab.Intern("physics");
+  TagId b = vocab.Intern("physics");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(TagVocabularyTest, NameRoundTrips) {
+  TagVocabulary vocab;
+  TagId id = vocab.Intern("navigation");
+  EXPECT_EQ(vocab.Name(id), "navigation");
+}
+
+TEST(TagVocabularyTest, FindExistingAndMissing) {
+  TagVocabulary vocab;
+  vocab.Intern("travel");
+  auto found = vocab.Find("travel");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 0u);
+  auto missing = vocab.Find("weather");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(TagVocabularyTest, CaseSensitive) {
+  TagVocabulary vocab;
+  TagId lower = vocab.Intern("java");
+  TagId upper = vocab.Intern("Java");
+  EXPECT_NE(lower, upper);
+}
+
+TEST(TagVocabularyTest, ManyTagsKeepStableIds) {
+  TagVocabulary vocab;
+  for (int i = 0; i < 1000; ++i) {
+    vocab.Intern("tag-" + std::to_string(i));
+  }
+  EXPECT_EQ(vocab.size(), 1000u);
+  EXPECT_EQ(vocab.Find("tag-0").value(), 0u);
+  EXPECT_EQ(vocab.Find("tag-999").value(), 999u);
+  EXPECT_EQ(vocab.Name(500), "tag-500");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace incentag

@@ -1,0 +1,36 @@
+// Compile-and-use smoke test for the umbrella header: a downstream user
+// should be able to include src/incentag.h alone and reach the whole API.
+#include "src/incentag.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeaderTest, CoreTypesAreReachable) {
+  incentag::core::TagCounts counts;
+  counts.AddPost(incentag::core::Post::FromTags({1, 2}));
+  EXPECT_EQ(counts.posts(), 1);
+
+  incentag::core::MaTracker ma(3);
+  ma.AddAdjacentSimilarity(0.5);
+  EXPECT_FALSE(ma.HasScore());
+
+  incentag::core::CostModel costs =
+      incentag::core::CostModel::Uniform(2);
+  EXPECT_EQ(costs.cost(0), 1);
+}
+
+TEST(UmbrellaHeaderTest, SimAndIrAreReachable) {
+  incentag::sim::TopicHierarchy tree =
+      incentag::sim::TopicHierarchy::BuildDefault();
+  EXPECT_GT(tree.leaves().size(), 0u);
+
+  std::vector<double> xs = {1, 2, 3};
+  std::vector<double> ys = {1, 2, 3};
+  EXPECT_NEAR(incentag::ir::KendallTau(xs, ys), 1.0, 1e-12);
+
+  incentag::util::Status status = incentag::util::Status::OK();
+  EXPECT_TRUE(status.ok());
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Property sweep over (strategy x seed x budget): engine-level invariants
+// that must hold for every practical strategy on any dataset.
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/allocation.h"
+#include "src/core/strategy_fc.h"
+#include "src/core/strategy_fp.h"
+#include "src/core/strategy_fpmu.h"
+#include "src/core/strategy_mu.h"
+#include "src/core/strategy_rr.h"
+#include "src/sim/crowd.h"
+#include "src/sim/dataset_prep.h"
+#include "src/sim/generator.h"
+
+namespace incentag {
+namespace {
+
+using Param = std::tuple<std::string, uint64_t, int64_t>;
+
+class StrategyPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static std::unique_ptr<sim::Corpus> MakeCorpus(uint64_t seed) {
+    sim::CorpusConfig config;
+    config.num_resources = 80;
+    config.seed = seed;
+    config.year_posts_min = 40;
+    config.year_posts_max = 500;
+    auto corpus = sim::Corpus::Generate(config);
+    EXPECT_TRUE(corpus.ok());
+    return std::make_unique<sim::Corpus>(std::move(corpus).value());
+  }
+
+  static std::unique_ptr<core::Strategy> MakeStrategy(
+      const std::string& name, sim::CrowdModel* crowd) {
+    if (name == "FC") {
+      return std::make_unique<core::FreeChoiceStrategy>(
+          crowd->MakePicker());
+    }
+    if (name == "RR") return std::make_unique<core::RoundRobinStrategy>();
+    if (name == "FP") return std::make_unique<core::FewestPostsStrategy>();
+    if (name == "MU") {
+      return std::make_unique<core::MostUnstableStrategy>();
+    }
+    return std::make_unique<core::HybridFpMuStrategy>();
+  }
+};
+
+TEST_P(StrategyPropertyTest, EngineInvariantsHold) {
+  const auto& [name, seed, budget] = GetParam();
+  auto corpus = MakeCorpus(seed);
+  auto prep = sim::PrepareFromCorpus(*corpus, sim::PrepConfig{});
+  ASSERT_TRUE(prep.ok());
+  const sim::PreparedDataset ds = std::move(prep).value();
+
+  core::EngineOptions options;
+  options.budget = budget;
+  options.omega = 5;
+  options.checkpoints = {0, budget / 2, budget};
+  core::AllocationEngine engine(options, &ds.initial_posts,
+                                &ds.references);
+  sim::CrowdModel crowd(ds.popularity, 1.0, seed);
+  auto strategy = MakeStrategy(name, &crowd);
+  core::VectorPostStream stream = ds.MakeStream();
+  auto report = engine.Run(strategy.get(), &stream);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const core::RunReport& r = report.value();
+
+  // Budget accounting: allocation sums to spent; spent <= budget; spent ==
+  // budget unless the run stopped early.
+  int64_t total = 0;
+  for (int64_t x : r.allocation) {
+    EXPECT_GE(x, 0);
+    total += x;
+  }
+  EXPECT_EQ(total, r.budget_spent);
+  EXPECT_LE(r.budget_spent, budget);
+  if (!r.stopped_early) {
+    EXPECT_EQ(r.budget_spent, budget);
+  }
+
+  // Metric sanity at every checkpoint.
+  int64_t prev_budget = -1;
+  int64_t prev_wasted = 0;
+  for (const core::AllocationMetrics& m : r.checkpoints) {
+    EXPECT_GT(m.budget_used, prev_budget);
+    prev_budget = m.budget_used;
+    EXPECT_GE(m.avg_quality, 0.0);
+    EXPECT_LE(m.avg_quality, 1.0 + 1e-9);
+    EXPECT_GE(m.wasted_posts, prev_wasted);  // waste never un-happens
+    prev_wasted = m.wasted_posts;
+    EXPECT_GE(m.under_tagged, 0);
+    EXPECT_LE(m.under_tagged, static_cast<int64_t>(ds.size()));
+    EXPECT_GE(m.over_tagged, 0);
+    EXPECT_LE(m.over_tagged, static_cast<int64_t>(ds.size()));
+  }
+
+  // Over-tagged count never decreases over a run (posts only accumulate).
+  for (size_t c = 1; c < r.checkpoints.size(); ++c) {
+    EXPECT_GE(r.checkpoints[c].over_tagged,
+              r.checkpoints[c - 1].over_tagged);
+    EXPECT_LE(r.checkpoints[c].under_tagged,
+              r.checkpoints[c - 1].under_tagged);
+  }
+
+  // Determinism: the same configuration reproduces the identical report.
+  sim::CrowdModel crowd2(ds.popularity, 1.0, seed);
+  auto strategy2 = MakeStrategy(name, &crowd2);
+  core::VectorPostStream stream2 = ds.MakeStream();
+  auto report2 = engine.Run(strategy2.get(), &stream2);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(report2.value().allocation, r.allocation);
+  EXPECT_DOUBLE_EQ(report2.value().final_metrics.avg_quality,
+                   r.final_metrics.avg_quality);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrategyPropertyTest,
+    ::testing::Combine(
+        ::testing::Values("FC", "RR", "FP", "MU", "FP-MU"),
+        ::testing::Values(3u, 77u),
+        ::testing::Values(int64_t{100}, int64_t{600})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param)) +
+             "_b" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace incentag

@@ -1,0 +1,97 @@
+#include "src/ir/rank_correlation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace incentag {
+namespace ir {
+namespace {
+
+TEST(KendallTauTest, PerfectAgreementIsOne) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(KendallTau(xs, ys), 1.0, 1e-12);
+}
+
+TEST(KendallTauTest, PerfectDisagreementIsMinusOne) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {50, 40, 30, 20, 10};
+  EXPECT_NEAR(KendallTau(xs, ys), -1.0, 1e-12);
+}
+
+TEST(KendallTauTest, KnownSmallExample) {
+  // One discordant pair out of three: tau = (2 - 1) / 3.
+  std::vector<double> xs = {1, 2, 3};
+  std::vector<double> ys = {1, 3, 2};
+  EXPECT_NEAR(KendallTau(xs, ys), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, DegenerateInputsAreZero) {
+  EXPECT_EQ(KendallTau({}, {}), 0.0);
+  EXPECT_EQ(KendallTau({1.0}, {1.0}), 0.0);
+  EXPECT_EQ(KendallTau({1, 1, 1}, {1, 2, 3}), 0.0);  // constant series
+}
+
+TEST(KendallTauTest, TauBHandlesTies) {
+  // scipy.stats.kendalltau([1,2,2,3],[1,2,3,4]) = 0.9128709291752769.
+  std::vector<double> xs = {1, 2, 2, 3};
+  std::vector<double> ys = {1, 2, 3, 4};
+  EXPECT_NEAR(KendallTau(xs, ys), 0.9128709291752769, 1e-12);
+}
+
+TEST(KendallTauTest, SymmetricInArguments) {
+  util::Rng rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(static_cast<double>(rng.NextBounded(10)));
+    ys.push_back(static_cast<double>(rng.NextBounded(10)));
+  }
+  EXPECT_NEAR(KendallTau(xs, ys), KendallTau(ys, xs), 1e-12);
+}
+
+// Property: the O(m log m) implementation equals the brute-force tau-b on
+// random tied data across seeds and sizes.
+class KendallEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(KendallEquivalenceTest, FastMatchesBrute) {
+  const int n = std::get<0>(GetParam());
+  util::Rng rng(std::get<1>(GetParam()));
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < n; ++i) {
+    // Small value universe forces many ties in both series.
+    xs.push_back(static_cast<double>(rng.NextBounded(6)));
+    ys.push_back(static_cast<double>(rng.NextBounded(6)));
+  }
+  EXPECT_NEAR(KendallTau(xs, ys), KendallTauBrute(xs, ys), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, KendallEquivalenceTest,
+    ::testing::Combine(::testing::Values(2, 3, 10, 64, 257),
+                       ::testing::Values(1u, 7u, 99u)));
+
+TEST(KendallTauTest, LargeInputRuns) {
+  // Sanity check that the merge-sort path handles non-power-of-two sizes.
+  util::Rng rng(11);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 10001; ++i) {
+    double v = rng.NextDouble();
+    xs.push_back(v);
+    ys.push_back(v + 0.1 * rng.NextDouble());  // strongly correlated
+  }
+  double tau = KendallTau(xs, ys);
+  EXPECT_GT(tau, 0.5);
+  EXPECT_LE(tau, 1.0);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace incentag

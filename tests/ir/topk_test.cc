@@ -1,0 +1,66 @@
+#include "src/ir/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/types.h"
+#include "src/ir/similarity.h"
+
+namespace incentag {
+namespace ir {
+namespace {
+
+std::vector<core::RfdVector> MakeRfds() {
+  // Subject 0 = pure tag 1. Neighbours at graded similarity.
+  std::vector<core::RfdVector> rfds;
+  rfds.push_back(core::RfdVector::FromWeights({{1, 1.0}}));           // 0
+  rfds.push_back(core::RfdVector::FromWeights({{1, 0.9}, {2, 0.1}}));  // 1
+  rfds.push_back(core::RfdVector::FromWeights({{1, 0.5}, {2, 0.5}}));  // 2
+  rfds.push_back(core::RfdVector::FromWeights({{2, 1.0}}));           // 3
+  rfds.push_back(core::RfdVector::FromWeights({{1, 0.7}, {3, 0.3}}));  // 4
+  return rfds;
+}
+
+TEST(TopKTest, RanksByDescendingSimilarity) {
+  std::vector<ScoredResource> top = TopKSimilar(MakeRfds(), 0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[1].id, 4u);
+  EXPECT_EQ(top[2].id, 2u);
+  EXPECT_GE(top[0].similarity, top[1].similarity);
+  EXPECT_GE(top[1].similarity, top[2].similarity);
+}
+
+TEST(TopKTest, ExcludesTheSubject) {
+  std::vector<ScoredResource> top = TopKSimilar(MakeRfds(), 0, 10);
+  EXPECT_EQ(top.size(), 4u);  // k clamped to n-1
+  for (const ScoredResource& r : top) {
+    EXPECT_NE(r.id, 0u);
+  }
+}
+
+TEST(TopKTest, KZeroIsEmpty) {
+  EXPECT_TRUE(TopKSimilar(MakeRfds(), 0, 0).empty());
+}
+
+TEST(TopKTest, TiesBreakBySmallerId) {
+  std::vector<core::RfdVector> rfds;
+  rfds.push_back(core::RfdVector::FromWeights({{1, 1.0}}));
+  rfds.push_back(core::RfdVector::FromWeights({{2, 1.0}}));  // sim 0
+  rfds.push_back(core::RfdVector::FromWeights({{3, 1.0}}));  // sim 0
+  std::vector<ScoredResource> top = TopKSimilar(rfds, 0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[1].id, 2u);
+}
+
+TEST(OverlapCountTest, CountsSharedIds) {
+  std::vector<ScoredResource> a = {{1, 0.9}, {2, 0.8}, {3, 0.7}};
+  std::vector<ScoredResource> b = {{3, 0.5}, {4, 0.4}, {1, 0.3}};
+  EXPECT_EQ(OverlapCount(a, b), 2u);
+  EXPECT_EQ(OverlapCount(a, {}), 0u);
+  EXPECT_EQ(OverlapCount(a, a), 3u);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace incentag

@@ -1,0 +1,88 @@
+#include "src/sim/corpus_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/dataset_prep.h"
+#include "src/sim/generator.h"
+
+namespace incentag {
+namespace sim {
+namespace {
+
+class CorpusStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusConfig config;
+    config.num_resources = 40;
+    config.seed = 5;
+    auto corpus = Corpus::Generate(config);
+    ASSERT_TRUE(corpus.ok());
+    corpus_ = std::make_unique<Corpus>(std::move(corpus).value());
+    auto prep = PrepareFromCorpus(*corpus_, PrepConfig{});
+    ASSERT_TRUE(prep.ok());
+    dataset_ = std::make_unique<PreparedDataset>(std::move(prep).value());
+  }
+
+  CorpusPostStream MakeStream() {
+    std::vector<int64_t> offsets(dataset_->size());
+    for (size_t i = 0; i < dataset_->size(); ++i) {
+      offsets[i] = static_cast<int64_t>(dataset_->initial_posts[i].size());
+    }
+    return CorpusPostStream(corpus_.get(), dataset_->source_ids, offsets);
+  }
+
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<PreparedDataset> dataset_;
+};
+
+TEST_F(CorpusStreamTest, NeverExhausts) {
+  CorpusPostStream stream = MakeStream();
+  // Pull far beyond the year length of the tail resources.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(stream.HasNext(0));
+    ASSERT_FALSE(stream.Next(0).empty());
+  }
+  EXPECT_EQ(stream.Consumed(0), 500);
+}
+
+TEST_F(CorpusStreamTest, MatchesVectorStreamWithinTheYear) {
+  CorpusPostStream lazy = MakeStream();
+  core::VectorPostStream materialised = dataset_->MakeStream();
+  for (size_t i = 0; i < std::min<size_t>(dataset_->size(), 5); ++i) {
+    const auto id = static_cast<core::ResourceId>(i);
+    int64_t steps = std::min<int64_t>(
+        10, static_cast<int64_t>(dataset_->future_posts[i].size()));
+    for (int64_t k = 0; k < steps; ++k) {
+      ASSERT_EQ(lazy.Next(id), materialised.Next(id)) << "i=" << i;
+    }
+  }
+}
+
+TEST_F(CorpusStreamTest, ContinuesDeterministicallyBeyondTheYear) {
+  CorpusPostStream a = MakeStream();
+  CorpusPostStream b = MakeStream();
+  for (int k = 0; k < 300; ++k) {
+    ASSERT_EQ(a.Next(1), b.Next(1));
+  }
+}
+
+TEST_F(CorpusStreamTest, IndependentCursorsPerResource) {
+  CorpusPostStream stream = MakeStream();
+  stream.Next(0);
+  stream.Next(0);
+  EXPECT_EQ(stream.Consumed(0), 2);
+  EXPECT_EQ(stream.Consumed(1), 0);
+}
+
+TEST_F(CorpusStreamTest, ReferenceValidUntilNextCallSameResource) {
+  CorpusPostStream stream = MakeStream();
+  const core::Post& first = stream.Next(0);
+  core::Post copy = first;
+  // A different resource's Next must not invalidate resource 0's ref.
+  stream.Next(1);
+  EXPECT_EQ(first, copy);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace incentag

@@ -1,0 +1,63 @@
+#include "src/sim/crowd.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace sim {
+namespace {
+
+TEST(CrowdModelTest, PicksFollowPopularity) {
+  std::vector<double> popularity = {8.0, 1.0, 1.0};
+  CrowdModel crowd(popularity, /*alpha=*/1.0, /*seed=*/5);
+  std::vector<int> counts(3, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ++counts[crowd.Pick()];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, 0.8, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / trials, 0.1, 0.02);
+}
+
+TEST(CrowdModelTest, AlphaSharpensTheHead) {
+  std::vector<double> popularity = {4.0, 1.0};
+  CrowdModel flat(popularity, 1.0, 7);
+  CrowdModel sharp(popularity, 2.0, 7);
+  int flat_head = 0;
+  int sharp_head = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (flat.Pick() == 0) ++flat_head;
+    if (sharp.Pick() == 0) ++sharp_head;
+  }
+  // alpha=1: 80% head; alpha=2: 16/17 ~ 94% head.
+  EXPECT_GT(sharp_head, flat_head);
+  EXPECT_NEAR(static_cast<double>(sharp_head) / trials, 16.0 / 17.0, 0.02);
+}
+
+TEST(CrowdModelTest, ZeroPopularityNeverPicked) {
+  std::vector<double> popularity = {1.0, 0.0, 1.0};
+  CrowdModel crowd(popularity, 1.0, 9);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(crowd.Pick(), 1u);
+  }
+}
+
+TEST(CrowdModelTest, DeterministicGivenSeed) {
+  std::vector<double> popularity = {1.0, 2.0, 3.0};
+  CrowdModel a(popularity, 1.0, 42);
+  CrowdModel b(popularity, 1.0, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Pick(), b.Pick());
+  }
+}
+
+TEST(CrowdModelTest, MakePickerDelegates) {
+  std::vector<double> popularity = {1.0};
+  CrowdModel crowd(popularity, 1.0, 1);
+  auto picker = crowd.MakePicker();
+  EXPECT_EQ(picker(), 0u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace incentag

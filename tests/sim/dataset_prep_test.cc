@@ -1,0 +1,217 @@
+#include "src/sim/dataset_prep.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/stability.h"
+#include "src/sim/generator.h"
+
+namespace incentag {
+namespace sim {
+namespace {
+
+CorpusConfig TestCorpusConfig() {
+  CorpusConfig config;
+  config.num_resources = 80;
+  config.seed = 11;
+  config.year_posts_min = 60;
+  config.year_posts_max = 600;
+  return config;
+}
+
+PrepConfig TestPrepConfig() {
+  PrepConfig config;
+  config.stability = core::StabilityParams{10, 0.99};
+  config.january_fraction = 0.25;
+  return config;
+}
+
+class DatasetPrepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto corpus = Corpus::Generate(TestCorpusConfig());
+    ASSERT_TRUE(corpus.ok());
+    corpus_ = std::make_unique<Corpus>(std::move(corpus).value());
+  }
+
+  std::unique_ptr<Corpus> corpus_;
+};
+
+TEST_F(DatasetPrepTest, VectorsAreIndexAligned) {
+  auto prep = PrepareFromCorpus(*corpus_, TestPrepConfig());
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+  const PreparedDataset& ds = prep.value();
+  EXPECT_GT(ds.size(), 0u);
+  EXPECT_EQ(ds.initial_posts.size(), ds.size());
+  EXPECT_EQ(ds.future_posts.size(), ds.size());
+  EXPECT_EQ(ds.references.size(), ds.size());
+  EXPECT_EQ(ds.year_length.size(), ds.size());
+  EXPECT_EQ(ds.popularity.size(), ds.size());
+  EXPECT_EQ(ds.urls.size(), ds.size());
+  EXPECT_EQ(ds.source_ids.size(), ds.size());
+  EXPECT_EQ(ds.scanned, 80);
+  EXPECT_EQ(ds.scanned, static_cast<int64_t>(ds.size()) + ds.dropped_unstable);
+}
+
+TEST_F(DatasetPrepTest, SplitsPreserveTheYearSequence) {
+  auto prep = PrepareFromCorpus(*corpus_, TestPrepConfig());
+  ASSERT_TRUE(prep.ok());
+  const PreparedDataset& ds = prep.value();
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const int64_t init = static_cast<int64_t>(ds.initial_posts[i].size());
+    const int64_t total =
+        init + static_cast<int64_t>(ds.future_posts[i].size());
+    EXPECT_EQ(total, ds.year_length[i]);
+    EXPECT_GE(init, 1);
+    EXPECT_LT(init, ds.year_length[i]);  // future is never empty
+    // Prefix and suffix are exactly the corpus posts.
+    const core::ResourceId src = ds.source_ids[i];
+    for (int64_t k = 0; k < init; ++k) {
+      ASSERT_EQ(ds.initial_posts[i][static_cast<size_t>(k)],
+                corpus_->SamplePost(src, k));
+    }
+    for (size_t k = 0; k < std::min<size_t>(ds.future_posts[i].size(), 5);
+         ++k) {
+      ASSERT_EQ(ds.future_posts[i][k],
+                corpus_->SamplePost(src, init + static_cast<int64_t>(k)));
+    }
+  }
+}
+
+TEST_F(DatasetPrepTest, ReferencesAreTrueStablePoints) {
+  PrepConfig config = TestPrepConfig();
+  auto prep = PrepareFromCorpus(*corpus_, config);
+  ASSERT_TRUE(prep.ok());
+  const PreparedDataset& ds = prep.value();
+  for (size_t i = 0; i < std::min<size_t>(ds.size(), 10); ++i) {
+    const core::ResourceId src = ds.source_ids[i];
+    core::StabilityDetector detector(config.stability);
+    int64_t k = 0;
+    while (!detector.IsStable() && k < ds.year_length[i]) {
+      detector.AddPost(corpus_->SamplePost(src, k++));
+    }
+    ASSERT_TRUE(detector.IsStable());
+    EXPECT_EQ(detector.stable_point(), ds.references[i].stable_point);
+    EXPECT_LE(ds.references[i].stable_point, ds.year_length[i]);
+  }
+}
+
+TEST_F(DatasetPrepTest, StricterTauDropsMoreResources) {
+  PrepConfig loose = TestPrepConfig();
+  PrepConfig strict = TestPrepConfig();
+  strict.stability.tau = 0.9999;
+  auto loose_prep = PrepareFromCorpus(*corpus_, loose);
+  auto strict_prep = PrepareFromCorpus(*corpus_, strict);
+  ASSERT_TRUE(loose_prep.ok());
+  if (strict_prep.ok()) {
+    EXPECT_LE(strict_prep.value().size(), loose_prep.value().size());
+  }
+}
+
+TEST_F(DatasetPrepTest, MaxKeepLimitsTheDataset) {
+  PrepConfig config = TestPrepConfig();
+  config.max_keep = 5;
+  auto prep = PrepareFromCorpus(*corpus_, config);
+  ASSERT_TRUE(prep.ok());
+  EXPECT_EQ(prep.value().size(), 5u);
+}
+
+TEST_F(DatasetPrepTest, JanuaryCutTracksPopularity) {
+  auto prep = PrepareFromCorpus(*corpus_, TestPrepConfig());
+  ASSERT_TRUE(prep.ok());
+  const PreparedDataset& ds = prep.value();
+  // Find the largest- and smallest-year resources; the former must start
+  // with more initial posts (the paper's "very unevenly distributed").
+  size_t big = 0;
+  size_t small = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (ds.year_length[i] > ds.year_length[big]) big = i;
+    if (ds.year_length[i] < ds.year_length[small]) small = i;
+  }
+  if (ds.year_length[big] > 4 * ds.year_length[small]) {
+    EXPECT_GT(ds.initial_posts[big].size(),
+              ds.initial_posts[small].size());
+  }
+}
+
+TEST_F(DatasetPrepTest, RejectsBadJanuaryFraction) {
+  PrepConfig config = TestPrepConfig();
+  config.january_fraction = 0.0;
+  EXPECT_FALSE(PrepareFromCorpus(*corpus_, config).ok());
+  config.january_fraction = 1.0;
+  EXPECT_FALSE(PrepareFromCorpus(*corpus_, config).ok());
+}
+
+TEST_F(DatasetPrepTest, MakeStreamReplaysFuturePosts) {
+  auto prep = PrepareFromCorpus(*corpus_, TestPrepConfig());
+  ASSERT_TRUE(prep.ok());
+  const PreparedDataset& ds = prep.value();
+  core::VectorPostStream stream = ds.MakeStream();
+  ASSERT_EQ(stream.num_resources(), ds.size());
+  ASSERT_TRUE(stream.HasNext(0));
+  EXPECT_EQ(stream.Next(0), ds.future_posts[0][0]);
+  // A second stream starts fresh.
+  core::VectorPostStream stream2 = ds.MakeStream();
+  EXPECT_EQ(stream2.Consumed(0), 0);
+}
+
+TEST_F(DatasetPrepTest, ExtendFutureGrowsSupply) {
+  auto prep = PrepareFromCorpus(*corpus_, TestPrepConfig());
+  ASSERT_TRUE(prep.ok());
+  PreparedDataset ds = std::move(prep).value();
+  const size_t before = ds.future_posts[0].size();
+  ASSERT_TRUE(ExtendFuture(*corpus_, 2.0, &ds).ok());
+  EXPECT_GT(ds.future_posts[0].size(), before);
+  // Extended stream still agrees with the corpus sampler.
+  const core::ResourceId src = ds.source_ids[0];
+  const int64_t init = static_cast<int64_t>(ds.initial_posts[0].size());
+  EXPECT_EQ(ds.future_posts[0][0], corpus_->SamplePost(src, init));
+}
+
+TEST_F(DatasetPrepTest, ExtendFutureRejectsBadMultiplier) {
+  auto prep = PrepareFromCorpus(*corpus_, TestPrepConfig());
+  ASSERT_TRUE(prep.ok());
+  PreparedDataset ds = std::move(prep).value();
+  EXPECT_FALSE(ExtendFuture(*corpus_, 0.5, &ds).ok());
+}
+
+TEST(DatasetPrepSequencesTest, WorksOnMaterialisedSequences) {
+  // Stable sequences: repeated identical posts.
+  std::vector<core::PostSequence> year(3);
+  for (int i = 0; i < 40; ++i) {
+    year[0].push_back(core::Post::FromTags({1, 2}));
+    year[1].push_back(core::Post::FromTags({3}));
+  }
+  // Resource 2 never stabilises (too short).
+  year[2].push_back(core::Post::FromTags({4}));
+
+  PrepConfig config;
+  config.stability = core::StabilityParams{5, 0.99};
+  auto prep = PrepareFromSequences(year, {"a", "b", "c"}, config);
+  ASSERT_TRUE(prep.ok());
+  EXPECT_EQ(prep.value().size(), 2u);
+  EXPECT_EQ(prep.value().dropped_unstable, 1);
+  EXPECT_EQ(prep.value().urls[0], "a");
+  // Popularity defaults to year volume.
+  EXPECT_DOUBLE_EQ(prep.value().popularity[0], 40.0);
+}
+
+TEST(DatasetPrepSequencesTest, AllUnstableFails) {
+  std::vector<core::PostSequence> year(1);
+  year[0].push_back(core::Post::FromTags({1}));
+  PrepConfig config;
+  auto prep = PrepareFromSequences(year, {}, config);
+  EXPECT_FALSE(prep.ok());
+  EXPECT_EQ(prep.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetPrepSequencesTest, MismatchedUrlsRejected) {
+  std::vector<core::PostSequence> year(2);
+  PrepConfig config;
+  auto prep = PrepareFromSequences(year, {"only-one"}, config);
+  EXPECT_FALSE(prep.ok());
+  EXPECT_EQ(prep.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace incentag

@@ -1,0 +1,102 @@
+#include "src/sim/preference_crowd.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace sim {
+namespace {
+
+// Three resources: two in area 1 (popular), one in area 2 (niche).
+struct CrowdSetup {
+  std::vector<CategoryId> areas = {1, 1, 2};
+  std::vector<double> popularity = {6.0, 2.0, 2.0};
+};
+
+TEST(PreferenceCrowdTest, CommunitySharesFollowAreaPopularity) {
+  CrowdSetup s;
+  PreferenceCrowd crowd(s.areas, s.popularity, PreferenceCrowd::Options{},
+                        7);
+  EXPECT_NEAR(crowd.CommunityShare(1), 0.8, 1e-12);
+  EXPECT_NEAR(crowd.CommunityShare(2), 0.2, 1e-12);
+  EXPECT_EQ(crowd.CommunityShare(99), 0.0);
+}
+
+TEST(PreferenceCrowdTest, AcceptanceBlendsFocusAndCommunity) {
+  CrowdSetup s;
+  PreferenceCrowd::Options options;
+  options.focus = 0.8;
+  PreferenceCrowd crowd(s.areas, s.popularity, options, 7);
+  // Area-1 resources: 0.8 * 0.8 + 0.2 = 0.84; area-2: 0.8 * 0.2 + 0.2.
+  EXPECT_NEAR(crowd.AcceptanceProbability(0), 0.84, 1e-12);
+  EXPECT_NEAR(crowd.AcceptanceProbability(2), 0.36, 1e-12);
+}
+
+TEST(PreferenceCrowdTest, ZeroFocusIsPlainPopularity) {
+  CrowdSetup s;
+  PreferenceCrowd::Options options;
+  options.focus = 0.0;
+  PreferenceCrowd crowd(s.areas, s.popularity, options, 7);
+  EXPECT_NEAR(crowd.AcceptanceProbability(0), 1.0, 1e-12);
+  EXPECT_NEAR(crowd.AcceptanceProbability(2), 1.0, 1e-12);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[crowd.Pick()];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.6, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.2, 0.02);
+}
+
+TEST(PreferenceCrowdTest, FocusConcentratesOnPopularAreas) {
+  CrowdSetup s;
+  PreferenceCrowd::Options focused;
+  focused.focus = 1.0;
+  PreferenceCrowd crowd(s.areas, s.popularity, focused, 7);
+  std::vector<int> counts(3, 0);
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) ++counts[crowd.Pick()];
+  // Area 1 receives its 0.8 community share, split 6:2 internally.
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.8 * 0.75, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.8 * 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.2, 0.02);
+}
+
+TEST(PreferenceCrowdTest, DeterministicGivenSeed) {
+  CrowdSetup s;
+  PreferenceCrowd a(s.areas, s.popularity, PreferenceCrowd::Options{}, 42);
+  PreferenceCrowd b(s.areas, s.popularity, PreferenceCrowd::Options{}, 42);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.Pick(), b.Pick());
+}
+
+TEST(PreferenceCrowdTest, CostModelScalesWithInverseAcceptance) {
+  CrowdSetup s;
+  PreferenceCrowd crowd(s.areas, s.popularity, PreferenceCrowd::Options{},
+                        7);
+  core::CostModel costs = crowd.MakeCostModel(/*base_cost=*/10);
+  // Best-staffed (area 1) resources cost ~10; niche ones ~10 * 0.84/0.36.
+  EXPECT_EQ(costs.cost(0), 10);
+  EXPECT_EQ(costs.cost(1), 10);
+  EXPECT_NEAR(static_cast<double>(costs.cost(2)), 10.0 * 0.84 / 0.36, 1.0);
+  EXPECT_GE(costs.min_cost(), 1);
+}
+
+TEST(PreferenceCrowdTest, CostModelNeverBelowOne) {
+  CrowdSetup s;
+  PreferenceCrowd crowd(s.areas, s.popularity, PreferenceCrowd::Options{},
+                        7);
+  core::CostModel costs = crowd.MakeCostModel(/*base_cost=*/1);
+  for (core::ResourceId i = 0; i < 3; ++i) {
+    EXPECT_GE(costs.cost(i), 1);
+  }
+}
+
+TEST(PreferenceCrowdTest, ZeroPopularityResourceStillGetsAcceptance) {
+  std::vector<CategoryId> areas = {1, 2};
+  std::vector<double> popularity = {1.0, 0.0};
+  PreferenceCrowd crowd(areas, popularity, PreferenceCrowd::Options{}, 7);
+  // Its community share is 0, but explorers can still take the task.
+  EXPECT_GT(crowd.AcceptanceProbability(1), 0.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace incentag

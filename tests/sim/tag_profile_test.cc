@@ -1,0 +1,128 @@
+#include "src/sim/tag_profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/tag_vocabulary.h"
+#include "src/sim/topic_hierarchy.h"
+#include "src/util/random.h"
+
+namespace incentag {
+namespace sim {
+namespace {
+
+double Sum(const TagDistribution& dist) {
+  double total = 0.0;
+  for (const auto& [tag, w] : dist) total += w;
+  return total;
+}
+
+double CosineOfDists(const TagDistribution& a, const TagDistribution& b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (const auto& [tag, w] : a) {
+    na += w * w;
+    for (const auto& [tag2, w2] : b) {
+      if (tag == tag2) dot += w * w2;
+    }
+  }
+  for (const auto& [tag, w] : b) nb += w * w;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+TEST(TagDistributionTest, NormalizeSumsToOneAndSorts) {
+  TagDistribution dist = {{5, 2.0}, {1, 6.0}, {5, 2.0}};
+  NormalizeDistribution(&dist);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_EQ(dist[0].first, 1u);
+  EXPECT_EQ(dist[1].first, 5u);
+  EXPECT_NEAR(dist[0].second, 0.6, 1e-12);
+  EXPECT_NEAR(dist[1].second, 0.4, 1e-12);  // duplicates merged
+}
+
+TEST(TagDistributionTest, NormalizeDropsNonPositive) {
+  TagDistribution dist = {{1, 0.0}, {2, -1.0}, {3, 2.0}};
+  NormalizeDistribution(&dist);
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist[0].first, 3u);
+  EXPECT_NEAR(dist[0].second, 1.0, 1e-12);
+}
+
+TEST(TagDistributionTest, MixRespectsScales) {
+  TagDistribution a = {{1, 1.0}};
+  TagDistribution b = {{2, 1.0}};
+  TagDistribution mixed = MixDistributions({{&a, 0.75}, {&b, 0.25}});
+  ASSERT_EQ(mixed.size(), 2u);
+  EXPECT_NEAR(mixed[0].second, 0.75, 1e-12);
+  EXPECT_NEAR(mixed[1].second, 0.25, 1e-12);
+}
+
+TEST(TagDistributionTest, MixIgnoresZeroScale) {
+  TagDistribution a = {{1, 1.0}};
+  TagDistribution b = {{2, 1.0}};
+  TagDistribution mixed = MixDistributions({{&a, 1.0}, {&b, 0.0}});
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed[0].first, 1u);
+}
+
+class ProfileSetTest : public ::testing::Test {
+ protected:
+  ProfileSetTest()
+      : tree_(TopicHierarchy::BuildDefault()), rng_(99),
+        profiles_(tree_, ProfileConfig{}, &vocab_, &rng_) {}
+
+  TopicHierarchy tree_;
+  core::TagVocabulary vocab_;
+  util::Rng rng_;
+  ProfileSet profiles_;
+};
+
+TEST_F(ProfileSetTest, EveryProfileIsNormalised) {
+  for (CategoryId id = 0; id < tree_.size(); ++id) {
+    EXPECT_NEAR(Sum(profiles_.profile(id)), 1.0, 1e-9) << "category " << id;
+    EXPECT_FALSE(profiles_.profile(id).empty());
+  }
+}
+
+TEST_F(ProfileSetTest, VocabularyGetsThemedTagNames) {
+  EXPECT_TRUE(vocab_.Find("physics").ok());
+  EXPECT_TRUE(vocab_.Find("java").ok());
+  EXPECT_TRUE(vocab_.Find("cool").ok());  // common tag
+}
+
+TEST_F(ProfileSetTest, SiblingsMoreSimilarThanStrangers) {
+  CategoryId physics = tree_.FindLeaf("physics").value();
+  CategoryId math = tree_.FindLeaf("math").value();
+  CategoryId sports = tree_.FindLeaf("sports").value();
+  const double sibling =
+      CosineOfDists(profiles_.profile(physics), profiles_.profile(math));
+  const double stranger =
+      CosineOfDists(profiles_.profile(physics), profiles_.profile(sports));
+  EXPECT_GT(sibling, stranger);
+}
+
+TEST_F(ProfileSetTest, LeafSharesMassWithItsAreaProfile) {
+  CategoryId physics = tree_.FindLeaf("physics").value();
+  CategoryId science = tree_.category(physics).parent;
+  const double with_area =
+      CosineOfDists(profiles_.profile(physics), profiles_.profile(science));
+  EXPECT_GT(with_area, 0.05);
+}
+
+TEST_F(ProfileSetTest, CommonTagsAppearEverywhere) {
+  // Every leaf profile carries some mass on the common tags (via the root
+  // profile blend), so cross-area similarity is small but non-zero.
+  CategoryId java = tree_.FindLeaf("java").value();
+  CategoryId cooking = tree_.FindLeaf("cooking").value();
+  const double cross =
+      CosineOfDists(profiles_.profile(java), profiles_.profile(cooking));
+  EXPECT_GT(cross, 0.0);
+  EXPECT_LT(cross, 0.5);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace incentag

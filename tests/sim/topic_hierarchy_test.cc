@@ -1,0 +1,99 @@
+#include "src/sim/topic_hierarchy.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace sim {
+namespace {
+
+TEST(TopicHierarchyTest, DefaultTreeShape) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  EXPECT_GT(tree.size(), 20u);
+  EXPECT_GE(tree.leaves().size(), 20u);
+  // Root is id 0, depth 0.
+  EXPECT_EQ(tree.category(0).depth, 0);
+  EXPECT_FALSE(tree.category(0).is_leaf);
+}
+
+TEST(TopicHierarchyTest, LeavesHaveDepthTwoAndAreaParents) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  for (CategoryId leaf : tree.leaves()) {
+    const Category& cat = tree.category(leaf);
+    EXPECT_TRUE(cat.is_leaf);
+    EXPECT_EQ(cat.depth, 2);
+    const Category& parent = tree.category(cat.parent);
+    EXPECT_EQ(parent.depth, 1);
+    EXPECT_FALSE(parent.is_leaf);
+  }
+}
+
+TEST(TopicHierarchyTest, FindLeafLocatesCaseStudyCategories) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  for (const char* name :
+       {"physics", "java", "video-editing", "video-sharing", "photo-editing",
+        "photo-sharing", "architecture", "news", "sports"}) {
+    EXPECT_TRUE(tree.FindLeaf(name).ok()) << name;
+  }
+  EXPECT_FALSE(tree.FindLeaf("astrology").ok());
+}
+
+TEST(TopicHierarchyTest, LeafNamesAreUnique) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  std::set<std::string> names;
+  for (CategoryId leaf : tree.leaves()) {
+    names.insert(tree.category(leaf).short_name);
+  }
+  EXPECT_EQ(names.size(), tree.leaves().size());
+}
+
+TEST(TopicHierarchyTest, LcaOfSiblingsIsTheArea) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  CategoryId physics = tree.FindLeaf("physics").value();
+  CategoryId math = tree.FindLeaf("math").value();
+  CategoryId lca = tree.Lca(physics, math);
+  EXPECT_EQ(tree.category(lca).depth, 1);
+  EXPECT_EQ(tree.category(lca).short_name, "science");
+}
+
+TEST(TopicHierarchyTest, LcaAcrossAreasIsRoot) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  CategoryId physics = tree.FindLeaf("physics").value();
+  CategoryId java = tree.FindLeaf("java").value();
+  EXPECT_EQ(tree.Lca(physics, java), 0u);
+}
+
+TEST(TopicHierarchyTest, SimilarityValues) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  CategoryId physics = tree.FindLeaf("physics").value();
+  CategoryId math = tree.FindLeaf("math").value();
+  CategoryId java = tree.FindLeaf("java").value();
+  EXPECT_DOUBLE_EQ(tree.Similarity(physics, physics), 1.0);
+  EXPECT_DOUBLE_EQ(tree.Similarity(physics, math), 0.5);   // same area
+  EXPECT_DOUBLE_EQ(tree.Similarity(physics, java), 0.0);   // cross-area
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(tree.Similarity(math, physics),
+                   tree.Similarity(physics, math));
+}
+
+TEST(TopicHierarchyTest, SimilarityOrderedByProximity) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  CategoryId physics = tree.FindLeaf("physics").value();
+  CategoryId chemistry = tree.FindLeaf("chemistry").value();
+  CategoryId sports = tree.FindLeaf("sports").value();
+  EXPECT_GT(tree.Similarity(physics, physics),
+            tree.Similarity(physics, chemistry));
+  EXPECT_GT(tree.Similarity(physics, chemistry),
+            tree.Similarity(physics, sports));
+}
+
+TEST(TopicHierarchyTest, FullNamesIncludeAreaPrefix) {
+  TopicHierarchy tree = TopicHierarchy::BuildDefault();
+  CategoryId physics = tree.FindLeaf("physics").value();
+  EXPECT_EQ(tree.category(physics).name, "science/physics");
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace incentag

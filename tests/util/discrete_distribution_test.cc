@@ -1,0 +1,50 @@
+#include "src/util/discrete_distribution.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace util {
+namespace {
+
+TEST(DiscreteDistributionTest, PmfNormalises) {
+  DiscreteDistribution d(std::vector<double>{1.0, 3.0});
+  EXPECT_NEAR(d.Pmf(0), 0.25, 1e-12);
+  EXPECT_NEAR(d.Pmf(1), 0.75, 1e-12);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightNeverSampled) {
+  DiscreteDistribution d(std::vector<double>{0.0, 1.0, 0.0});
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(d.Sample(&rng), 1u);
+  }
+}
+
+TEST(DiscreteDistributionTest, EmpiricalMatchesWeights) {
+  DiscreteDistribution d(std::vector<double>{2.0, 1.0, 1.0});
+  Rng rng(23);
+  std::vector<int> counts(3, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[d.Sample(&rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / trials, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / trials, 0.25, 0.01);
+}
+
+TEST(DiscreteDistributionTest, SingletonAlwaysZero) {
+  DiscreteDistribution d(std::vector<double>{5.0});
+  Rng rng(29);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(d.Sample(&rng), 0u);
+}
+
+TEST(DiscreteDistributionTest, DefaultIsEmpty) {
+  DiscreteDistribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag

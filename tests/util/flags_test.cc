@@ -1,0 +1,120 @@
+#include "src/util/flags.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace util {
+namespace {
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  Status ParseArgs(std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "prog");
+    return flags_.Parse(static_cast<int>(argv.size()), argv.data());
+  }
+
+  FlagSet flags_;
+};
+
+TEST_F(FlagsTest, ParsesEqualsForm) {
+  int64_t n = 5;
+  flags_.AddInt("n", &n, "count");
+  ASSERT_TRUE(ParseArgs({"--n=42"}).ok());
+  EXPECT_EQ(n, 42);
+}
+
+TEST_F(FlagsTest, ParsesSpaceForm) {
+  double tau = 0.0;
+  flags_.AddDouble("tau", &tau, "threshold");
+  ASSERT_TRUE(ParseArgs({"--tau", "0.999"}).ok());
+  EXPECT_DOUBLE_EQ(tau, 0.999);
+}
+
+TEST_F(FlagsTest, AbsentFlagKeepsDefault) {
+  int64_t n = 7;
+  flags_.AddInt("n", &n, "count");
+  ASSERT_TRUE(ParseArgs({}).ok());
+  EXPECT_EQ(n, 7);
+}
+
+TEST_F(FlagsTest, BareBoolSetsTrue) {
+  bool verbose = false;
+  flags_.AddBool("verbose", &verbose, "verbosity");
+  ASSERT_TRUE(ParseArgs({"--verbose"}).ok());
+  EXPECT_TRUE(verbose);
+}
+
+TEST_F(FlagsTest, BoolAcceptsExplicitValues) {
+  bool a = false;
+  bool b = true;
+  flags_.AddBool("a", &a, "");
+  flags_.AddBool("b", &b, "");
+  ASSERT_TRUE(ParseArgs({"--a=true", "--b=false"}).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST_F(FlagsTest, StringFlag) {
+  std::string out;
+  flags_.AddString("out", &out, "path");
+  ASSERT_TRUE(ParseArgs({"--out=/tmp/x.txt"}).ok());
+  EXPECT_EQ(out, "/tmp/x.txt");
+}
+
+TEST_F(FlagsTest, UnknownFlagFails) {
+  EXPECT_FALSE(ParseArgs({"--mystery=1"}).ok());
+}
+
+TEST_F(FlagsTest, NonFlagArgumentFails) {
+  EXPECT_FALSE(ParseArgs({"positional"}).ok());
+}
+
+TEST_F(FlagsTest, MissingValueFails) {
+  int64_t n = 0;
+  flags_.AddInt("n", &n, "count");
+  EXPECT_FALSE(ParseArgs({"--n"}).ok());
+}
+
+TEST_F(FlagsTest, BadIntValueFails) {
+  int64_t n = 0;
+  flags_.AddInt("n", &n, "count");
+  EXPECT_FALSE(ParseArgs({"--n=abc"}).ok());
+}
+
+TEST_F(FlagsTest, BadBoolValueFails) {
+  bool b = false;
+  flags_.AddBool("b", &b, "");
+  EXPECT_FALSE(ParseArgs({"--b=maybe"}).ok());
+}
+
+TEST_F(FlagsTest, UsageListsFlags) {
+  int64_t n = 0;
+  flags_.AddInt("budget", &n, "reward units");
+  std::string usage = flags_.Usage();
+  EXPECT_NE(usage.find("--budget"), std::string::npos);
+  EXPECT_NE(usage.find("reward units"), std::string::npos);
+}
+
+TEST_F(FlagsTest, MultipleFlagsInOneCommandLine) {
+  int64_t n = 0;
+  double tau = 0.0;
+  bool flag = false;
+  std::string name;
+  flags_.AddInt("n", &n, "");
+  flags_.AddDouble("tau", &tau, "");
+  flags_.AddBool("flag", &flag, "");
+  flags_.AddString("name", &name, "");
+  ASSERT_TRUE(
+      ParseArgs({"--n=3", "--tau", "0.5", "--flag", "--name=x"}).ok());
+  EXPECT_EQ(n, 3);
+  EXPECT_DOUBLE_EQ(tau, 0.5);
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(name, "x");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag

@@ -1,0 +1,73 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stopwatch.h"
+
+namespace incentag {
+namespace util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, MacrosDoNotCrashAtAnyLevel) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kWarning,
+                         LogLevel::kNone}) {
+    SetLogLevel(level);
+    INCENTAG_LOG_DEBUG("debug %d", 1);
+    INCENTAG_LOG_INFO("info %s", "x");
+    INCENTAG_LOG_WARN("warn %.2f", 2.5);
+    INCENTAG_LOG_ERROR("error");
+  }
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  INCENTAG_CHECK(1 + 1 == 2);  // must not abort
+}
+
+TEST(LoggingTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH(INCENTAG_CHECK(false), "CHECK failed");
+}
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Burn a little time.
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  // The sink term is always 0 but forces the loop to stay.
+  double second = timer.ElapsedSeconds() + (sink > -1.0 ? 0.0 : 1.0);
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedSeconds() * 50.0 + 1.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch timer;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  double before = timer.ElapsedSeconds() + (sink > -1.0 ? 0.0 : 1.0);
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag

@@ -1,0 +1,157 @@
+#include "src/util/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(9);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng.NextUint64());
+  rng.Seed(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextUint64(), first[i]);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 500 draws
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+    EXPECT_FALSE(rng.NextBool(-0.5));
+    EXPECT_TRUE(rng.NextBool(1.5));
+  }
+}
+
+TEST(RngTest, NextBoolFrequencyTracksP) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.05);
+}
+
+TEST(RngTest, NextWeightedRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.NextWeighted(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / trials, 0.75, 0.02);
+}
+
+TEST(SplitMixTest, MixSeedsIsOrderSensitive) {
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(2, 1));
+  EXPECT_EQ(MixSeeds(1, 2), MixSeeds(1, 2));
+}
+
+TEST(SplitMixTest, DistinctInputsProduceDistinctOutputs) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.insert(MixSeeds(42, i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(ShuffleTest, IsPermutationAndDeterministic) {
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  Rng rng(31);
+  Shuffle(&v, &rng);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+  std::vector<int> v2 = original;
+  Rng rng2(31);
+  Shuffle(&v2, &rng2);
+  EXPECT_EQ(v, v2);
+}
+
+TEST(ShuffleTest, HandlesTinyVectors) {
+  Rng rng(1);
+  std::vector<int> empty;
+  Shuffle(&empty, &rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  Shuffle(&one, &rng);
+  EXPECT_EQ(one[0], 42);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag

@@ -1,0 +1,110 @@
+#include "src/util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSeries) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic series is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceIsZero) {
+  std::vector<double> xs = {1, 1, 1};
+  std::vector<double> ys = {1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(xs, ys), 0.0);
+  EXPECT_EQ(PearsonCorrelation(ys, xs), 0.0);
+}
+
+TEST(PearsonTest, TooShortIsZero) {
+  EXPECT_EQ(PearsonCorrelation({}, {}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(PearsonTest, KnownValue) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys = {1, 3, 2, 4};
+  // r = 0.8 for this series.
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.8, 1e-12);
+}
+
+TEST(PercentileTest, BasicsAndInterpolation) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2}, 50), 1.5);  // interpolates
+}
+
+TEST(PercentileTest, DegenerateInputs) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_EQ(Percentile({7}, 99), 7.0);
+}
+
+TEST(LogHistogramTest, BucketsByPowersOfTen) {
+  LogHistogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(9);
+  h.Add(10);
+  h.Add(99);
+  h.Add(100);
+  h.Add(12345);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.zeros(), 1u);
+  EXPECT_EQ(h.BucketCount(0), 2u);  // [1, 10)
+  EXPECT_EQ(h.BucketCount(1), 2u);  // [10, 100)
+  EXPECT_EQ(h.BucketCount(2), 1u);  // [100, 1000)
+  EXPECT_EQ(h.BucketCount(3), 0u);
+  EXPECT_EQ(h.BucketCount(4), 1u);  // [10000, 100000)
+  EXPECT_EQ(h.BucketCount(17), 0u);
+}
+
+TEST(LogHistogramTest, ToStringMentionsBuckets) {
+  LogHistogram h;
+  h.Add(5);
+  h.Add(50);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("1..9"), std::string::npos);
+  EXPECT_NE(s.find("10..99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag

@@ -1,0 +1,100 @@
+#include "src/util/text.h"
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace util {
+namespace {
+
+TEST(TextTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("a b"), "a b");
+}
+
+TEST(TextTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(TextTest, SplitEdgeCases) {
+  EXPECT_EQ(Split("", ',').size(), 1u);       // one empty field
+  EXPECT_EQ(Split(",", ',').size(), 2u);      // two empty fields
+  EXPECT_EQ(Split("abc", ',').size(), 1u);    // no separator
+  auto parts = Split("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(TextTest, SplitWhitespaceDropsEmpties) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(TextTest, ParseInt64Valid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(TextTest, ParseInt64Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(TextTest, ParseUint64Valid) {
+  EXPECT_EQ(ParseUint64("42").value(), 42u);
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+}
+
+TEST(TextTest, ParseUint64RejectsNegative) {
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+}
+
+TEST(TextTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2").value(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(TextTest, ParseDoubleInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5abc").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(TextTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("AbC123-Z"), "abc123-z");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(TextTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(TextTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag

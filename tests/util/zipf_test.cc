@@ -1,0 +1,86 @@
+#include "src/util/zipf.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace incentag {
+namespace util {
+namespace {
+
+TEST(ZipfTest, WeightsSumToOne) {
+  for (double s : {0.0, 0.5, 1.0, 2.0}) {
+    std::vector<double> w = ZipfWeights(100, s);
+    double total = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(ZipfTest, WeightsAreDecreasing) {
+  std::vector<double> w = ZipfWeights(50, 1.2);
+  for (size_t i = 1; i < w.size(); ++i) {
+    EXPECT_LT(w[i], w[i - 1]);
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  std::vector<double> w = ZipfWeights(10, 0.0);
+  for (double x : w) EXPECT_NEAR(x, 0.1, 1e-12);
+}
+
+TEST(ZipfTest, PmfMatchesWeights) {
+  ZipfSampler sampler(20, 1.5);
+  std::vector<double> w = ZipfWeights(20, 1.5);
+  for (size_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(sampler.Pmf(k), w[k], 1e-12);
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler sampler(7, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(sampler.Sample(&rng), 7u);
+  }
+}
+
+TEST(ZipfTest, SingletonAlwaysZero) {
+  ZipfSampler sampler(1, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler sampler(5, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(5, 0);
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) ++counts[sampler.Sample(&rng)];
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / trials, sampler.Pmf(k),
+                0.01)
+        << "k=" << k;
+  }
+}
+
+// Parameterized sweep: head mass grows with the exponent.
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, HeadProbabilityGrowsWithSkew) {
+  const double s = GetParam();
+  ZipfSampler sampler(100, s);
+  ZipfSampler flatter(100, s * 0.5);
+  EXPECT_GE(sampler.Pmf(0), flatter.Pmf(0));
+  EXPECT_LE(sampler.Pmf(99), flatter.Pmf(99));
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag
