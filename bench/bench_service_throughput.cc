@@ -1,0 +1,159 @@
+// Service-layer throughput: aggregate completed tasks/sec of the
+// concurrent CampaignManager as a function of worker thread count and
+// campaign count.
+//
+// Each configuration submits `campaigns` mixed-strategy campaigns (RR,
+// FP, MU, FP-MU round-robin) over one shared prepared dataset and drives
+// them to completion. With --latency_us=0 (default) completions are
+// inline, so the sweep isolates the manager's scheduling overhead and
+// scaling; with a positive latency the CrowdLoadGenerator's tagger
+// threads complete tasks asynchronously and out of order, exercising the
+// reorder path under realistic crowd timing.
+//
+//   ./build/bench/bench_service_throughput --n=300 --campaigns=32
+//       --budget=2000 --threads=8
+//
+// The thread sweep runs 1,2,4,... up to --threads (default: hardware
+// concurrency). The paper's Figure 6(g)/(h) timing discipline applies:
+// dataset preparation is outside the clock, only Submit..WaitAll is
+// timed.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_common.h"
+#include "src/core/strategy_fp.h"
+#include "src/core/strategy_fpmu.h"
+#include "src/core/strategy_mu.h"
+#include "src/core/strategy_rr.h"
+#include "src/service/campaign_manager.h"
+#include "src/sim/load_generator.h"
+#include "src/util/flags.h"
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+
+namespace {
+
+using namespace incentag;
+
+std::unique_ptr<core::Strategy> MixedStrategy(int index) {
+  switch (index % 4) {
+    case 0:
+      return std::make_unique<core::RoundRobinStrategy>();
+    case 1:
+      return std::make_unique<core::FewestPostsStrategy>();
+    case 2:
+      return std::make_unique<core::MostUnstableStrategy>();
+    default:
+      return std::make_unique<core::HybridFpMuStrategy>();
+  }
+}
+
+struct SweepResult {
+  int threads = 0;
+  int64_t tasks = 0;
+  double seconds = 0.0;
+};
+
+SweepResult RunOnce(const bench::BenchDataset& bench_ds, int threads,
+                    int64_t campaigns, int64_t budget, int64_t batch,
+                    int64_t taggers, double latency_us) {
+  const sim::PreparedDataset& ds = bench_ds.dataset;
+
+  std::unique_ptr<sim::CrowdLoadGenerator> crowd;
+  service::ManagerOptions options;
+  options.num_threads = threads;
+  if (taggers > 0) {
+    sim::LoadGeneratorOptions load_options;
+    load_options.num_taggers = static_cast<int>(taggers);
+    load_options.mean_latency_us = latency_us;
+    load_options.seed = 31;
+    crowd = std::make_unique<sim::CrowdLoadGenerator>(load_options);
+    options.completions = crowd.get();
+  }
+  service::CampaignManager manager(options);
+
+  util::Stopwatch timer;
+  for (int64_t i = 0; i < campaigns; ++i) {
+    service::CampaignConfig config;
+    config.name = "bench-" + std::to_string(i);
+    config.options.budget = budget;
+    config.options.omega = 5;
+    config.options.batch_size = batch;
+    config.initial_posts = &ds.initial_posts;
+    config.references = &ds.references;
+    config.strategy = MixedStrategy(static_cast<int>(i));
+    config.stream = std::make_unique<core::VectorPostStream>(ds.MakeStream());
+    auto id = manager.Submit(std::move(config));
+    INCENTAG_CHECK(id.ok());
+  }
+  manager.WaitAll();
+  SweepResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.threads = manager.num_threads();
+  for (const service::CampaignStatus& status : manager.StatusAll()) {
+    INCENTAG_CHECK(status.state == service::CampaignState::kDone);
+    result.tasks += status.tasks_completed;
+  }
+  if (crowd != nullptr) crowd->Stop();
+  manager.Shutdown();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n = 300;
+  int64_t seed = 42;
+  int64_t budget = 2000;
+  int64_t campaigns = 32;
+  int64_t batch = 32;
+  int64_t threads = 0;
+  int64_t taggers = 0;
+  double latency_us = 0.0;
+  util::FlagSet flags;
+  flags.AddInt("n", &n, "resources to generate");
+  flags.AddInt("seed", &seed, "corpus seed");
+  flags.AddInt("budget", &budget, "reward units per campaign");
+  flags.AddInt("campaigns", &campaigns, "concurrent campaigns");
+  flags.AddInt("batch", &batch, "tasks assigned per campaign batch");
+  util::AddThreadsFlag(&flags, &threads);
+  flags.AddInt("taggers", &taggers,
+               "tagger threads (0 = inline completions)");
+  flags.AddDouble("latency_us", &latency_us,
+                  "mean simulated tagger latency, microseconds");
+  INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+  if (threads < 1) threads = 1;
+
+  auto bench_ds = bench::MakeDataset(n, static_cast<uint64_t>(seed));
+  std::printf(
+      "service throughput: %lld campaigns x budget %lld, batch %lld, "
+      "%zu resources%s\n",
+      static_cast<long long>(campaigns), static_cast<long long>(budget),
+      static_cast<long long>(batch), bench_ds->dataset.size(),
+      taggers > 0 ? " (crowd-completed)" : " (inline completions)");
+  std::printf("%8s  %12s  %10s  %12s  %8s\n", "threads", "tasks", "seconds",
+              "tasks/sec", "speedup");
+
+  // Powers of two up to --threads, plus --threads itself when it is not
+  // one (the requested max always runs).
+  std::vector<int64_t> sweep;
+  for (int64_t t = 1; t <= threads; t *= 2) sweep.push_back(t);
+  if (sweep.empty() || sweep.back() != threads) sweep.push_back(threads);
+
+  double base_rate = 0.0;
+  for (int64_t t : sweep) {
+    SweepResult result = RunOnce(*bench_ds, static_cast<int>(t), campaigns,
+                                 budget, batch, taggers, latency_us);
+    const double rate =
+        result.seconds > 0.0
+            ? static_cast<double>(result.tasks) / result.seconds
+            : 0.0;
+    if (base_rate == 0.0) base_rate = rate;
+    std::printf("%8d  %12lld  %10.3f  %12.0f  %7.2fx\n", result.threads,
+                static_cast<long long>(result.tasks), result.seconds, rate,
+                base_rate > 0.0 ? rate / base_rate : 0.0);
+  }
+  return 0;
+}

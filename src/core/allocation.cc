@@ -3,93 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
-#include "src/util/stopwatch.h"
+#include "src/core/campaign_runtime.h"
 
 namespace incentag {
 namespace core {
-
-namespace {
-
-// Incremental evaluation state for the whole resource set.
-class Evaluation {
- public:
-  Evaluation(const std::vector<ResourceState>& states,
-             const std::vector<ResourceReference>& references,
-             int64_t under_threshold)
-      : references_(references), under_threshold_(under_threshold) {
-    const size_t n = states.size();
-    trackers_.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      trackers_.emplace_back(&references[i].stable_rfd);
-    }
-    qualities_.assign(n, 0.0);
-  }
-
-  // Replays an already-applied initial post (no metric deltas yet; call
-  // Finalize() after the replay).
-  void ReplayInitialPost(size_t i, const Post& post, double norm_sq) {
-    trackers_[i].AddPost(post, norm_sq);
-  }
-
-  // Computes the time-zero aggregates after the initial replay.
-  void Finalize(const std::vector<ResourceState>& states) {
-    quality_sum_ = 0.0;
-    over_tagged_ = 0;
-    under_tagged_ = 0;
-    for (size_t i = 0; i < states.size(); ++i) {
-      qualities_[i] = trackers_[i].Quality();
-      quality_sum_ += qualities_[i];
-      if (IsOverTagged(i, states[i].posts())) ++over_tagged_;
-      if (states[i].posts() <= under_threshold_) ++under_tagged_;
-    }
-  }
-
-  // Accounts for one completed post task on resource i. `post` must
-  // already be applied to states[i].
-  void OnPostTask(size_t i, const Post& post, int64_t posts_after,
-                  double norm_sq_after) {
-    const int64_t posts_before = posts_after - 1;
-    if (IsOverTagged(i, posts_before)) {
-      ++wasted_posts_;
-    } else if (IsOverTagged(i, posts_after)) {
-      ++over_tagged_;  // crossed the stable point with this task
-    }
-    if (posts_before <= under_threshold_ && posts_after > under_threshold_) {
-      --under_tagged_;
-    }
-    trackers_[i].AddPost(post, norm_sq_after);
-    const double q = trackers_[i].Quality();
-    quality_sum_ += q - qualities_[i];
-    qualities_[i] = q;
-  }
-
-  AllocationMetrics Snapshot(int64_t budget_used, size_t n) const {
-    AllocationMetrics m;
-    m.budget_used = budget_used;
-    m.avg_quality = n == 0 ? 0.0 : quality_sum_ / static_cast<double>(n);
-    m.over_tagged = over_tagged_;
-    m.wasted_posts = wasted_posts_;
-    m.under_tagged = under_tagged_;
-    return m;
-  }
-
- private:
-  bool IsOverTagged(size_t i, int64_t posts) const {
-    const int64_t stable_point = references_[i].stable_point;
-    return stable_point > 0 && posts >= stable_point;
-  }
-
-  const std::vector<ResourceReference>& references_;
-  int64_t under_threshold_;
-  std::vector<QualityTracker> trackers_;
-  std::vector<double> qualities_;
-  double quality_sum_ = 0.0;
-  int64_t over_tagged_ = 0;
-  int64_t under_tagged_ = 0;
-  int64_t wasted_posts_ = 0;
-};
-
-}  // namespace
 
 AllocationEngine::AllocationEngine(
     EngineOptions options, const std::vector<PostSequence>* initial_posts,
@@ -103,141 +20,24 @@ AllocationEngine::AllocationEngine(
                         options_.checkpoints.end()));
 }
 
+// The synchronous engine is the trivial driver of the step protocol: every
+// batch's completions are applied immediately, in assignment order — the
+// taggers of paper Algorithm 1 who finish instantly. The concurrent
+// driver of the same protocol lives in src/service/campaign_manager.h.
 util::Result<RunReport> AllocationEngine::Run(Strategy* strategy,
                                               PostStream* future) {
-  const size_t n = initial_posts_->size();
-  if (future->num_resources() != n) {
-    return util::Status::InvalidArgument(
-        "stream resource count does not match the engine's");
-  }
-  if (options_.budget < 0) {
-    return util::Status::InvalidArgument("budget must be non-negative");
-  }
-  if (options_.costs != nullptr &&
-      options_.costs->num_resources() != n) {
-    return util::Status::InvalidArgument(
-        "cost model resource count does not match the engine's");
-  }
+  CampaignRuntime runtime(options_, initial_posts_, references_);
+  util::Status status = runtime.Begin(strategy, future);
+  if (!status.ok()) return status;
 
-  // Build the observable states from the initial ("January") posts and
-  // mirror them into the evaluation.
-  std::vector<ResourceState> states;
-  states.reserve(n);
-  for (size_t i = 0; i < n; ++i) states.emplace_back(options_.omega);
-  Evaluation eval(states, *references_, options_.under_tagged_threshold);
-  for (size_t i = 0; i < n; ++i) {
-    for (const Post& post : (*initial_posts_)[i]) {
-      states[i].AddPost(post);
-      eval.ReplayInitialPost(i, post, states[i].counts().norm_squared());
-    }
-  }
-  eval.Finalize(states);
-
-  StrategyContext ctx;
-  ctx.states = &states;
-  ctx.omega = options_.omega;
-
-  RunReport report;
-  report.strategy_name = std::string(strategy->name());
-  report.allocation.assign(n, 0);
-
-  auto next_checkpoint = options_.checkpoints.begin();
-  auto record_checkpoints_through = [&](int64_t budget_used) {
-    // With non-unit costs the spend can jump past a checkpoint; record the
-    // first state at or beyond it.
-    bool recorded = false;
-    while (next_checkpoint != options_.checkpoints.end() &&
-           *next_checkpoint <= budget_used) {
-      if (!recorded) {
-        report.checkpoints.push_back(eval.Snapshot(budget_used, n));
-        recorded = true;
-      }
-      ++next_checkpoint;
-    }
-  };
-
-  std::vector<bool> exhausted(n, false);
-  util::Stopwatch timer;
-  strategy->Init(ctx);
-  record_checkpoints_through(0);
-
-  const int64_t batch_size = std::max<int64_t>(1, options_.batch_size);
-  auto cost_of = [&](ResourceId i) {
-    return options_.costs == nullptr ? 1 : options_.costs->cost(i);
-  };
-
-  int64_t spent = 0;
   std::vector<ResourceId> batch;
-  batch.reserve(static_cast<size_t>(batch_size));
-  while (spent < options_.budget) {
-    // Assignment phase: commit up to batch_size tasks on current (stale)
-    // information. Budget for the batch is reserved as it is handed out.
-    batch.clear();
-    int64_t committed = 0;
-    while (static_cast<int64_t>(batch.size()) < batch_size) {
-      ResourceId chosen = strategy->Choose();
-      if (chosen == kInvalidResource) break;
-      if (chosen >= n) {
-        return util::Status::Internal(
-            "strategy chose an invalid resource id");
-      }
-      const int64_t task_cost = cost_of(chosen);
-      // A resource is unusable if its stream ran dry or its reward amount
-      // no longer fits in the total remaining budget (budgets only
-      // shrink, so both conditions are permanent).
-      if (!future->HasNext(chosen) ||
-          task_cost > options_.budget - spent) {
-        if (exhausted[chosen]) {
-          return util::Status::Internal(
-              "strategy re-proposed an exhausted resource");
-        }
-        exhausted[chosen] = true;
-        strategy->OnExhausted(chosen);
-        continue;  // no reward units consumed; ask again
-      }
-      // Affordable overall but not within this batch's reservation: close
-      // the batch and retry after its completions (refunds may free
-      // budget).
-      if (task_cost > options_.budget - spent - committed) break;
-      strategy->OnAssigned(chosen);
-      committed += task_cost;
-      batch.push_back(chosen);
-    }
-    if (batch.empty()) {
-      report.stopped_early = true;
-      break;
-    }
-
-    // Completion phase: taggers finish in assignment order. A task whose
-    // resource ran dry mid-batch is unfilled; its reserved budget is
-    // released.
-    for (ResourceId chosen : batch) {
-      if (!future->HasNext(chosen)) {
-        if (!exhausted[chosen]) {
-          exhausted[chosen] = true;
-          strategy->OnExhausted(chosen);
-        }
-        continue;
-      }
-      const Post& post = future->Next(chosen);
-      states[chosen].AddPost(post);
-      eval.OnPostTask(chosen, post, states[chosen].posts(),
-                      states[chosen].counts().norm_squared());
-      strategy->Update(chosen);
-      ++report.allocation[chosen];
-      spent += cost_of(chosen);
-      record_checkpoints_through(spent);
-    }
+  while (!runtime.done()) {
+    status = runtime.DrawBatch(&batch);
+    if (!status.ok()) return status;
+    if (batch.empty()) break;
+    for (ResourceId chosen : batch) runtime.ApplyCompletion(chosen);
   }
-
-  report.elapsed_seconds = timer.ElapsedSeconds();
-  report.budget_spent = spent;
-  report.final_metrics = eval.Snapshot(spent, n);
-  if (report.checkpoints.empty() ||
-      report.checkpoints.back().budget_used != spent) {
-    report.checkpoints.push_back(report.final_metrics);
-  }
-  return report;
+  return runtime.Finish();
 }
 
 }  // namespace core

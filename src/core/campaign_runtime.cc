@@ -1,0 +1,252 @@
+#include "src/core/campaign_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/quality.h"
+
+namespace incentag {
+namespace core {
+
+namespace internal {
+
+// Incremental evaluation state for the whole resource set (the Section V
+// metrics of allocation.h, maintained in O(1) per applied task).
+class Evaluation {
+ public:
+  Evaluation(const std::vector<ResourceState>& states,
+             const std::vector<ResourceReference>& references,
+             int64_t under_threshold)
+      : references_(references), under_threshold_(under_threshold) {
+    const size_t n = states.size();
+    trackers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      trackers_.emplace_back(&references[i].stable_rfd);
+    }
+    qualities_.assign(n, 0.0);
+  }
+
+  // Replays an already-applied initial post (no metric deltas yet; call
+  // Finalize() after the replay).
+  void ReplayInitialPost(size_t i, const Post& post, double norm_sq) {
+    trackers_[i].AddPost(post, norm_sq);
+  }
+
+  // Computes the time-zero aggregates after the initial replay.
+  void Finalize(const std::vector<ResourceState>& states) {
+    quality_sum_ = 0.0;
+    over_tagged_ = 0;
+    under_tagged_ = 0;
+    for (size_t i = 0; i < states.size(); ++i) {
+      qualities_[i] = trackers_[i].Quality();
+      quality_sum_ += qualities_[i];
+      if (IsOverTagged(i, states[i].posts())) ++over_tagged_;
+      if (states[i].posts() <= under_threshold_) ++under_tagged_;
+    }
+  }
+
+  // Accounts for one completed post task on resource i. `post` must
+  // already be applied to states[i].
+  void OnPostTask(size_t i, const Post& post, int64_t posts_after,
+                  double norm_sq_after) {
+    const int64_t posts_before = posts_after - 1;
+    if (IsOverTagged(i, posts_before)) {
+      ++wasted_posts_;
+    } else if (IsOverTagged(i, posts_after)) {
+      ++over_tagged_;  // crossed the stable point with this task
+    }
+    if (posts_before <= under_threshold_ && posts_after > under_threshold_) {
+      --under_tagged_;
+    }
+    trackers_[i].AddPost(post, norm_sq_after);
+    const double q = trackers_[i].Quality();
+    quality_sum_ += q - qualities_[i];
+    qualities_[i] = q;
+  }
+
+  AllocationMetrics Snapshot(int64_t budget_used, size_t n) const {
+    AllocationMetrics m;
+    m.budget_used = budget_used;
+    m.avg_quality = n == 0 ? 0.0 : quality_sum_ / static_cast<double>(n);
+    m.over_tagged = over_tagged_;
+    m.wasted_posts = wasted_posts_;
+    m.under_tagged = under_tagged_;
+    return m;
+  }
+
+ private:
+  bool IsOverTagged(size_t i, int64_t posts) const {
+    const int64_t stable_point = references_[i].stable_point;
+    return stable_point > 0 && posts >= stable_point;
+  }
+
+  const std::vector<ResourceReference>& references_;
+  int64_t under_threshold_;
+  std::vector<QualityTracker> trackers_;
+  std::vector<double> qualities_;
+  double quality_sum_ = 0.0;
+  int64_t over_tagged_ = 0;
+  int64_t under_tagged_ = 0;
+  int64_t wasted_posts_ = 0;
+};
+
+}  // namespace internal
+
+CampaignRuntime::CampaignRuntime(
+    EngineOptions options, const std::vector<PostSequence>* initial_posts,
+    const std::vector<ResourceReference>* references)
+    : options_(std::move(options)),
+      initial_posts_(initial_posts),
+      references_(references) {
+  assert(initial_posts_ != nullptr && references_ != nullptr);
+  assert(initial_posts_->size() == references_->size());
+  assert(std::is_sorted(options_.checkpoints.begin(),
+                        options_.checkpoints.end()));
+}
+
+CampaignRuntime::~CampaignRuntime() = default;
+
+int64_t CampaignRuntime::CostOf(ResourceId i) const {
+  return options_.costs == nullptr ? 1 : options_.costs->cost(i);
+}
+
+void CampaignRuntime::RecordCheckpointsThrough(int64_t budget_used) {
+  // With non-unit costs the spend can jump past a checkpoint; record the
+  // first state at or beyond it.
+  bool recorded = false;
+  while (next_checkpoint_ < options_.checkpoints.size() &&
+         options_.checkpoints[next_checkpoint_] <= budget_used) {
+    if (!recorded) {
+      checkpoints_.push_back(
+          eval_->Snapshot(budget_used, initial_posts_->size()));
+      recorded = true;
+    }
+    ++next_checkpoint_;
+  }
+}
+
+util::Status CampaignRuntime::Begin(Strategy* strategy, PostStream* stream) {
+  const size_t n = initial_posts_->size();
+  if (stream->num_resources() != n) {
+    return util::Status::InvalidArgument(
+        "stream resource count does not match the engine's");
+  }
+  if (options_.budget < 0) {
+    return util::Status::InvalidArgument("budget must be non-negative");
+  }
+  if (options_.costs != nullptr && options_.costs->num_resources() != n) {
+    return util::Status::InvalidArgument(
+        "cost model resource count does not match the engine's");
+  }
+  strategy_ = strategy;
+  stream_ = stream;
+
+  // Build the observable states from the initial ("January") posts and
+  // mirror them into the evaluation.
+  states_.reserve(n);
+  for (size_t i = 0; i < n; ++i) states_.emplace_back(options_.omega);
+  eval_ = std::make_unique<internal::Evaluation>(
+      states_, *references_, options_.under_tagged_threshold);
+  for (size_t i = 0; i < n; ++i) {
+    for (const Post& post : (*initial_posts_)[i]) {
+      states_[i].AddPost(post);
+      eval_->ReplayInitialPost(i, post, states_[i].counts().norm_squared());
+    }
+  }
+  eval_->Finalize(states_);
+
+  ctx_.states = &states_;
+  ctx_.omega = options_.omega;
+  allocation_.assign(n, 0);
+  exhausted_.assign(n, false);
+
+  timer_.Restart();
+  strategy_->Init(ctx_);
+  RecordCheckpointsThrough(0);
+  return util::Status::OK();
+}
+
+util::Status CampaignRuntime::DrawBatch(std::vector<ResourceId>* batch) {
+  batch->clear();
+  if (done()) return util::Status::OK();
+  const size_t n = initial_posts_->size();
+  const int64_t batch_size = std::max<int64_t>(1, options_.batch_size);
+
+  // Commit up to batch_size tasks on current (stale) information. Budget
+  // for the batch is reserved as it is handed out.
+  int64_t committed = 0;
+  while (static_cast<int64_t>(batch->size()) < batch_size) {
+    ResourceId chosen = strategy_->Choose();
+    if (chosen == kInvalidResource) break;
+    if (chosen >= n) {
+      return util::Status::Internal("strategy chose an invalid resource id");
+    }
+    const int64_t task_cost = CostOf(chosen);
+    // A resource is unusable if its stream ran dry or its reward amount
+    // no longer fits in the total remaining budget (budgets only shrink,
+    // so both conditions are permanent).
+    if (!stream_->HasNext(chosen) ||
+        task_cost > options_.budget - spent_) {
+      if (exhausted_[chosen]) {
+        return util::Status::Internal(
+            "strategy re-proposed an exhausted resource");
+      }
+      exhausted_[chosen] = true;
+      strategy_->OnExhausted(chosen);
+      continue;  // no reward units consumed; ask again
+    }
+    // Affordable overall but not within this batch's reservation: close
+    // the batch and retry after its completions (refunds may free budget).
+    if (task_cost > options_.budget - spent_ - committed) break;
+    strategy_->OnAssigned(chosen);
+    committed += task_cost;
+    batch->push_back(chosen);
+  }
+  if (batch->empty()) stopped_early_ = true;
+  return util::Status::OK();
+}
+
+void CampaignRuntime::ApplyCompletion(ResourceId chosen) {
+  // A task whose resource ran dry mid-batch is unfilled; its reserved
+  // budget is released.
+  if (!stream_->HasNext(chosen)) {
+    if (!exhausted_[chosen]) {
+      exhausted_[chosen] = true;
+      strategy_->OnExhausted(chosen);
+    }
+    return;
+  }
+  const Post& post = stream_->Next(chosen);
+  states_[chosen].AddPost(post);
+  eval_->OnPostTask(chosen, post, states_[chosen].posts(),
+                    states_[chosen].counts().norm_squared());
+  strategy_->Update(chosen);
+  ++allocation_[chosen];
+  ++tasks_completed_;
+  spent_ += CostOf(chosen);
+  RecordCheckpointsThrough(spent_);
+}
+
+AllocationMetrics CampaignRuntime::Metrics() const {
+  assert(eval_ != nullptr && "Begin() must succeed before Metrics()");
+  return eval_->Snapshot(spent_, initial_posts_->size());
+}
+
+RunReport CampaignRuntime::Finish() {
+  RunReport report;
+  report.strategy_name = std::string(strategy_->name());
+  report.elapsed_seconds = timer_.ElapsedSeconds();
+  report.allocation = std::move(allocation_);
+  report.checkpoints = std::move(checkpoints_);
+  report.budget_spent = spent_;
+  report.stopped_early = stopped_early_;
+  report.final_metrics = eval_->Snapshot(spent_, initial_posts_->size());
+  if (report.checkpoints.empty() ||
+      report.checkpoints.back().budget_used != spent_) {
+    report.checkpoints.push_back(report.final_metrics);
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace incentag

@@ -1,0 +1,128 @@
+// CampaignRuntime: the reusable per-campaign core of paper Algorithm 1.
+//
+// Historically AllocationEngine::Run owned the whole budget loop — states,
+// incremental evaluation, batch assignment, completion application and
+// checkpointing — as one synchronous function. The service layer
+// (src/service/campaign_manager.h) needs those steps individually: a
+// campaign draws an assignment batch, hands the tasks to an asynchronous
+// completion source (crowd taggers), and applies completions as they
+// arrive, possibly much later and interleaved with other campaigns.
+//
+// CampaignRuntime is that decomposition. The step protocol is:
+//
+//   CampaignRuntime rt(options, &initial_posts, &references);
+//   rt.Begin(strategy, stream);             // build states, Init, t=0
+//   while (!rt.done()) {
+//     rt.DrawBatch(&batch);                 // assignment phase
+//     if (batch.empty()) break;             // strategy stopped early
+//     for (ResourceId r : batch)
+//       rt.ApplyCompletion(r);              // completion phase
+//   }
+//   RunReport report = rt.Finish();
+//
+// Driving the protocol straight through (as AllocationEngine::Run now
+// does, and as CampaignManager's deterministic mode does) reproduces the
+// original synchronous engine exactly: same reports, same strategy call
+// sequence. The runtime is single-threaded by design — the service layer
+// guarantees at most one thread steps a campaign at a time.
+#ifndef INCENTAG_CORE_CAMPAIGN_RUNTIME_H_
+#define INCENTAG_CORE_CAMPAIGN_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/allocation.h"
+#include "src/core/post_stream.h"
+#include "src/core/resource_state.h"
+#include "src/core/strategy.h"
+#include "src/core/types.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+
+namespace incentag {
+namespace core {
+
+namespace internal {
+class Evaluation;
+}  // namespace internal
+
+class CampaignRuntime {
+ public:
+  // Pointers must outlive the runtime and have equal size (same contract
+  // as AllocationEngine).
+  CampaignRuntime(EngineOptions options,
+                  const std::vector<PostSequence>* initial_posts,
+                  const std::vector<ResourceReference>* references);
+  ~CampaignRuntime();
+
+  // The strategy context points into member state; moving would dangle it.
+  CampaignRuntime(const CampaignRuntime&) = delete;
+  CampaignRuntime& operator=(const CampaignRuntime&) = delete;
+
+  // Validates the configuration, builds the observable states from the
+  // initial posts, mirrors them into the evaluation, runs strategy->Init
+  // and records the t=0 checkpoint. `strategy` and `stream` must outlive
+  // the runtime; the stream's cursors are consumed.
+  util::Status Begin(Strategy* strategy, PostStream* stream);
+
+  // Assignment phase: fills `batch` with up to options.batch_size
+  // resource ids whose budget is now committed (strategy->OnAssigned has
+  // run for each). An empty batch means the strategy stopped the campaign
+  // early; done() becomes true. Errors indicate a misbehaving strategy.
+  util::Status DrawBatch(std::vector<ResourceId>* batch);
+
+  // Completion phase for one task previously returned by DrawBatch:
+  // draws the resource's next post, applies it to the observable state
+  // and the evaluation, and notifies the strategy. Tasks of a batch may
+  // be applied at any later time but must be applied in assignment order
+  // and exactly once each.
+  void ApplyCompletion(ResourceId chosen);
+
+  // True once the budget is spent or the strategy stopped early; no
+  // further DrawBatch calls are allowed.
+  bool done() const {
+    return stopped_early_ || spent_ >= options_.budget;
+  }
+
+  int64_t spent() const { return spent_; }
+  int64_t tasks_completed() const { return tasks_completed_; }
+  size_t num_resources() const { return initial_posts_->size(); }
+  const EngineOptions& options() const { return options_; }
+
+  // Current evaluation snapshot (O(1); safe between any two steps).
+  AllocationMetrics Metrics() const;
+  size_t checkpoints_recorded() const { return checkpoints_.size(); }
+
+  // Stops the clock and assembles the RunReport. Call at most once, after
+  // which the runtime is spent.
+  RunReport Finish();
+
+ private:
+  int64_t CostOf(ResourceId i) const;
+  void RecordCheckpointsThrough(int64_t budget_used);
+
+  EngineOptions options_;
+  const std::vector<PostSequence>* initial_posts_;
+  const std::vector<ResourceReference>* references_;
+
+  Strategy* strategy_ = nullptr;
+  PostStream* stream_ = nullptr;
+  StrategyContext ctx_;
+  std::vector<ResourceState> states_;
+  std::unique_ptr<internal::Evaluation> eval_;
+  std::vector<bool> exhausted_;
+
+  std::vector<int64_t> allocation_;
+  std::vector<AllocationMetrics> checkpoints_;
+  size_t next_checkpoint_ = 0;
+  int64_t spent_ = 0;
+  int64_t tasks_completed_ = 0;
+  bool stopped_early_ = false;
+  util::Stopwatch timer_;
+};
+
+}  // namespace core
+}  // namespace incentag
+
+#endif  // INCENTAG_CORE_CAMPAIGN_RUNTIME_H_

@@ -22,8 +22,13 @@
 #include "src/core/strategy_fpmu.h"
 #include "src/core/strategy_mu.h"
 #include "src/core/strategy_rr.h"
+#include "src/core/campaign_runtime.h"
 #include "src/core/tag_vocabulary.h"
 #include "src/core/types.h"
+
+// Service layer: concurrent multi-campaign execution.
+#include "src/service/campaign_manager.h"
+#include "src/service/completion_source.h"
 
 // Simulation substrate: corpus, dataset pipeline, crowds.
 #include "src/sim/corpus_stream.h"
@@ -32,6 +37,7 @@
 #include "src/sim/dataset_prep.h"
 #include "src/sim/delicious_format.h"
 #include "src/sim/generator.h"
+#include "src/sim/load_generator.h"
 #include "src/sim/preference_crowd.h"
 #include "src/sim/tag_profile.h"
 #include "src/sim/topic_hierarchy.h"

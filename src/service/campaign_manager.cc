@@ -1,0 +1,453 @@
+#include "src/service/campaign_manager.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/campaign_runtime.h"
+#include "src/util/stopwatch.h"
+
+namespace incentag {
+namespace service {
+
+// All mutable campaign state. Ownership of the non-const parts is split
+// three ways, so a step never contends with anything but its own inbox:
+//   * stepper-owned: runtime, reorder buffer, pending deque, seq counters
+//     — touched only by the thread holding the `scheduled` token;
+//   * inbox: completed seqs from tagger threads, guarded by inbox_mu;
+//   * published: the status snapshot + terminal report, guarded by
+//     status_mu, written at step boundaries and read by pollers/waiters.
+struct CampaignManager::Campaign {
+  Campaign(CampaignId id_in, CampaignConfig config_in)
+      : id(id_in),
+        config(std::move(config_in)),
+        strategy_name(config.strategy->name()),
+        runtime(config.options, config.initial_posts, config.references) {}
+
+  const CampaignId id;
+  CampaignConfig config;
+  // Cached at submit time: pollers must not call name() on a strategy a
+  // stepper thread is concurrently mutating.
+  const std::string strategy_name;
+
+  // ---- stepper-owned (guarded by the `scheduled` token) ----
+  core::CampaignRuntime runtime;
+  bool begun = false;
+  // Assignment order of in-flight tasks; front corresponds to next_apply.
+  std::deque<core::ResourceId> pending;
+  // Completed seqs waiting for their predecessors (min-heap by seq).
+  std::priority_queue<uint64_t, std::vector<uint64_t>,
+                      std::greater<uint64_t>>
+      reorder;
+  uint64_t next_assign_seq = 0;
+  uint64_t next_apply_seq = 0;
+  std::vector<core::ResourceId> batch;
+  std::vector<TaskHandle> tasks;
+  util::Stopwatch started;
+
+  // ---- scheduling token ----
+  // True while a step is scheduled or running; whoever flips false->true
+  // owns the right (and duty) to submit the next step.
+  std::atomic<bool> scheduled{false};
+  std::atomic<bool> cancel_requested{false};
+  std::atomic<bool> finalized{false};
+
+  // ---- completion inbox (MPSC: taggers produce, the stepper drains) ----
+  std::mutex inbox_mu;
+  std::vector<uint64_t> inbox;
+
+  // ---- published snapshot + terminal state ----
+  mutable std::mutex status_mu;
+  std::condition_variable terminal_cv;
+  CampaignState state = CampaignState::kRunning;
+  core::AllocationMetrics metrics;
+  int64_t budget_spent = 0;
+  int64_t tasks_completed = 0;
+  int64_t tasks_in_flight = 0;
+  size_t checkpoints_recorded = 0;
+  double elapsed_seconds = 0.0;
+  std::string error;
+  core::RunReport report;
+};
+
+// One registry shard: a mutex plus the campaigns hashed to it. Campaigns
+// are never erased before the manager is destroyed, so a pointer obtained
+// under the shard lock stays valid afterwards.
+struct CampaignManager::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<CampaignId, std::unique_ptr<Campaign>> campaigns;
+};
+
+CampaignManager::CampaignManager(ManagerOptions options)
+    : options_(options) {
+  if (options_.num_shards <= 0) options_.num_shards = 1;
+  if (options_.tasks_per_step <= 0) options_.tasks_per_step = 1;
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.completions != nullptr) {
+    source_ = options_.completions;
+  } else {
+    inline_source_ = std::make_unique<InlineCompletionSource>();
+    source_ = inline_source_.get();
+  }
+  if (!options_.deterministic) {
+    const int threads = options_.num_threads > 0
+                            ? options_.num_threads
+                            : util::DefaultThreadCount();
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+}
+
+CampaignManager::~CampaignManager() { Shutdown(); }
+
+int CampaignManager::num_threads() const {
+  return pool_ == nullptr ? 0 : pool_->num_threads();
+}
+
+size_t CampaignManager::num_campaigns() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->campaigns.size();
+  }
+  return n;
+}
+
+CampaignManager::Campaign* CampaignManager::Find(CampaignId id) const {
+  const Shard& shard =
+      *shards_[id % static_cast<CampaignId>(shards_.size())];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.campaigns.find(id);
+  return it == shard.campaigns.end() ? nullptr : it->second.get();
+}
+
+util::Result<CampaignId> CampaignManager::Submit(CampaignConfig config) {
+  if (config.initial_posts == nullptr || config.references == nullptr) {
+    return util::Status::InvalidArgument(
+        "campaign needs initial posts and references");
+  }
+  if (config.initial_posts->size() != config.references->size()) {
+    return util::Status::InvalidArgument(
+        "initial posts / references size mismatch");
+  }
+  if (config.strategy == nullptr || config.stream == nullptr) {
+    return util::Status::InvalidArgument(
+        "campaign needs a strategy and a post stream");
+  }
+  const CampaignId id = next_id_.fetch_add(1);
+  auto campaign = std::make_unique<Campaign>(id, std::move(config));
+  Campaign* raw = campaign.get();
+  {
+    Shard& shard = *shards_[id % static_cast<CampaignId>(shards_.size())];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Checked under the shard lock so Submit and Shutdown's sweep cannot
+    // miss each other: Shutdown sets the flag before locking the shards,
+    // so either this read sees it (reject) or the sweep's later snapshot
+    // of this shard sees the campaign (cancel it).
+    if (shutdown_.load()) {
+      return util::Status::FailedPrecondition("manager is shut down");
+    }
+    shard.campaigns.emplace(id, std::move(campaign));
+  }
+  if (options_.deterministic) {
+    RunDeterministic(raw);
+  } else {
+    ScheduleStep(raw);
+  }
+  return id;
+}
+
+// The deterministic fallback: the exact driver AllocationEngine::Run uses,
+// inline on the submitting thread — reports are byte-identical to the
+// synchronous engine for identical inputs.
+void CampaignManager::RunDeterministic(Campaign* c) {
+  c->scheduled.store(true);  // the submitting thread is the stepper
+  util::Status status =
+      c->runtime.Begin(c->config.strategy.get(), c->config.stream.get());
+  if (status.ok()) {
+    c->begun = true;
+    std::vector<core::ResourceId>& batch = c->batch;
+    while (!c->runtime.done()) {
+      status = c->runtime.DrawBatch(&batch);
+      if (!status.ok()) break;
+      if (batch.empty()) break;
+      for (core::ResourceId chosen : batch) {
+        c->runtime.ApplyCompletion(chosen);
+      }
+    }
+  }
+  if (!status.ok()) {
+    Finalize(c, CampaignState::kFailed, status.ToString());
+  } else {
+    Finalize(c, CampaignState::kDone, "");
+  }
+}
+
+void CampaignManager::ScheduleStep(Campaign* c) {
+  if (!c->scheduled.exchange(true)) {
+    if (!pool_->Submit([this, c] { Step(c); })) {
+      // Pool already shut down (late completion during teardown); the
+      // campaign was or will be finalized by Shutdown's cancel sweep.
+      c->scheduled.store(false);
+    }
+  }
+}
+
+void CampaignManager::OnCompletion(Campaign* c, uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(c->inbox_mu);
+    c->inbox.push_back(seq);
+  }
+  if (!c->finalized.load()) ScheduleStep(c);
+}
+
+// One scheduling quantum of a campaign. Exactly one thread runs Step for
+// a given campaign at a time (the `scheduled` token); all stepper-owned
+// state is therefore lock-free to touch.
+void CampaignManager::Step(Campaign* c) {
+  if (c->finalized.load()) return;
+
+  if (!c->begun) {
+    util::Status status =
+        c->runtime.Begin(c->config.strategy.get(), c->config.stream.get());
+    if (!status.ok()) {
+      Finalize(c, CampaignState::kFailed, status.ToString());
+      return;
+    }
+    c->begun = true;
+  }
+
+  std::vector<uint64_t> drained;
+  int64_t applied = 0;
+  for (;;) {
+    if (c->cancel_requested.load()) {
+      Finalize(c, CampaignState::kCancelled, "");
+      return;
+    }
+
+    // Drain the inbox into the reorder buffer, then apply every
+    // completion that is next in assignment order.
+    drained.clear();
+    {
+      std::lock_guard<std::mutex> lock(c->inbox_mu);
+      drained.swap(c->inbox);
+    }
+    for (uint64_t seq : drained) c->reorder.push(seq);
+    while (applied < options_.tasks_per_step && !c->reorder.empty() &&
+           c->reorder.top() == c->next_apply_seq) {
+      c->reorder.pop();
+      const core::ResourceId resource = c->pending.front();
+      c->pending.pop_front();
+      c->runtime.ApplyCompletion(resource);
+      ++c->next_apply_seq;
+      ++applied;
+    }
+
+    if (c->runtime.done() && c->pending.empty()) {
+      Finalize(c, CampaignState::kDone, "");
+      return;
+    }
+
+    if (applied >= options_.tasks_per_step) {
+      // Quantum exhausted: yield the worker so other campaigns run, but
+      // keep the token — we know there is more to do right now.
+      PublishStatus(c);
+      if (!pool_->Submit([this, c] { Step(c); })) {
+        c->scheduled.store(false);  // teardown; cancel sweep finalizes
+      }
+      return;
+    }
+
+    // Assignment phase: a new batch is drawn only once the previous one
+    // is fully applied, mirroring the synchronous engine's semantics.
+    if (!c->runtime.done() && c->pending.empty()) {
+      util::Status status = c->runtime.DrawBatch(&c->batch);
+      if (!status.ok()) {
+        Finalize(c, CampaignState::kFailed, status.ToString());
+        return;
+      }
+      if (c->batch.empty()) continue;  // stopped early; loop finalizes
+      c->tasks.clear();
+      c->tasks.reserve(c->batch.size());
+      for (core::ResourceId resource : c->batch) {
+        c->tasks.push_back(TaskHandle{c->id, resource, c->next_assign_seq});
+        c->pending.push_back(resource);
+        ++c->next_assign_seq;
+      }
+      PublishStatus(c);
+      // May complete some tasks synchronously (inline source): their
+      // callbacks land in the inbox and the next loop iteration applies
+      // them. The token stays with us, so re-schedule attempts by those
+      // callbacks are cheap no-ops.
+      source_->SubmitTasks(
+          c->tasks, [this, c](const TaskHandle& task) {
+            OnCompletion(c, task.seq);
+          });
+      continue;
+    }
+
+    // Waiting on external completions: publish progress and release the
+    // token, then re-check the inbox — a completion may have raced in
+    // between the drain above and the release.
+    PublishStatus(c);
+    c->scheduled.store(false);
+    bool inbox_nonempty;
+    {
+      std::lock_guard<std::mutex> lock(c->inbox_mu);
+      inbox_nonempty = !c->inbox.empty();
+    }
+    if ((inbox_nonempty || c->cancel_requested.load()) &&
+        !c->scheduled.exchange(true)) {
+      if (!pool_->Submit([this, c] { Step(c); })) {
+        c->scheduled.store(false);
+      }
+    }
+    return;
+  }
+}
+
+void CampaignManager::PublishStatus(Campaign* c) {
+  std::lock_guard<std::mutex> lock(c->status_mu);
+  c->metrics = c->runtime.Metrics();
+  c->budget_spent = c->runtime.spent();
+  c->tasks_completed = c->runtime.tasks_completed();
+  c->tasks_in_flight = static_cast<int64_t>(c->pending.size());
+  c->checkpoints_recorded = c->runtime.checkpoints_recorded();
+  c->elapsed_seconds = c->started.ElapsedSeconds();
+}
+
+void CampaignManager::Finalize(Campaign* c, CampaignState state,
+                               std::string error) {
+  // Keep the token forever: no further steps can be scheduled, and late
+  // completions are dropped in OnCompletion via `finalized`.
+  {
+    std::lock_guard<std::mutex> lock(c->status_mu);
+    c->state = state;
+    c->error = std::move(error);
+    if (c->begun && state != CampaignState::kFailed) {
+      c->report = c->runtime.Finish();
+      // A cancellation that left budget unspent stopped the run early in
+      // the RunReport sense, even though the strategy never declined.
+      if (state == CampaignState::kCancelled &&
+          c->report.budget_spent < c->config.options.budget) {
+        c->report.stopped_early = true;
+      }
+      c->metrics = c->report.final_metrics;
+      c->budget_spent = c->report.budget_spent;
+      c->tasks_completed = c->runtime.tasks_completed();
+      c->checkpoints_recorded = c->report.checkpoints.size();
+    }
+    c->tasks_in_flight = static_cast<int64_t>(c->pending.size());
+    c->elapsed_seconds = c->started.ElapsedSeconds();
+  }
+  c->finalized.store(true);
+  c->terminal_cv.notify_all();
+}
+
+util::Status CampaignManager::Cancel(CampaignId id) {
+  Campaign* c = Find(id);
+  if (c == nullptr) return util::Status::NotFound("no such campaign");
+  c->cancel_requested.store(true);
+  if (!options_.deterministic && !c->finalized.load()) ScheduleStep(c);
+  return util::Status::OK();
+}
+
+util::Result<CampaignStatus> CampaignManager::Status(CampaignId id) const {
+  const Campaign* c = Find(id);
+  if (c == nullptr) return util::Status::NotFound("no such campaign");
+  CampaignStatus out;
+  out.id = c->id;
+  out.name = c->config.name;
+  out.strategy = c->strategy_name;
+  out.budget = c->config.options.budget;
+  std::lock_guard<std::mutex> lock(c->status_mu);
+  out.state = c->state;
+  out.budget_spent = c->budget_spent;
+  out.tasks_completed = c->tasks_completed;
+  out.tasks_in_flight = c->tasks_in_flight;
+  out.metrics = c->metrics;
+  out.checkpoints_recorded = c->checkpoints_recorded;
+  out.elapsed_seconds = c->elapsed_seconds;
+  out.tasks_per_second =
+      c->elapsed_seconds > 0.0
+          ? static_cast<double>(c->tasks_completed) / c->elapsed_seconds
+          : 0.0;
+  out.error = c->error;
+  return out;
+}
+
+std::vector<CampaignStatus> CampaignManager::StatusAll() const {
+  std::vector<CampaignId> ids;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, campaign] : shard->campaigns) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<CampaignStatus> out;
+  out.reserve(ids.size());
+  for (CampaignId id : ids) {
+    auto status = Status(id);
+    if (status.ok()) out.push_back(std::move(status).value());
+  }
+  return out;
+}
+
+util::Result<core::RunReport> CampaignManager::Wait(CampaignId id) {
+  Campaign* c = Find(id);
+  if (c == nullptr) return util::Status::NotFound("no such campaign");
+  std::unique_lock<std::mutex> lock(c->status_mu);
+  c->terminal_cv.wait(
+      lock, [c] { return c->state != CampaignState::kRunning; });
+  if (c->state == CampaignState::kFailed) {
+    return util::Status::Internal("campaign failed: " + c->error);
+  }
+  return c->report;
+}
+
+void CampaignManager::WaitAll() {
+  std::vector<CampaignId> ids;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, campaign] : shard->campaigns) ids.push_back(id);
+  }
+  for (CampaignId id : ids) Wait(id);
+}
+
+void CampaignManager::Shutdown() {
+  // The flag must be set before the sweep locks the shards (see the
+  // matching comment in Submit); call_once makes concurrent or repeated
+  // Shutdown calls block until the one real teardown completes, so no
+  // caller can join the pool while another is still sweeping.
+  shutdown_.store(true);
+  std::call_once(shutdown_once_, [this] {
+    if (pool_ == nullptr) return;  // deterministic mode: nothing running
+    // Sweep every live campaign into cancellation, wait for the steps to
+    // finalize them, then drain and join the pool.
+    std::vector<Campaign*> live;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const auto& [id, campaign] : shard->campaigns) {
+        live.push_back(campaign.get());
+      }
+    }
+    for (Campaign* c : live) {
+      c->cancel_requested.store(true);
+      if (!c->finalized.load()) ScheduleStep(c);
+    }
+    for (Campaign* c : live) {
+      std::unique_lock<std::mutex> lock(c->status_mu);
+      c->terminal_cv.wait(
+          lock, [c] { return c->state != CampaignState::kRunning; });
+    }
+    pool_->Shutdown();
+  });
+}
+
+}  // namespace service
+}  // namespace incentag

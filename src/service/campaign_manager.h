@@ -1,0 +1,179 @@
+// CampaignManager: concurrent multi-campaign service layer.
+//
+// The paper evaluates one campaign at a time; a production tagging
+// platform runs many — one per community/vocabulary/budget (cf.
+// arXiv:2104.01028, arXiv:2104.08504) — fed by asynchronous task
+// completions from the crowd. CampaignManager owns N independent
+// campaigns (each an EngineOptions + Strategy + PostStream + per-resource
+// states wrapped in a core::CampaignRuntime) and drives them concurrently
+// on a fixed util::ThreadPool with an event-driven lifecycle:
+//
+//   Submit(config)                       -> campaign id, step scheduled
+//   step: drain completion inbox         -> apply in assignment order
+//         batch done?                    -> Strategy::Choose/OnAssigned,
+//                                           tasks to the CompletionSource
+//   completion callback (any thread)     -> per-campaign MPSC inbox,
+//                                           campaign re-scheduled
+//   budget spent / strategy stopped      -> RunReport, waiters notified
+//
+// Threading model (see src/service/README.md for the full picture):
+//   * Campaign state is sharded: the registry is split over S shards with
+//     one mutex each, and every mutable campaign structure is per-campaign
+//     — the hot path (a campaign step) takes no global lock.
+//   * At most one thread steps a given campaign at a time, enforced by an
+//     atomic "scheduled" token; the runtime itself is single-threaded.
+//   * Completions land in a per-campaign MPSC inbox (mutex + swap-drain)
+//     and are re-ordered into assignment order before application, so a
+//     campaign's result is independent of tagger timing.
+//
+// Deterministic mode (ManagerOptions::deterministic) runs each campaign
+// synchronously inside Submit on the calling thread, byte-identical to
+// AllocationEngine::Run for the same inputs (it drives the same
+// CampaignRuntime step protocol in the same order).
+#ifndef INCENTAG_SERVICE_CAMPAIGN_MANAGER_H_
+#define INCENTAG_SERVICE_CAMPAIGN_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/allocation.h"
+#include "src/core/post_stream.h"
+#include "src/core/strategy.h"
+#include "src/service/completion_source.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace incentag {
+namespace service {
+
+// Everything one campaign needs. `initial_posts` and `references` must
+// outlive the manager (they are shared, read-only dataset vectors);
+// `strategy` and `stream` are owned by the campaign and must not be
+// shared across campaigns.
+struct CampaignConfig {
+  std::string name;
+  core::EngineOptions options;
+  const std::vector<core::PostSequence>* initial_posts = nullptr;
+  const std::vector<core::ResourceReference>* references = nullptr;
+  std::unique_ptr<core::Strategy> strategy;
+  std::unique_ptr<core::PostStream> stream;
+  // Optional keep-alive for auxiliary objects the strategy or stream
+  // reference (e.g. the sim::CrowdModel behind FreeChoiceStrategy's
+  // picker). Destroyed with the campaign.
+  std::shared_ptr<void> context;
+};
+
+enum class CampaignState {
+  kRunning,    // submitted; stepping or waiting for completions
+  kDone,       // budget spent or strategy stopped early; report ready
+  kCancelled,  // Cancel() took effect; partial report ready
+  kFailed,     // configuration or strategy error; see CampaignStatus::error
+};
+
+// A point-in-time snapshot, pollable while the campaign runs.
+struct CampaignStatus {
+  CampaignId id = 0;
+  std::string name;
+  std::string strategy;
+  CampaignState state = CampaignState::kRunning;
+  int64_t budget = 0;
+  int64_t budget_spent = 0;
+  int64_t tasks_completed = 0;
+  // Tasks assigned to the completion source and not yet applied.
+  int64_t tasks_in_flight = 0;
+  // Latest evaluation snapshot (quality, over/under-tagged, wasted).
+  core::AllocationMetrics metrics;
+  size_t checkpoints_recorded = 0;
+  double elapsed_seconds = 0.0;
+  // Completed tasks per wall-clock second since the campaign began.
+  double tasks_per_second = 0.0;
+  std::string error;
+};
+
+struct ManagerOptions {
+  // Worker threads; <= 0 means util::DefaultThreadCount(). Ignored in
+  // deterministic mode (everything runs on the submitting thread).
+  int num_threads = 0;
+  // Run campaigns synchronously inside Submit, in submission order,
+  // reproducing AllocationEngine::Run exactly.
+  bool deterministic = false;
+  // Completions applied per scheduling quantum before a campaign yields
+  // its worker — the fairness knob between campaign count and latency.
+  int64_t tasks_per_step = 256;
+  // Tagger crowd; null means an internal InlineCompletionSource. An
+  // external source must outlive the manager AND be stopped/quiesced
+  // before the manager is destroyed (its callbacks touch manager state).
+  CompletionSource* completions = nullptr;
+  // Registry shards; more shards = less contention on Submit/Status.
+  int num_shards = 16;
+};
+
+class CampaignManager {
+ public:
+  explicit CampaignManager(ManagerOptions options);
+  // Implies Shutdown(): campaigns still running are cancelled, not
+  // awaited. Call WaitAll() first if you want their reports.
+  ~CampaignManager();
+
+  CampaignManager(const CampaignManager&) = delete;
+  CampaignManager& operator=(const CampaignManager&) = delete;
+
+  // Registers the campaign and schedules its first step (deterministic
+  // mode: runs it to completion before returning). Fails fast on null
+  // config fields or mismatched sizes.
+  util::Result<CampaignId> Submit(CampaignConfig config);
+
+  // Requests cancellation; takes effect at the campaign's next step
+  // boundary. No-op on campaigns already terminal.
+  util::Status Cancel(CampaignId id);
+
+  // Snapshot of one campaign / of every campaign, in submission order.
+  util::Result<CampaignStatus> Status(CampaignId id) const;
+  std::vector<CampaignStatus> StatusAll() const;
+
+  // Blocks until the campaign is terminal. Returns its RunReport (for
+  // kCancelled: the partial report, with stopped_early=true whenever the
+  // cancellation left budget unspent); kFailed surfaces as an error
+  // status.
+  util::Result<core::RunReport> Wait(CampaignId id);
+
+  // Blocks until every submitted campaign is terminal.
+  void WaitAll();
+
+  // Cancels all running campaigns, waits for their steps to settle and
+  // joins the pool. Idempotent; implied by the destructor.
+  void Shutdown();
+
+  int num_threads() const;
+  size_t num_campaigns() const;
+
+ private:
+  struct Campaign;
+  struct Shard;
+
+  Campaign* Find(CampaignId id) const;
+  void ScheduleStep(Campaign* campaign);
+  void Step(Campaign* campaign);
+  void RunDeterministic(Campaign* campaign);
+  void Finalize(Campaign* campaign, CampaignState state, std::string error);
+  void PublishStatus(Campaign* campaign);
+  void OnCompletion(Campaign* campaign, uint64_t seq);
+
+  ManagerOptions options_;
+  std::unique_ptr<InlineCompletionSource> inline_source_;
+  CompletionSource* source_ = nullptr;  // options_.completions or inline
+  std::unique_ptr<util::ThreadPool> pool_;  // null in deterministic mode
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<CampaignId> next_id_{1};
+  std::atomic<bool> shutdown_{false};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace service
+}  // namespace incentag
+
+#endif  // INCENTAG_SERVICE_CAMPAIGN_MANAGER_H_

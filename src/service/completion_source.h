@@ -1,0 +1,69 @@
+// CompletionSource: the crowd-platform boundary of the service layer.
+//
+// A CampaignManager draws assignment batches (paper Algorithm 1 step 5 /
+// the Figure-2 "post tasks" arrow) and hands each task to a
+// CompletionSource — the abstraction of the tagger crowd. The source
+// completes tasks asynchronously by invoking the campaign's callback,
+// possibly from other threads and possibly out of assignment order; the
+// manager's per-campaign reorder buffer restores assignment order before
+// the completion is applied, so results stay independent of tagger timing.
+//
+// Two implementations ship:
+//   * InlineCompletionSource (here): taggers finish instantly, inside
+//     SubmitTasks — the synchronous world of Algorithm 1.
+//   * sim::CrowdLoadGenerator (src/sim/load_generator.h): a pool of
+//     simulated tagger threads with configurable per-task latency.
+#ifndef INCENTAG_SERVICE_COMPLETION_SOURCE_H_
+#define INCENTAG_SERVICE_COMPLETION_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace incentag {
+namespace service {
+
+// Identifies a campaign within one CampaignManager.
+using CampaignId = uint64_t;
+
+// One assigned post task in flight between assignment and completion.
+struct TaskHandle {
+  CampaignId campaign = 0;
+  core::ResourceId resource = core::kInvalidResource;
+  // Per-campaign assignment sequence number; the manager applies
+  // completions in seq order regardless of arrival order.
+  uint64_t seq = 0;
+};
+
+class CompletionSource {
+ public:
+  virtual ~CompletionSource() = default;
+
+  // Invoked by the source exactly once per task when a tagger finishes
+  // it. Must be cheap and non-blocking; may run on any thread.
+  using CompletionFn = std::function<void(const TaskHandle&)>;
+
+  // Accepts a batch of assigned tasks. May block (backpressure), may
+  // complete some or all tasks synchronously before returning. The
+  // callback must not be invoked after the source is stopped/destroyed —
+  // quiesce the source before destroying the CampaignManager it feeds.
+  virtual void SubmitTasks(const std::vector<TaskHandle>& tasks,
+                           const CompletionFn& done) = 0;
+};
+
+// Instant taggers: every task completes synchronously inside SubmitTasks,
+// on the submitting thread. The default source of CampaignManager.
+class InlineCompletionSource : public CompletionSource {
+ public:
+  void SubmitTasks(const std::vector<TaskHandle>& tasks,
+                   const CompletionFn& done) override {
+    for (const TaskHandle& task : tasks) done(task);
+  }
+};
+
+}  // namespace service
+}  // namespace incentag
+
+#endif  // INCENTAG_SERVICE_COMPLETION_SOURCE_H_

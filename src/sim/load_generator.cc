@@ -1,0 +1,68 @@
+#include "src/sim/load_generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/util/random.h"
+
+namespace incentag {
+namespace sim {
+
+CrowdLoadGenerator::CrowdLoadGenerator(LoadGeneratorOptions options)
+    : options_(options),
+      queue_(std::max<size_t>(1, options.queue_capacity)) {
+  const int n = std::max(1, options_.num_taggers);
+  util::Rng rng(options_.seed);
+  speed_factor_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Lognormal spread around 1: some taggers are quick, some dawdle.
+    speed_factor_.push_back(
+        std::exp(options_.tagger_speed_sigma * rng.NextGaussian()));
+  }
+  taggers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    taggers_.emplace_back([this, i] { TaggerLoop(i); });
+  }
+}
+
+CrowdLoadGenerator::~CrowdLoadGenerator() { Stop(); }
+
+void CrowdLoadGenerator::SubmitTasks(
+    const std::vector<service::TaskHandle>& tasks, const CompletionFn& done) {
+  for (const service::TaskHandle& task : tasks) {
+    // Push returns false once the queue is closed; the dropped task's
+    // callback never fires, which Stop() documents.
+    if (!queue_.Push(Item{task, done})) return;
+  }
+}
+
+void CrowdLoadGenerator::Stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.Close();
+  for (std::thread& tagger : taggers_) {
+    if (tagger.joinable()) tagger.join();
+  }
+}
+
+void CrowdLoadGenerator::TaggerLoop(int tagger_index) {
+  util::Rng rng(util::MixSeeds(options_.seed,
+                               static_cast<uint64_t>(tagger_index) + 1));
+  const double speed = speed_factor_[static_cast<size_t>(tagger_index)];
+  for (;;) {
+    std::optional<Item> item = queue_.Pop();
+    if (!item.has_value()) return;  // closed and drained
+    if (options_.mean_latency_us > 0.0) {
+      // Exponential think time scaled by this tagger's speed factor.
+      const double u = std::max(1e-12, 1.0 - rng.NextDouble());
+      const double micros = -options_.mean_latency_us * speed * std::log(u);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(micros));
+    }
+    item->done(item->task);
+    completed_.fetch_add(1);
+  }
+}
+
+}  // namespace sim
+}  // namespace incentag

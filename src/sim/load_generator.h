@@ -1,0 +1,82 @@
+// CrowdLoadGenerator: a simulated tagger crowd behind the service layer.
+//
+// Implements service::CompletionSource with a pool of tagger threads fed
+// from a util::BoundedQueue — the Figure-2 crowdsourcing platform where a
+// batch of post tasks is published and workers pick them up one by one.
+// Each tagger has its own deterministic RNG and a speed factor drawn at
+// construction (a lognormal spread around 1, mirroring how real crowds mix
+// fast and slow workers), and sleeps an exponential "think time" per task
+// when mean_latency_us > 0. With latency enabled, completions arrive out
+// of assignment order across taggers; the CampaignManager's reorder buffer
+// makes campaign results independent of that timing.
+//
+// The bounded queue is the backpressure point: campaign steps block in
+// SubmitTasks when the crowd is saturated instead of queueing unboundedly.
+#ifndef INCENTAG_SIM_LOAD_GENERATOR_H_
+#define INCENTAG_SIM_LOAD_GENERATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/service/completion_source.h"
+#include "src/util/bounded_queue.h"
+
+namespace incentag {
+namespace sim {
+
+struct LoadGeneratorOptions {
+  // Simulated crowd size (completion parallelism).
+  int num_taggers = 4;
+  // Mean per-task think time, microseconds; 0 completes at full speed.
+  double mean_latency_us = 0.0;
+  // Lognormal sigma of the per-tagger speed factor (0 = uniform crowd).
+  double tagger_speed_sigma = 0.5;
+  uint64_t seed = 1;
+  // Task queue capacity; producers block beyond this.
+  size_t queue_capacity = 4096;
+};
+
+class CrowdLoadGenerator : public service::CompletionSource {
+ public:
+  explicit CrowdLoadGenerator(LoadGeneratorOptions options);
+  // Implies Stop().
+  ~CrowdLoadGenerator() override;
+
+  CrowdLoadGenerator(const CrowdLoadGenerator&) = delete;
+  CrowdLoadGenerator& operator=(const CrowdLoadGenerator&) = delete;
+
+  // Blocks while the crowd queue is full. Tasks submitted after Stop()
+  // are dropped (their callbacks never fire).
+  void SubmitTasks(const std::vector<service::TaskHandle>& tasks,
+                   const CompletionFn& done) override;
+
+  // Closes the queue: queued tasks still complete, new ones are dropped;
+  // joins the tagger threads. Idempotent. Call before destroying any
+  // CampaignManager this source feeds.
+  void Stop();
+
+  // Tasks completed so far, across all taggers.
+  int64_t completed() const { return completed_.load(); }
+
+ private:
+  struct Item {
+    service::TaskHandle task;
+    CompletionFn done;
+  };
+
+  void TaggerLoop(int tagger_index);
+
+  LoadGeneratorOptions options_;
+  util::BoundedQueue<Item> queue_;
+  std::vector<double> speed_factor_;
+  std::vector<std::thread> taggers_;
+  std::atomic<int64_t> completed_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace sim
+}  // namespace incentag
+
+#endif  // INCENTAG_SIM_LOAD_GENERATOR_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/util/text.h"
+#include "src/util/thread_pool.h"
 
 namespace incentag {
 namespace util {
@@ -131,6 +132,12 @@ std::string FlagSet::Usage() const {
     out += line;
   }
   return out;
+}
+
+void AddThreadsFlag(FlagSet* flags, int64_t* threads) {
+  *threads = DefaultThreadCount();
+  flags->AddInt("threads", threads,
+                "worker threads (default: hardware concurrency)");
 }
 
 }  // namespace util

@@ -53,6 +53,13 @@ class FlagSet {
   std::vector<Flag> flags_;
 };
 
+// Registers the canonical `--threads` flag on `flags`, overwriting
+// *threads with its default: std::thread::hardware_concurrency() (1 when
+// the runtime cannot tell). Every concurrent binary (service benches,
+// campaign examples) should use this instead of hand-rolling the flag so
+// the name and default stay uniform.
+void AddThreadsFlag(FlagSet* flags, int64_t* threads);
+
 }  // namespace util
 }  // namespace incentag
 

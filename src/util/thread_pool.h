@@ -1,0 +1,59 @@
+// ThreadPool: the fixed worker pool that executes campaign steps for
+// src/service/. Tasks are plain closures; the queue is unbounded because
+// the service layer submits at most one step task per campaign at a time
+// (see the scheduled-flag protocol in campaign_manager.cc), so queue depth
+// is bounded by the campaign count by construction.
+#ifndef INCENTAG_UTIL_THREAD_POOL_H_
+#define INCENTAG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incentag {
+namespace util {
+
+// std::thread::hardware_concurrency(), with the mandated fallback of 1
+// when the runtime cannot tell. The default for every --threads flag.
+int DefaultThreadCount();
+
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers immediately.
+  explicit ThreadPool(int num_threads);
+  // Equivalent to Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution. Returns false (dropping the task) once
+  // Shutdown() has begun. Safe to call from worker threads.
+  bool Submit(std::function<void()> task);
+
+  // Stops accepting tasks, runs everything already queued, joins the
+  // workers. Idempotent and safe to call concurrently (late callers
+  // block until the join completes). Must not be called from a worker
+  // thread.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::once_flag join_once_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_THREAD_POOL_H_

@@ -1,0 +1,351 @@
+#include "src/service/campaign_manager.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/allocation.h"
+#include "src/core/post_stream.h"
+#include "src/core/strategy_fc.h"
+#include "src/core/strategy_fp.h"
+#include "src/core/strategy_fpmu.h"
+#include "src/core/strategy_mu.h"
+#include "src/core/strategy_rr.h"
+#include "src/sim/crowd.h"
+#include "src/sim/dataset_prep.h"
+#include "src/sim/generator.h"
+#include "src/sim/load_generator.h"
+#include "src/util/random.h"
+
+namespace incentag {
+namespace service {
+namespace {
+
+// One shared prepared dataset for every test (read-only).
+class CampaignManagerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::CorpusConfig config;
+    config.num_resources = 80;
+    config.seed = 20260728;
+    auto corpus = sim::Corpus::Generate(config);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    corpus_ = new sim::Corpus(std::move(corpus).value());
+    auto prep = sim::PrepareFromCorpus(*corpus_, sim::PrepConfig{});
+    ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+    dataset_ = new sim::PreparedDataset(std::move(prep).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete corpus_;
+    dataset_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  // A fresh strategy of the i-th kind, with FC crowds seeded per campaign
+  // so sequential and service runs see identical tagger choices.
+  static std::unique_ptr<core::Strategy> MakeStrategy(
+      int kind, uint64_t fc_seed, std::shared_ptr<void>* context) {
+    switch (kind % 5) {
+      case 0:
+        return std::make_unique<core::RoundRobinStrategy>();
+      case 1:
+        return std::make_unique<core::FewestPostsStrategy>();
+      case 2:
+        return std::make_unique<core::MostUnstableStrategy>();
+      case 3:
+        return std::make_unique<core::HybridFpMuStrategy>();
+      default: {
+        auto crowd = std::make_shared<sim::CrowdModel>(
+            dataset_->popularity, /*alpha=*/1.0, fc_seed);
+        *context = crowd;
+        return std::make_unique<core::FreeChoiceStrategy>(
+            crowd->MakePicker());
+      }
+    }
+  }
+
+  static core::EngineOptions MakeOptions(int kind, int64_t budget) {
+    core::EngineOptions options;
+    options.budget = budget;
+    options.omega = 5;
+    options.checkpoints = {budget / 4, budget / 2, budget};
+    // Mix batched and unbatched campaigns.
+    options.batch_size = (kind % 3 == 0) ? 16 : 1;
+    return options;
+  }
+
+  static CampaignConfig MakeConfig(int kind, int64_t budget,
+                                   uint64_t fc_seed) {
+    CampaignConfig config;
+    config.name = "campaign-" + std::to_string(kind);
+    config.options = MakeOptions(kind, budget);
+    config.initial_posts = &dataset_->initial_posts;
+    config.references = &dataset_->references;
+    config.strategy = MakeStrategy(kind, fc_seed, &config.context);
+    config.stream =
+        std::make_unique<core::VectorPostStream>(dataset_->MakeStream());
+    return config;
+  }
+
+  // The sequential ground truth for the same campaign parameters.
+  static core::RunReport RunSequential(int kind, int64_t budget,
+                                       uint64_t fc_seed) {
+    std::shared_ptr<void> context;
+    auto strategy = MakeStrategy(kind, fc_seed, &context);
+    core::AllocationEngine engine(MakeOptions(kind, budget),
+                                  &dataset_->initial_posts,
+                                  &dataset_->references);
+    core::VectorPostStream stream = dataset_->MakeStream();
+    auto report = engine.Run(strategy.get(), &stream);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  }
+
+  static void ExpectReportsEqual(const core::RunReport& want,
+                                 const core::RunReport& got,
+                                 const std::string& label) {
+    EXPECT_EQ(want.strategy_name, got.strategy_name) << label;
+    EXPECT_EQ(want.allocation, got.allocation) << label;
+    EXPECT_EQ(want.budget_spent, got.budget_spent) << label;
+    EXPECT_EQ(want.stopped_early, got.stopped_early) << label;
+    ASSERT_EQ(want.checkpoints.size(), got.checkpoints.size()) << label;
+    for (size_t i = 0; i < want.checkpoints.size(); ++i) {
+      ExpectMetricsEqual(want.checkpoints[i], got.checkpoints[i],
+                         label + " checkpoint " + std::to_string(i));
+    }
+    ExpectMetricsEqual(want.final_metrics, got.final_metrics,
+                       label + " final");
+  }
+
+  static void ExpectMetricsEqual(const core::AllocationMetrics& want,
+                                 const core::AllocationMetrics& got,
+                                 const std::string& label) {
+    EXPECT_EQ(want.budget_used, got.budget_used) << label;
+    // Same code path, same application order: bitwise-identical doubles.
+    EXPECT_EQ(want.avg_quality, got.avg_quality) << label;
+    EXPECT_EQ(want.over_tagged, got.over_tagged) << label;
+    EXPECT_EQ(want.wasted_posts, got.wasted_posts) << label;
+    EXPECT_EQ(want.under_tagged, got.under_tagged) << label;
+  }
+
+  static sim::Corpus* corpus_;
+  static sim::PreparedDataset* dataset_;
+};
+
+sim::Corpus* CampaignManagerTest::corpus_ = nullptr;
+sim::PreparedDataset* CampaignManagerTest::dataset_ = nullptr;
+
+TEST_F(CampaignManagerTest, RejectsInvalidConfigs) {
+  CampaignManager manager(ManagerOptions{});
+  CampaignConfig config;  // everything null
+  auto result = manager.Submit(std::move(config));
+  EXPECT_FALSE(result.ok());
+
+  auto ok = MakeConfig(0, 50, 1);
+  ok.stream = nullptr;
+  result = manager.Submit(std::move(ok));
+  EXPECT_FALSE(result.ok());
+
+  EXPECT_FALSE(manager.Wait(999).ok());
+  EXPECT_FALSE(manager.Status(999).ok());
+  EXPECT_FALSE(manager.Cancel(999).ok());
+}
+
+TEST_F(CampaignManagerTest, DeterministicModeMatchesEngineExactly) {
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager manager(options);
+  for (int kind = 0; kind < 5; ++kind) {
+    const int64_t budget = 200 + 40 * kind;
+    const uint64_t fc_seed = 99 + static_cast<uint64_t>(kind);
+    auto id = manager.Submit(MakeConfig(kind, budget, fc_seed));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    auto got = manager.Wait(id.value());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectReportsEqual(RunSequential(kind, budget, fc_seed), got.value(),
+                       "kind " + std::to_string(kind));
+  }
+}
+
+TEST_F(CampaignManagerTest, ConcurrentInlineMatchesEngine) {
+  ManagerOptions options;
+  options.num_threads = 4;
+  options.tasks_per_step = 32;  // force many scheduling quanta
+  CampaignManager manager(options);
+  std::vector<CampaignId> ids;
+  const int kCampaigns = 10;
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto id = manager.Submit(
+        MakeConfig(i, 150 + 10 * i, 7 + static_cast<uint64_t>(i)));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto got = manager.Wait(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectReportsEqual(
+        RunSequential(i, 150 + 10 * i, 7 + static_cast<uint64_t>(i)),
+        got.value(), "campaign " + std::to_string(i));
+  }
+}
+
+// The headline stress test: many mixed-strategy campaigns completed by a
+// crowd of latency-jittered tagger threads, so completions arrive out of
+// assignment order and campaign steps interleave arbitrarily. Every
+// campaign must still reproduce its sequential RunReport exactly.
+TEST_F(CampaignManagerTest, StressRandomInterleavingsMatchSequential) {
+  sim::LoadGeneratorOptions load_options;
+  load_options.num_taggers = 6;
+  load_options.mean_latency_us = 30.0;  // enough to shuffle completions
+  load_options.tagger_speed_sigma = 1.0;
+  load_options.seed = 4242;
+  load_options.queue_capacity = 64;  // exercise backpressure
+  sim::CrowdLoadGenerator crowd(load_options);
+
+  ManagerOptions options;
+  options.num_threads = 4;
+  options.tasks_per_step = 17;  // odd quantum to shear step boundaries
+  options.completions = &crowd;
+  CampaignManager manager(options);
+
+  util::Rng rng(555);
+  const int kCampaigns = 24;
+  std::vector<CampaignId> ids;
+  std::vector<int64_t> budgets;
+  std::vector<uint64_t> fc_seeds;
+  for (int i = 0; i < kCampaigns; ++i) {
+    budgets.push_back(60 + static_cast<int64_t>(rng.NextBounded(200)));
+    fc_seeds.push_back(rng.NextUint64());
+    auto id = manager.Submit(MakeConfig(i, budgets.back(), fc_seeds.back()));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+  manager.WaitAll();
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto got = manager.Wait(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const auto& status = manager.Status(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status.value().state, CampaignState::kDone);
+    EXPECT_EQ(status.value().tasks_in_flight, 0);
+    ExpectReportsEqual(
+        RunSequential(i, budgets[static_cast<size_t>(i)],
+                      fc_seeds[static_cast<size_t>(i)]),
+        got.value(), "campaign " + std::to_string(i));
+  }
+  crowd.Stop();
+  manager.Shutdown();
+}
+
+TEST_F(CampaignManagerTest, StatusIsPollableWhileRunning) {
+  ManagerOptions options;
+  options.num_threads = 2;
+  options.tasks_per_step = 8;
+  CampaignManager manager(options);
+  auto id = manager.Submit(MakeConfig(1, 400, 3));
+  ASSERT_TRUE(id.ok());
+  // Poll until terminal; every intermediate snapshot must be coherent.
+  for (;;) {
+    auto status = manager.Status(id.value());
+    ASSERT_TRUE(status.ok());
+    EXPECT_LE(status.value().budget_spent, 400);
+    EXPECT_GE(status.value().tasks_completed, 0);
+    EXPECT_EQ(status.value().strategy, "FP");
+    if (status.value().state != CampaignState::kRunning) break;
+  }
+  auto report = manager.Wait(id.value());
+  ASSERT_TRUE(report.ok());
+  auto final_status = manager.Status(id.value());
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_EQ(final_status.value().state, CampaignState::kDone);
+  EXPECT_EQ(final_status.value().budget_spent,
+            report.value().budget_spent);
+  EXPECT_GT(final_status.value().tasks_per_second, 0.0);
+}
+
+TEST_F(CampaignManagerTest, CancelStopsACampaignEarly) {
+  // A tagger crowd slow enough that cancellation lands mid-run.
+  sim::LoadGeneratorOptions load_options;
+  load_options.num_taggers = 1;
+  load_options.mean_latency_us = 500.0;
+  load_options.seed = 9;
+  sim::CrowdLoadGenerator crowd(load_options);
+
+  ManagerOptions options;
+  options.num_threads = 2;
+  options.completions = &crowd;
+  CampaignManager manager(options);
+  auto id = manager.Submit(MakeConfig(0, 1000000, 3));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.Cancel(id.value()).ok());
+  auto report = manager.Wait(id.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_LT(report.value().budget_spent, 1000000);
+  EXPECT_TRUE(report.value().stopped_early);
+  auto status = manager.Status(id.value());
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().state, CampaignState::kCancelled);
+  crowd.Stop();
+  manager.Shutdown();
+}
+
+TEST_F(CampaignManagerTest, ShutdownCancelsEverythingAndIsIdempotent) {
+  sim::LoadGeneratorOptions load_options;
+  load_options.num_taggers = 2;
+  load_options.mean_latency_us = 200.0;
+  load_options.seed = 77;
+  sim::CrowdLoadGenerator crowd(load_options);
+
+  ManagerOptions options;
+  options.num_threads = 3;
+  options.completions = &crowd;
+  auto manager = std::make_unique<CampaignManager>(options);
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = manager->Submit(MakeConfig(i, 500000, 11));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  manager->Shutdown();
+  manager->Shutdown();  // idempotent
+  for (CampaignId id : ids) {
+    auto status = manager->Status(id);
+    ASSERT_TRUE(status.ok());
+    EXPECT_NE(status.value().state, CampaignState::kRunning);
+  }
+  EXPECT_FALSE(manager->Submit(MakeConfig(0, 10, 1)).ok());
+  crowd.Stop();
+  manager.reset();  // destructor after the source is quiesced
+}
+
+TEST_F(CampaignManagerTest, ManyMoreCampaignsThanThreads) {
+  ManagerOptions options;
+  options.num_threads = 2;
+  options.tasks_per_step = 16;
+  options.num_shards = 4;
+  CampaignManager manager(options);
+  const int kCampaigns = 40;
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto id = manager.Submit(MakeConfig(i, 80, 1 + static_cast<uint64_t>(i)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  manager.WaitAll();
+  EXPECT_EQ(manager.num_campaigns(), static_cast<size_t>(kCampaigns));
+  int64_t total = 0;
+  for (const CampaignStatus& status : manager.StatusAll()) {
+    EXPECT_EQ(status.state, CampaignState::kDone);
+    total += status.tasks_completed;
+  }
+  EXPECT_GT(total, 0);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace incentag

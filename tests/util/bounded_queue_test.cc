@@ -1,0 +1,93 @@
+#include "src/util/bounded_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace util {
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  queue.Pop();
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenFails) {
+  BoundedQueue<int> queue(4);
+  queue.Push(7);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(8));
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.Pop().value(), 7);  // drains the remainder
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksBlockedPopper) {
+  BoundedQueue<int> queue(1);
+  std::thread popper([&queue] { EXPECT_EQ(queue.Pop(), std::nullopt); });
+  queue.Close();
+  popper.join();
+}
+
+TEST(BoundedQueueTest, CloseUnblocksBlockedPusher) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));  // now full
+  std::thread pusher([&queue] { EXPECT_FALSE(queue.Push(2)); });
+  queue.Close();
+  pusher.join();
+  EXPECT_EQ(queue.Pop().value(), 1);  // queued item still drains
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2500;
+  BoundedQueue<int> queue(16);  // small capacity: real backpressure
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&queue, &sum, &popped] {
+      for (;;) {
+        std::optional<int> value = queue.Pop();
+        if (!value.has_value()) return;
+        sum.fetch_add(*value);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+  queue.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag

@@ -1,0 +1,60 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Shutdown();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerThread) {
+  std::atomic<int> counter{0};
+  std::atomic<bool> resubmitted{false};
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.Submit([&] {
+    counter.fetch_add(1);
+    EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    resubmitted.store(true);
+  }));
+  while (!resubmitted.load()) std::this_thread::yield();
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, RejectsTasksAfterShutdown) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+  pool.Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag
