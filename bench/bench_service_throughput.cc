@@ -58,12 +58,14 @@ struct SweepResult {
 
 SweepResult RunOnce(const bench::BenchDataset& bench_ds, int threads,
                     int64_t campaigns, int64_t budget, int64_t batch,
-                    int64_t taggers, double latency_us) {
+                    int64_t taggers, double latency_us,
+                    const std::string& journal_dir) {
   const sim::PreparedDataset& ds = bench_ds.dataset;
 
   std::unique_ptr<sim::CrowdLoadGenerator> crowd;
   service::ManagerOptions options;
   options.num_threads = threads;
+  options.journal_dir = journal_dir;
   if (taggers > 0) {
     sim::LoadGeneratorOptions load_options;
     load_options.num_taggers = static_cast<int>(taggers);
@@ -112,6 +114,8 @@ int main(int argc, char** argv) {
   int64_t threads = 0;
   int64_t taggers = 0;
   double latency_us = 0.0;
+  std::string journal_dir;
+  std::string json_path;
   util::FlagSet flags;
   flags.AddInt("n", &n, "resources to generate");
   flags.AddInt("seed", &seed, "corpus seed");
@@ -123,6 +127,12 @@ int main(int argc, char** argv) {
                "tagger threads (0 = inline completions)");
   flags.AddDouble("latency_us", &latency_us,
                   "mean simulated tagger latency, microseconds");
+  flags.AddString("journal_dir", &journal_dir,
+                  "enable the write-ahead journal in this directory "
+                  "('' = journaling off) to measure its overhead");
+  flags.AddString("json", &json_path,
+                  "also write the sweep results as JSON to this file "
+                  "(the CI perf-trajectory artifact)");
   INCENTAG_CHECK(flags.Parse(argc, argv).ok());
   if (threads < 1) threads = 1;
 
@@ -143,9 +153,12 @@ int main(int argc, char** argv) {
   if (sweep.empty() || sweep.back() != threads) sweep.push_back(threads);
 
   double base_rate = 0.0;
+  std::vector<SweepResult> results;
+  std::vector<double> rates;
   for (int64_t t : sweep) {
-    SweepResult result = RunOnce(*bench_ds, static_cast<int>(t), campaigns,
-                                 budget, batch, taggers, latency_us);
+    SweepResult result =
+        RunOnce(*bench_ds, static_cast<int>(t), campaigns, budget, batch,
+                taggers, latency_us, journal_dir);
     const double rate =
         result.seconds > 0.0
             ? static_cast<double>(result.tasks) / result.seconds
@@ -154,6 +167,36 @@ int main(int argc, char** argv) {
     std::printf("%8d  %12lld  %10.3f  %12.0f  %7.2fx\n", result.threads,
                 static_cast<long long>(result.tasks), result.seconds, rate,
                 base_rate > 0.0 ? rate / base_rate : 0.0);
+    results.push_back(result);
+    rates.push_back(rate);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    INCENTAG_CHECK(out != nullptr);
+    std::fprintf(out,
+                 "{\"bench\":\"service_throughput\",\"n\":%lld,"
+                 "\"campaigns\":%lld,\"budget\":%lld,\"batch\":%lld,"
+                 "\"taggers\":%lld,\"latency_us\":%g,\"journaled\":%s,"
+                 "\"results\":[",
+                 static_cast<long long>(n),
+                 static_cast<long long>(campaigns),
+                 static_cast<long long>(budget),
+                 static_cast<long long>(batch),
+                 static_cast<long long>(taggers), latency_us,
+                 journal_dir.empty() ? "false" : "true");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(out,
+                   "%s{\"threads\":%d,\"tasks\":%lld,\"seconds\":%.6f,"
+                   "\"tasks_per_sec\":%.1f,\"speedup\":%.3f}",
+                   i == 0 ? "" : ",", results[i].threads,
+                   static_cast<long long>(results[i].tasks),
+                   results[i].seconds, rates[i],
+                   base_rate > 0.0 ? rates[i] / base_rate : 0.0);
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -10,7 +10,20 @@
 //
 //   ./build/examples/campaign_server --campaigns=100 --n=400
 //       --threads=8 --taggers=16 --latency_us=50
+//
+// Durability demo (kill-and-recover): with --journal_dir every campaign
+// appends a write-ahead journal, and --kill_after_polls=N exits abruptly
+// (no destructors, no final fsync — a crash) mid-fleet. Re-running with
+// --recover resurrects every journaled campaign from its SubmitRecord,
+// replays the recorded completions, and drains the fleet to the same
+// reports the uninterrupted run would have produced:
+//
+//   ./build/examples/campaign_server --journal_dir=/tmp/itag-journals
+//       --kill_after_polls=3        # "crashes" with campaigns mid-run
+//   ./build/examples/campaign_server --journal_dir=/tmp/itag-journals
+//       --recover                   # resumes them where the journal ends
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,11 +35,13 @@
 #include "src/core/strategy_fpmu.h"
 #include "src/core/strategy_mu.h"
 #include "src/core/strategy_rr.h"
+#include "src/persist/journal.h"
 #include "src/service/campaign_manager.h"
 #include "src/sim/crowd.h"
 #include "src/sim/dataset_prep.h"
 #include "src/sim/generator.h"
 #include "src/sim/load_generator.h"
+#include "src/sim/strategy_factory.h"
 #include "src/util/flags.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
@@ -58,6 +73,9 @@ int main(int argc, char** argv) {
   int64_t taggers = 8;
   double latency_us = 20.0;
   int64_t seed = 42;
+  std::string journal_dir;
+  bool recover = false;
+  int64_t kill_after_polls = 0;
   util::FlagSet flags;
   flags.AddInt("n", &n, "resources in the shared catalogue");
   flags.AddInt("campaigns", &campaigns, "campaigns to run");
@@ -65,6 +83,14 @@ int main(int argc, char** argv) {
   flags.AddInt("taggers", &taggers, "simulated tagger threads");
   flags.AddDouble("latency_us", &latency_us, "mean tagger latency (us)");
   flags.AddInt("seed", &seed, "corpus / campaign seed");
+  flags.AddString("journal_dir", &journal_dir,
+                  "write-ahead journal directory ('' = no journaling)");
+  flags.AddBool("recover", &recover,
+                "recover journaled campaigns from --journal_dir instead of "
+                "submitting a fresh fleet");
+  flags.AddInt("kill_after_polls", &kill_after_polls,
+               "simulate a crash: _Exit() after this many dashboard polls "
+               "(0 = run to completion)");
   util::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\nusage:\n%s", parsed.ToString().c_str(),
@@ -92,49 +118,70 @@ int main(int argc, char** argv) {
   service::ManagerOptions manager_options;
   manager_options.num_threads = static_cast<int>(threads);
   manager_options.completions = &crowd;
+  manager_options.journal_dir = journal_dir;
   service::CampaignManager manager(manager_options);
-  std::printf("manager: %d worker threads, %lld tagger threads\n",
-              manager.num_threads(), static_cast<long long>(taggers));
+  std::printf("manager: %d worker threads, %lld tagger threads%s\n",
+              manager.num_threads(), static_cast<long long>(taggers),
+              journal_dir.empty() ? ""
+                                  : (" (journaling to " + journal_dir + ")")
+                                        .c_str());
 
-  // A fleet of heterogeneous campaigns: strategy, budget and batch size
-  // all vary, the way per-community campaigns would.
-  util::Rng rng(static_cast<uint64_t>(seed) + 2);
   std::vector<service::CampaignId> ids;
-  for (int64_t i = 0; i < campaigns; ++i) {
-    service::CampaignConfig config;
-    config.options.budget = 200 + static_cast<int64_t>(rng.NextBounded(800));
-    config.options.omega = 5;
-    config.options.batch_size =
-        1 + static_cast<int64_t>(rng.NextBounded(64));
-    config.initial_posts = &ds.initial_posts;
-    config.references = &ds.references;
-    config.stream = std::make_unique<core::VectorPostStream>(ds.MakeStream());
-    switch (i % 5) {
-      case 0:
-        config.strategy = std::make_unique<core::RoundRobinStrategy>();
-        break;
-      case 1:
-        config.strategy = std::make_unique<core::FewestPostsStrategy>();
-        break;
-      case 2:
-        config.strategy = std::make_unique<core::MostUnstableStrategy>();
-        break;
-      case 3:
-        config.strategy = std::make_unique<core::HybridFpMuStrategy>();
-        break;
-      default: {
-        auto campaign_crowd = std::make_shared<sim::CrowdModel>(
-            ds.popularity, /*alpha=*/1.0, rng.NextUint64());
-        config.strategy = std::make_unique<core::FreeChoiceStrategy>(
-            campaign_crowd->MakePicker());
-        config.context = campaign_crowd;
-        break;
-      }
+  if (recover) {
+    // Crash recovery: rebuild every journaled campaign from its
+    // SubmitRecord (the factory re-attaches the shared dataset and the
+    // strategy named in the record), replay its completion trace, and
+    // let the fleet continue live exactly where the journals end.
+    INCENTAG_CHECK(!journal_dir.empty());
+    auto recovered = manager.Recover(
+        journal_dir,
+        [&ds](const persist::SubmitRecord& record)
+            -> util::Result<service::CampaignConfig> {
+          service::CampaignConfig config;
+          config.name = record.name;
+          config.options = record.options;
+          config.initial_posts = &ds.initial_posts;
+          config.references = &ds.references;
+          config.seed = record.seed;
+          config.strategy =
+              sim::MakeStrategyByName(record.strategy_name, ds.popularity,
+                                      record.seed, &config.context);
+          if (config.strategy == nullptr) {
+            return util::Status::InvalidArgument("unknown strategy " +
+                                                 record.strategy_name);
+          }
+          config.stream =
+              std::make_unique<core::VectorPostStream>(ds.MakeStream());
+          return config;
+        });
+    INCENTAG_CHECK(recovered.ok());
+    ids = recovered.value();
+    std::printf("recovered %zu journaled campaigns from %s\n", ids.size(),
+                journal_dir.c_str());
+  } else {
+    // A fleet of heterogeneous campaigns: strategy, budget and batch size
+    // all vary, the way per-community campaigns would.
+    util::Rng rng(static_cast<uint64_t>(seed) + 2);
+    for (int64_t i = 0; i < campaigns; ++i) {
+      service::CampaignConfig config;
+      config.options.budget =
+          200 + static_cast<int64_t>(rng.NextBounded(800));
+      config.options.omega = 5;
+      config.options.batch_size =
+          1 + static_cast<int64_t>(rng.NextBounded(64));
+      config.initial_posts = &ds.initial_posts;
+      config.references = &ds.references;
+      config.stream =
+          std::make_unique<core::VectorPostStream>(ds.MakeStream());
+      config.seed = rng.NextUint64();  // journaled; rebuilds FC's crowd
+      config.strategy =
+          sim::MakeStrategyByName(sim::StrategyNameForKind(i), ds.popularity,
+                                  config.seed, &config.context);
+      config.name = "community-" + std::to_string(i);
+      auto id = manager.Submit(std::move(config));
+      INCENTAG_CHECK(id.ok());
+      ids.push_back(id.value());
     }
-    config.name = "community-" + std::to_string(i);
-    auto id = manager.Submit(std::move(config));
-    INCENTAG_CHECK(id.ok());
-    ids.push_back(id.value());
   }
 
   // Operator dashboard: poll snapshots while the fleet runs.
@@ -155,6 +202,16 @@ int main(int argc, char** argv) {
         static_cast<long long>(spent), static_cast<long long>(tasks),
         static_cast<long long>(in_flight));
     if (running == 0) break;
+    if (kill_after_polls > 0 && poll + 1 >= kill_after_polls) {
+      // Simulated crash: no destructors, no Shutdown, no final fsync —
+      // whatever the JournalSink batched to disk is all that survives.
+      // Re-run with --recover to resume the fleet from the journals.
+      std::printf("simulating crash with %lld campaigns mid-run "
+                  "(journals in %s)\n",
+                  static_cast<long long>(running), journal_dir.c_str());
+      std::fflush(stdout);  // only the dashboard; journals stay unsynced
+      std::_Exit(42);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   manager.WaitAll();
@@ -197,9 +254,8 @@ int main(int argc, char** argv) {
 
   crowd.Stop();
   manager.Shutdown();
-  std::printf("\nall %lld campaigns drained; %lld tasks completed by the "
+  std::printf("\nall %zu campaigns drained; %lld tasks completed by the "
               "crowd\n",
-              static_cast<long long>(campaigns),
-              static_cast<long long>(crowd.completed()));
+              ids.size(), static_cast<long long>(crowd.completed()));
   return 0;
 }

@@ -1,0 +1,323 @@
+#include "src/persist/journal.h"
+
+#include <cstring>
+
+#include "src/util/crc32.h"
+
+namespace incentag {
+namespace persist {
+
+namespace {
+
+// ---- little-endian primitive encoding --------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// Bounds-checked cursor over a record body.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t raw;
+    if (!GetU64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+
+  bool GetString(std::string* v) {
+    uint32_t len;
+    if (!GetU32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+}  // namespace
+
+// ---- record bodies ----------------------------------------------------
+
+std::string EncodeSubmitRecord(const SubmitRecord& record) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(RecordType::kSubmit));
+  PutU32(&out, record.format_version);
+  PutString(&out, record.name);
+  PutString(&out, record.strategy_name);
+  PutU64(&out, record.seed);
+  PutI64(&out, record.options.budget);
+  PutU32(&out, static_cast<uint32_t>(record.options.omega));
+  PutI64(&out, record.options.under_tagged_threshold);
+  PutI64(&out, record.options.batch_size);
+  PutU32(&out, static_cast<uint32_t>(record.options.checkpoints.size()));
+  for (int64_t checkpoint : record.options.checkpoints) {
+    PutI64(&out, checkpoint);
+  }
+  return out;
+}
+
+std::string EncodeCompletionRecord(const CompletionRecord& record) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(RecordType::kCompletion));
+  PutU64(&out, record.seq);
+  PutU32(&out, record.resource);
+  return out;
+}
+
+util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out) {
+  Decoder in(body);
+  uint8_t type;
+  if (!in.GetU8(&type) ||
+      type != static_cast<uint8_t>(RecordType::kSubmit)) {
+    return util::Status::Corruption("not a submit record");
+  }
+  uint32_t omega = 0;
+  uint32_t num_checkpoints = 0;
+  if (!in.GetU32(&out->format_version) || !in.GetString(&out->name) ||
+      !in.GetString(&out->strategy_name) || !in.GetU64(&out->seed) ||
+      !in.GetI64(&out->options.budget) || !in.GetU32(&omega) ||
+      !in.GetI64(&out->options.under_tagged_threshold) ||
+      !in.GetI64(&out->options.batch_size) || !in.GetU32(&num_checkpoints)) {
+    return util::Status::Corruption("short submit record");
+  }
+  if (out->format_version != kJournalFormatVersion) {
+    return util::Status::Corruption(
+        "unsupported journal format version " +
+        std::to_string(out->format_version));
+  }
+  out->options.omega = static_cast<int>(omega);
+  out->options.checkpoints.clear();
+  out->options.checkpoints.reserve(num_checkpoints);
+  for (uint32_t i = 0; i < num_checkpoints; ++i) {
+    int64_t checkpoint;
+    if (!in.GetI64(&checkpoint)) {
+      return util::Status::Corruption("short submit record checkpoints");
+    }
+    out->options.checkpoints.push_back(checkpoint);
+  }
+  if (!in.exhausted()) {
+    return util::Status::Corruption("trailing bytes in submit record");
+  }
+  return util::Status::OK();
+}
+
+util::Status DecodeCompletionRecord(std::string_view body,
+                                    CompletionRecord* out) {
+  Decoder in(body);
+  uint8_t type;
+  if (!in.GetU8(&type) ||
+      type != static_cast<uint8_t>(RecordType::kCompletion)) {
+    return util::Status::Corruption("not a completion record");
+  }
+  if (!in.GetU64(&out->seq) || !in.GetU32(&out->resource) ||
+      !in.exhausted()) {
+    return util::Status::Corruption("malformed completion record");
+  }
+  return util::Status::OK();
+}
+
+// ---- writer ------------------------------------------------------------
+
+util::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, int64_t truncate_to) {
+  std::unique_ptr<JournalWriter> writer(new JournalWriter(path));
+  INCENTAG_RETURN_IF_ERROR(writer->file_.Open(path, truncate_to));
+  return writer;
+}
+
+util::Status JournalWriter::AppendFramed(std::string_view body) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  // The CRC covers the length word too, so a bit-flip in the length is
+  // detected like any payload damage instead of silently reframing.
+  uint32_t crc = util::Crc32(std::string_view(frame.data(), 4));
+  crc = util::Crc32(body, crc);
+  PutU32(&frame, crc);
+  frame.append(body.data(), body.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_.Append(frame);
+}
+
+util::Status JournalWriter::AppendSubmit(const SubmitRecord& record) {
+  return AppendFramed(EncodeSubmitRecord(record));
+}
+
+util::Status JournalWriter::AppendCompletion(const CompletionRecord& record) {
+  return AppendFramed(EncodeCompletionRecord(record));
+}
+
+util::Status JournalWriter::AppendCancel() {
+  std::string body;
+  PutU8(&body, static_cast<uint8_t>(RecordType::kCancel));
+  return AppendFramed(body);
+}
+
+util::Status JournalWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_.Flush();
+}
+
+util::Status JournalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_.Sync();
+}
+
+// ---- reader ------------------------------------------------------------
+
+util::Result<JournalContents> ReadJournal(const std::string& path) {
+  auto data = util::ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  const std::string& bytes = data.value();
+
+  JournalContents out;
+  out.tail_status = util::Status::OK();
+  size_t pos = 0;
+  bool& saw_submit = out.has_submit;
+  while (pos < bytes.size()) {
+    // Frame header. A short header or short payload is a torn tail write:
+    // stop and report the bytes up to the previous record as valid.
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      out.tail_status = util::Status::Corruption(
+          "torn frame header at offset " + std::to_string(pos));
+      break;
+    }
+    Decoder header(std::string_view(bytes).substr(pos, kFrameHeaderBytes));
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    header.GetU32(&length);
+    header.GetU32(&crc);
+    if (bytes.size() - pos - kFrameHeaderBytes < length) {
+      out.tail_status = util::Status::Corruption(
+          "torn record payload at offset " + std::to_string(pos));
+      break;
+    }
+    const std::string_view body =
+        std::string_view(bytes).substr(pos + kFrameHeaderBytes, length);
+    uint32_t want_crc =
+        util::Crc32(std::string_view(bytes).substr(pos, 4));
+    want_crc = util::Crc32(body, want_crc);
+    if (want_crc != crc) {
+      // A torn append is a *prefix* of a valid record, so a fully
+      // present frame with a bad CRC can only be the unsynced garbage at
+      // the physical end of the file. The same damage followed by more
+      // data is mid-journal bit rot: fsynced records after it would be
+      // silently truncated if we called it a tail, so fail loudly.
+      if (pos + kFrameHeaderBytes + length == bytes.size()) {
+        out.tail_status = util::Status::Corruption(
+            "crc mismatch at offset " + std::to_string(pos));
+        break;
+      }
+      return util::Status::Corruption(
+          "crc mismatch mid-journal at offset " + std::to_string(pos) +
+          " of " + path);
+    }
+
+    // An intact frame that fails to decode is not a torn tail — it is
+    // structural corruption mid-journal, and recovery must not guess.
+    if (body.empty()) {
+      return util::Status::Corruption("empty record at offset " +
+                                      std::to_string(pos));
+    }
+    const auto type = static_cast<uint8_t>(body[0]);
+    if (type == static_cast<uint8_t>(RecordType::kSubmit)) {
+      if (saw_submit) {
+        return util::Status::Corruption("duplicate submit record");
+      }
+      INCENTAG_RETURN_IF_ERROR(DecodeSubmitRecord(body, &out.submit));
+      saw_submit = true;
+    } else if (type == static_cast<uint8_t>(RecordType::kCompletion)) {
+      if (!saw_submit) {
+        return util::Status::Corruption(
+            "completion record before submit record");
+      }
+      if (out.cancelled) {
+        return util::Status::Corruption(
+            "completion record after cancel record");
+      }
+      CompletionRecord record;
+      INCENTAG_RETURN_IF_ERROR(DecodeCompletionRecord(body, &record));
+      if (record.seq != out.completions.size()) {
+        return util::Status::Corruption(
+            "completion seq gap at offset " + std::to_string(pos) +
+            ": want " + std::to_string(out.completions.size()) + " got " +
+            std::to_string(record.seq));
+      }
+      out.completions.push_back(record);
+    } else if (type == static_cast<uint8_t>(RecordType::kCancel)) {
+      if (!saw_submit || body.size() != 1) {
+        return util::Status::Corruption("malformed cancel record");
+      }
+      out.cancelled = true;
+    } else {
+      return util::Status::Corruption("unknown record type " +
+                                      std::to_string(type));
+    }
+    pos += kFrameHeaderBytes + length;
+    out.valid_bytes = static_cast<int64_t>(pos);
+  }
+  return out;
+}
+
+}  // namespace persist
+}  // namespace incentag

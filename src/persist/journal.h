@@ -1,0 +1,150 @@
+// Per-campaign write-ahead journal: record format, writer and reader.
+//
+// The paper's campaigns are long-lived — budget drains over days of crowd
+// activity — so the service layer journals enough to survive a process
+// crash: one SubmitRecord capturing the campaign's deterministic inputs
+// (name, strategy, seed, EngineOptions), then one CompletionRecord per
+// post task *applied* to the runtime, in application (= assignment) order.
+// Because Algorithm 1 is deterministic given those inputs and the
+// application order, replaying the journal through the same
+// core::CampaignRuntime step protocol reconstructs the exact pre-crash
+// state — byte-identical metrics, checkpoints and allocation — after
+// which the campaign simply continues live (see
+// service::CampaignManager::Recover).
+//
+// On-disk framing, little-endian, one record after another:
+//
+//   [u32 payload_len][u32 crc32(payload_len || payload)][payload]
+//   payload = [u8 record_type][body]
+//
+// The CRC covers the length word as well as the payload, so a damaged
+// length cannot silently reframe the stream. A crash mid-append tears a
+// *prefix* of the final record (or leaves unsynced garbage at the
+// physical end of file); the reader treats only such end-of-file damage
+// as a benign torn tail, reporting how many bytes were intact so
+// recovery truncates and appends from there. Damage *before* the end of
+// the data — an intact-looking frame that fails its CRC or decode with
+// more records after it — is real corruption and surfaces as an error
+// rather than silently truncating fsynced records.
+//
+// What is deliberately NOT journaled:
+//   * datasets (initial posts, references, streams) — shared, read-only,
+//     re-attached at recovery by the caller's CampaignFactory;
+//   * a CostModel — non-serializable caller state, ditto;
+//   * completion payloads — a completed task's post is drawn
+//     deterministically from the stream, so (seq, resource) suffices.
+#ifndef INCENTAG_PERSIST_JOURNAL_H_
+#define INCENTAG_PERSIST_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/allocation.h"
+#include "src/core/types.h"
+#include "src/util/file_io.h"
+#include "src/util/status.h"
+
+namespace incentag {
+namespace persist {
+
+// Bumped when the framing or record bodies change incompatibly.
+inline constexpr uint32_t kJournalFormatVersion = 1;
+
+enum class RecordType : uint8_t {
+  kSubmit = 1,
+  kCompletion = 2,
+  // Written when an operator explicitly cancels the campaign (not by the
+  // manager's shutdown sweep — a graceful restart must stay resumable).
+  // Recovery replays the trace for the partial report, then finalizes
+  // kCancelled instead of resuming spend.
+  kCancel = 3,
+};
+
+// The deterministic inputs of one campaign, written once at Submit.
+struct SubmitRecord {
+  uint32_t format_version = kJournalFormatVersion;
+  std::string name;
+  std::string strategy_name;
+  // Caller-defined seed handed back to the CampaignFactory at recovery
+  // (e.g. the FC crowd-model seed); 0 when the strategy is seedless.
+  uint64_t seed = 0;
+  // EngineOptions minus the CostModel pointer (see header comment).
+  core::EngineOptions options;
+};
+
+// One applied post task: the `seq`-th assignment completed on `resource`.
+struct CompletionRecord {
+  uint64_t seq = 0;
+  core::ResourceId resource = core::kInvalidResource;
+};
+
+// Record body encoding (used by the writer; exposed for tests).
+std::string EncodeSubmitRecord(const SubmitRecord& record);
+std::string EncodeCompletionRecord(const CompletionRecord& record);
+util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out);
+util::Status DecodeCompletionRecord(std::string_view body,
+                                    CompletionRecord* out);
+
+// Appends framed records to one campaign's journal file. Thread-safe: the
+// stepper thread appends while the JournalSink's thread syncs. Appends
+// buffer in memory; Flush() makes them crash-of-process durable, Sync()
+// makes them power-loss durable (fsync).
+class JournalWriter {
+ public:
+  // Creates (or reopens) `path`. `truncate_to` >= 0 first cuts the file
+  // to that many bytes — recovery passes the reader's valid_bytes() to
+  // drop a torn tail before resuming appends.
+  static util::Result<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path, int64_t truncate_to = -1);
+
+  util::Status AppendSubmit(const SubmitRecord& record);
+  util::Status AppendCompletion(const CompletionRecord& record);
+  util::Status AppendCancel();
+
+  util::Status Flush();
+  util::Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit JournalWriter(std::string path) : path_(std::move(path)) {}
+
+  util::Status AppendFramed(std::string_view body);
+
+  const std::string path_;
+  std::mutex mu_;
+  util::AppendFile file_;
+};
+
+// Parses a whole journal file. `tail_status` distinguishes a clean end
+// from a torn/corrupt tail; records before the tail are always intact.
+struct JournalContents {
+  SubmitRecord submit;
+  // False when the file holds no intact SubmitRecord at all (a crash
+  // between journal creation and the submit fsync): nothing recoverable.
+  bool has_submit = false;
+  // True when the journal records an explicit operator cancellation; no
+  // completions may follow it.
+  bool cancelled = false;
+  std::vector<CompletionRecord> completions;
+  // Bytes of the file occupied by intact records; pass to
+  // JournalWriter::Open(truncate_to) when resuming the journal.
+  int64_t valid_bytes = 0;
+  // OK when the file ended exactly on a record boundary; kCorruption when
+  // a torn or bit-flipped tail was dropped (valid_bytes excludes it).
+  util::Status tail_status;
+};
+
+// Reads and validates `path`. A torn/corrupt *tail* degrades gracefully
+// (tail_status, valid_bytes); structural damage before the tail — an
+// intact frame that fails to decode, a completion before the submit, a
+// seq gap — fails, because recovery must not guess past it.
+util::Result<JournalContents> ReadJournal(const std::string& path);
+
+}  // namespace persist
+}  // namespace incentag
+
+#endif  // INCENTAG_PERSIST_JOURNAL_H_

@@ -1,0 +1,91 @@
+#include "src/persist/journal_sink.h"
+
+#include <chrono>
+#include <vector>
+
+namespace incentag {
+namespace persist {
+
+JournalSink::JournalSink(JournalSinkOptions options) : options_(options) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+JournalSink::~JournalSink() { Stop(); }
+
+void JournalSink::Schedule(JournalWriter* writer) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopped_) {
+      dirty_.insert(writer);
+      dirty_cv_.notify_one();
+      return;
+    }
+  }
+  // Sink already stopped (teardown straggler): stay durable, sync inline.
+  writer->Sync();
+}
+
+void JournalSink::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Anything dirty right now is covered by the next pass to start; a pass
+  // already in flight (started > finished) must also land.
+  const int64_t target =
+      dirty_.empty() ? epoch_started_ : epoch_started_ + 1;
+  dirty_cv_.notify_one();
+  synced_cv_.wait(lock, [this, target] {
+    return epoch_finished_ >= target || stopped_;
+  });
+}
+
+void JournalSink::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    dirty_cv_.notify_one();
+  }
+  // call_once: concurrent Stop callers must not race on join(), and every
+  // caller returns only after the sink thread is really gone.
+  std::call_once(join_once_, [this] { thread_.join(); });
+}
+
+int64_t JournalSink::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journals_synced_;
+}
+
+void JournalSink::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    dirty_cv_.wait(lock, [this] { return stop_ || !dirty_.empty(); });
+    if (dirty_.empty()) {
+      // stop_ set and nothing left to sync: exit, releasing Drain waiters.
+      stopped_ = true;
+      synced_cv_.notify_all();
+      return;
+    }
+    std::vector<JournalWriter*> batch(dirty_.begin(), dirty_.end());
+    dirty_.clear();
+    ++epoch_started_;
+    lock.unlock();
+    for (JournalWriter* writer : batch) {
+      writer->Sync();  // an IO error here is retried at terminal Sync
+    }
+    lock.lock();
+    // Release Drain()/Stop() waiters the moment durability is achieved —
+    // the coalescing sleep below must not tax them.
+    ++epoch_finished_;
+    journals_synced_ += static_cast<int64_t>(batch.size());
+    synced_cv_.notify_all();
+    if (!stop_ && options_.batch_interval_us > 0) {
+      // Widen the coalescing window so steps landing right after this
+      // pass share the next fsync instead of each triggering one.
+      lock.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.batch_interval_us));
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace persist
+}  // namespace incentag

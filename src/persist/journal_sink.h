@@ -1,0 +1,81 @@
+// JournalSink: batched fsync on a dedicated thread.
+//
+// fsync is the expensive step of journaling — milliseconds on real disks —
+// and the service layer appends completion records from every campaign
+// step. Synchronous per-append fsync would serialise the whole manager
+// behind the disk. Instead, writers push bytes to the kernel themselves
+// (JournalWriter::Flush, cheap) and hand the *durability* step to the
+// sink: Schedule(writer) marks the journal dirty, and the sink thread
+// coalesces all marks since its last pass into one fsync per journal.
+// N campaigns stepping concurrently therefore cost one disk flush per
+// journal per batching window, not one per applied task.
+//
+// Durability contract: a record is power-loss durable only after the sink
+// has synced it (or after an explicit JournalWriter::Sync, which the
+// manager issues at terminal states). A crash can lose the tail of a
+// journal back to the last sync — recovery handles exactly that by
+// truncating to the last intact record and re-running the lost steps,
+// which Algorithm 1's determinism makes byte-identical.
+#ifndef INCENTAG_PERSIST_JOURNAL_SINK_H_
+#define INCENTAG_PERSIST_JOURNAL_SINK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "src/persist/journal.h"
+
+namespace incentag {
+namespace persist {
+
+struct JournalSinkOptions {
+  // The sink sleeps this long after a pass before syncing again, widening
+  // the coalescing window; 0 syncs as fast as the dirty set refills.
+  int64_t batch_interval_us = 500;
+};
+
+class JournalSink {
+ public:
+  explicit JournalSink(JournalSinkOptions options = {});
+  ~JournalSink();  // implies Stop()
+
+  JournalSink(const JournalSink&) = delete;
+  JournalSink& operator=(const JournalSink&) = delete;
+
+  // Marks `writer` as having unsynced appends. The writer must stay alive
+  // until a Drain() (or Stop()) after its last Schedule.
+  void Schedule(JournalWriter* writer);
+
+  // Blocks until every journal scheduled before the call has been synced.
+  void Drain();
+
+  // Drains, then joins the sink thread. Idempotent; Schedule after Stop
+  // syncs inline on the calling thread (teardown straggler safety).
+  void Stop();
+
+  // Total fsync passes and journals synced, for tests and bench output.
+  int64_t syncs() const;
+
+ private:
+  void Loop();
+
+  JournalSinkOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable dirty_cv_;   // signals the sink thread
+  std::condition_variable synced_cv_;  // signals Drain waiters
+  std::unordered_set<JournalWriter*> dirty_;
+  int64_t epoch_started_ = 0;   // monotonically counts sync passes begun
+  int64_t epoch_finished_ = 0;  // passes fully fsynced
+  int64_t journals_synced_ = 0;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::once_flag join_once_;
+  std::thread thread_;
+};
+
+}  // namespace persist
+}  // namespace incentag
+
+#endif  // INCENTAG_PERSIST_JOURNAL_SINK_H_

@@ -1,0 +1,71 @@
+#include "src/persist/replay_source.h"
+
+#include <utility>
+
+namespace incentag {
+namespace persist {
+
+ReplayCompletionSource::ReplayCompletionSource(
+    std::vector<CompletionRecord> trace, TailPolicy tail_policy)
+    : trace_(std::move(trace)), tail_policy_(tail_policy) {}
+
+util::Result<std::unique_ptr<ReplayCompletionSource>>
+ReplayCompletionSource::Open(const std::string& journal_path,
+                             TailPolicy tail_policy) {
+  auto contents = ReadJournal(journal_path);
+  if (!contents.ok()) return contents.status();
+  return std::make_unique<ReplayCompletionSource>(
+      std::move(contents.value().completions), tail_policy);
+}
+
+bool ReplayCompletionSource::SubmitTasks(
+    const std::vector<service::TaskHandle>& tasks, const CompletionFn& done) {
+  std::vector<service::TaskHandle> to_complete;
+  bool halted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_.ok()) return false;
+    to_complete.reserve(tasks.size());
+    for (const service::TaskHandle& task : tasks) {
+      if (next_ < trace_.size()) {
+        const CompletionRecord& record = trace_[next_];
+        if (record.seq != task.seq || record.resource != task.resource) {
+          error_ = util::Status::Corruption(
+              "trace mismatch: record " + std::to_string(next_) +
+              " expects seq " + std::to_string(record.seq) + "/resource " +
+              std::to_string(record.resource) + ", campaign assigned seq " +
+              std::to_string(task.seq) + "/resource " +
+              std::to_string(task.resource));
+          break;
+        }
+        ++next_;
+        to_complete.push_back(task);
+      } else if (tail_policy_ == TailPolicy::kCompleteTail) {
+        to_complete.push_back(task);
+      } else {
+        // Trace exhausted under kHaltAtEnd: complete the in-trace prefix
+        // of this batch, then report the source closed.
+        halted = true;
+        break;
+      }
+    }
+  }
+  // Callbacks run outside the lock: they re-enter the manager (inbox push
+  // and possibly a whole inline step).
+  for (const service::TaskHandle& task : to_complete) done(task);
+  std::lock_guard<std::mutex> lock(mu_);
+  return !halted && error_.ok();
+}
+
+size_t ReplayCompletionSource::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_.size() - next_;
+}
+
+util::Status ReplayCompletionSource::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+}  // namespace persist
+}  // namespace incentag

@@ -1,0 +1,77 @@
+// ReplayCompletionSource: re-drive a recorded crowd trace.
+//
+// A campaign journal's CompletionRecords are a complete trace of the
+// crowd's contribution to one campaign: which assignment completed, in
+// application order. This adapter implements service::CompletionSource
+// over that trace (the ROADMAP's "replay-from-log" completion adapter),
+// so benches and tests can re-run a recorded campaign without taggers —
+// deterministically, at full speed — and the manager's step protocol
+// produces the same RunReport the original run did.
+//
+// Semantics: tasks handed to SubmitTasks complete synchronously, in seq
+// order, for as long as the trace has records; each record is checked
+// against the task it completes (same seq, same resource) so a trace from
+// a *different* campaign is rejected instead of silently corrupting
+// results. When the trace runs out, `tail_policy` decides:
+//   * kCompleteTail (default): remaining and future tasks complete
+//     inline — the campaign finishes past the end of the recording (a
+//     trace of a finished campaign replays to the identical report).
+//   * kHaltAtEnd: SubmitTasks reports failure, and the CampaignManager
+//     finalizes the campaign as kFailed("completion source closed") —
+//     useful to reconstruct exactly the recorded prefix and no more.
+//
+// One instance replays one campaign's trace; it is not meant to be shared
+// across campaigns (seq checking is per-trace).
+#ifndef INCENTAG_PERSIST_REPLAY_SOURCE_H_
+#define INCENTAG_PERSIST_REPLAY_SOURCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/persist/journal.h"
+#include "src/service/completion_source.h"
+
+namespace incentag {
+namespace persist {
+
+class ReplayCompletionSource : public service::CompletionSource {
+ public:
+  enum class TailPolicy {
+    kCompleteTail,
+    kHaltAtEnd,
+  };
+
+  explicit ReplayCompletionSource(
+      std::vector<CompletionRecord> trace,
+      TailPolicy tail_policy = TailPolicy::kCompleteTail);
+
+  // Loads the trace from a journal file (the SubmitRecord is ignored —
+  // pair with ReadJournal when you also need the campaign inputs).
+  static util::Result<std::unique_ptr<ReplayCompletionSource>> Open(
+      const std::string& journal_path,
+      TailPolicy tail_policy = TailPolicy::kCompleteTail);
+
+  bool SubmitTasks(const std::vector<service::TaskHandle>& tasks,
+                   const CompletionFn& done) override;
+
+  // Records not yet replayed.
+  size_t remaining() const;
+  // Non-OK once a submitted task contradicted the trace; the source stops
+  // completing tasks at that point.
+  util::Status error() const;
+
+ private:
+  const std::vector<CompletionRecord> trace_;
+  const TailPolicy tail_policy_;
+  mutable std::mutex mu_;
+  size_t next_ = 0;  // index into trace_
+  util::Status error_;
+};
+
+}  // namespace persist
+}  // namespace incentag
+
+#endif  // INCENTAG_PERSIST_REPLAY_SOURCE_H_

@@ -9,15 +9,69 @@
 #include <utility>
 
 #include "src/core/campaign_runtime.h"
+#include "src/util/file_io.h"
 #include "src/util/stopwatch.h"
 
 namespace incentag {
 namespace service {
 
+namespace {
+
+util::Status ValidateConfig(const CampaignConfig& config) {
+  if (config.initial_posts == nullptr || config.references == nullptr) {
+    return util::Status::InvalidArgument(
+        "campaign needs initial posts and references");
+  }
+  if (config.initial_posts->size() != config.references->size()) {
+    return util::Status::InvalidArgument(
+        "initial posts / references size mismatch");
+  }
+  if (config.strategy == nullptr || config.stream == nullptr) {
+    return util::Status::InvalidArgument(
+        "campaign needs a strategy and a post stream");
+  }
+  return util::Status::OK();
+}
+
+std::string JournalPath(const std::string& dir, CampaignId id) {
+  return dir + "/campaign-" + std::to_string(id) + ".journal";
+}
+
+// Inverse of JournalPath on the basename; 0 when the name does not match
+// "campaign-<digits>.journal".
+CampaignId ParseJournalId(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  constexpr char kPrefix[] = "campaign-";
+  constexpr char kSuffix[] = ".journal";
+  if (base.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1 ||
+      base.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0 ||
+      base.compare(base.size() - (sizeof(kSuffix) - 1), sizeof(kSuffix) - 1,
+                   kSuffix) != 0) {
+    return 0;
+  }
+  const std::string digits = base.substr(
+      sizeof(kPrefix) - 1,
+      base.size() - (sizeof(kPrefix) - 1) - (sizeof(kSuffix) - 1));
+  if (digits.empty()) return 0;
+  CampaignId id = 0;
+  for (char ch : digits) {
+    if (ch < '0' || ch > '9') return 0;
+    id = id * 10 + static_cast<CampaignId>(ch - '0');
+  }
+  return id;
+}
+
+constexpr char kSourceClosedError[] = "completion source closed";
+
+}  // namespace
+
 // All mutable campaign state. Ownership of the non-const parts is split
 // three ways, so a step never contends with anything but its own inbox:
-//   * stepper-owned: runtime, reorder buffer, pending deque, seq counters
-//     — touched only by the thread holding the `scheduled` token;
+//   * stepper-owned: runtime, reorder buffer, pending deque, seq counters,
+//     journal appends — touched only by the thread holding the
+//     `scheduled` token;
 //   * inbox: completed seqs from tagger threads, guarded by inbox_mu;
 //   * published: the status snapshot + terminal report, guarded by
 //     status_mu, written at step boundaries and read by pollers/waiters.
@@ -47,13 +101,25 @@ struct CampaignManager::Campaign {
   uint64_t next_apply_seq = 0;
   std::vector<core::ResourceId> batch;
   std::vector<TaskHandle> tasks;
+  // Write-ahead journal; null when the manager journals nothing.
+  std::unique_ptr<persist::JournalWriter> journal;
+  // Ticks from Submit; measures scheduler queueing until the first step.
+  util::Stopwatch submitted;
+  // Restarted by the first step, so elapsed_seconds measures campaign
+  // work, not time spent queued behind other campaigns (ISSUE 2).
   util::Stopwatch started;
+  double queue_delay_s = 0.0;
 
   // ---- scheduling token ----
   // True while a step is scheduled or running; whoever flips false->true
   // owns the right (and duty) to submit the next step.
   std::atomic<bool> scheduled{false};
   std::atomic<bool> cancel_requested{false};
+  // Set only by an explicit Cancel() call — not by Shutdown's teardown
+  // sweep — so the journal records operator intent: a cancelled campaign
+  // must stay cancelled across recovery, while a campaign interrupted by
+  // a restart must resume.
+  std::atomic<bool> user_cancelled{false};
   std::atomic<bool> finalized{false};
 
   // ---- completion inbox (MPSC: taggers produce, the stepper drains) ----
@@ -69,6 +135,7 @@ struct CampaignManager::Campaign {
   int64_t tasks_completed = 0;
   int64_t tasks_in_flight = 0;
   size_t checkpoints_recorded = 0;
+  double queue_delay_seconds = 0.0;
   double elapsed_seconds = 0.0;
   std::string error;
   core::RunReport report;
@@ -95,6 +162,13 @@ CampaignManager::CampaignManager(ManagerOptions options)
   } else {
     inline_source_ = std::make_unique<InlineCompletionSource>();
     source_ = inline_source_.get();
+  }
+  if (!options_.journal_dir.empty()) {
+    // Best effort here; a failure resurfaces as an open error at Submit.
+    util::CreateDirectories(options_.journal_dir);
+    persist::JournalSinkOptions sink_options;
+    sink_options.batch_interval_us = options_.journal_batch_interval_us;
+    sink_ = std::make_unique<persist::JournalSink>(sink_options);
   }
   if (!options_.deterministic) {
     const int threads = options_.num_threads > 0
@@ -127,33 +201,60 @@ CampaignManager::Campaign* CampaignManager::Find(CampaignId id) const {
   return it == shard.campaigns.end() ? nullptr : it->second.get();
 }
 
+util::Status CampaignManager::TryRegister(
+    CampaignId id, std::unique_ptr<Campaign> campaign) {
+  Shard& shard = *shards_[id % static_cast<CampaignId>(shards_.size())];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Checked under the shard lock so Submit and Shutdown's sweep cannot
+  // miss each other: Shutdown sets the flag before locking the shards,
+  // so either this read sees it (reject) or the sweep's later snapshot
+  // of this shard sees the campaign (cancel it).
+  if (shutdown_.load()) {
+    return util::Status::FailedPrecondition("manager is shut down");
+  }
+  shard.campaigns.emplace(id, std::move(campaign));
+  return util::Status::OK();
+}
+
 util::Result<CampaignId> CampaignManager::Submit(CampaignConfig config) {
-  if (config.initial_posts == nullptr || config.references == nullptr) {
-    return util::Status::InvalidArgument(
-        "campaign needs initial posts and references");
-  }
-  if (config.initial_posts->size() != config.references->size()) {
-    return util::Status::InvalidArgument(
-        "initial posts / references size mismatch");
-  }
-  if (config.strategy == nullptr || config.stream == nullptr) {
-    return util::Status::InvalidArgument(
-        "campaign needs a strategy and a post stream");
-  }
+  INCENTAG_RETURN_IF_ERROR(ValidateConfig(config));
   const CampaignId id = next_id_.fetch_add(1);
   auto campaign = std::make_unique<Campaign>(id, std::move(config));
   Campaign* raw = campaign.get();
-  {
-    Shard& shard = *shards_[id % static_cast<CampaignId>(shards_.size())];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    // Checked under the shard lock so Submit and Shutdown's sweep cannot
-    // miss each other: Shutdown sets the flag before locking the shards,
-    // so either this read sees it (reject) or the sweep's later snapshot
-    // of this shard sees the campaign (cancel it).
-    if (shutdown_.load()) {
-      return util::Status::FailedPrecondition("manager is shut down");
+
+  if (!options_.journal_dir.empty()) {
+    // The SubmitRecord must be durable before any work happens: a crash
+    // after this point recovers the campaign, a crash before it means
+    // the Submit call never happened (the torn file is skipped).
+    const std::string path = JournalPath(options_.journal_dir, id);
+    auto writer = persist::JournalWriter::Open(path, /*truncate_to=*/0);
+    if (!writer.ok()) return writer.status();
+    persist::SubmitRecord record;
+    record.name = raw->config.name;
+    record.strategy_name = raw->strategy_name;
+    record.seed = raw->config.seed;
+    record.options = raw->config.options;
+    raw->journal = std::move(writer).value();
+    util::Status journaled = raw->journal->AppendSubmit(record);
+    if (journaled.ok()) journaled = raw->journal->Sync();
+    // The file's fsync covers its data; the directory entry of the newly
+    // created file needs its own fsync to survive power loss.
+    if (journaled.ok()) journaled = util::SyncDir(options_.journal_dir);
+    if (!journaled.ok()) {
+      raw->journal.reset();
+      util::RemoveFile(path);
+      return journaled;
     }
-    shard.campaigns.emplace(id, std::move(campaign));
+  }
+
+  util::Status registered = TryRegister(id, std::move(campaign));
+  if (!registered.ok()) {
+    // `raw` is destroyed; drop its journal so a later Recover does not
+    // resurrect a campaign whose Submit returned an error.
+    if (!options_.journal_dir.empty()) {
+      util::RemoveFile(JournalPath(options_.journal_dir, id));
+    }
+    return registered;
   }
   if (options_.deterministic) {
     RunDeterministic(raw);
@@ -168,25 +269,54 @@ util::Result<CampaignId> CampaignManager::Submit(CampaignConfig config) {
 // synchronous engine for identical inputs.
 void CampaignManager::RunDeterministic(Campaign* c) {
   c->scheduled.store(true);  // the submitting thread is the stepper
+  c->queue_delay_s = c->submitted.ElapsedSeconds();
+  c->started.Restart();
   util::Status status =
       c->runtime.Begin(c->config.strategy.get(), c->config.stream.get());
-  if (status.ok()) {
-    c->begun = true;
-    std::vector<core::ResourceId>& batch = c->batch;
-    while (!c->runtime.done()) {
-      status = c->runtime.DrawBatch(&batch);
-      if (!status.ok()) break;
-      if (batch.empty()) break;
-      for (core::ResourceId chosen : batch) {
-        c->runtime.ApplyCompletion(chosen);
-      }
-    }
-  }
   if (!status.ok()) {
     Finalize(c, CampaignState::kFailed, status.ToString());
-  } else {
-    Finalize(c, CampaignState::kDone, "");
+    return;
   }
+  c->begun = true;
+  DriveDeterministic(c);
+}
+
+// Drives a begun campaign to completion on the calling thread: applies
+// whatever is pending, then draws/applies batches until the budget is
+// spent — the same order AllocationEngine::Run uses. Journals each
+// applied completion. Shared by deterministic Submit and deterministic
+// recovery (which arrives here with a partially-applied pending deque).
+void CampaignManager::DriveDeterministic(Campaign* c) {
+  util::Status status;
+  for (;;) {
+    while (!c->pending.empty()) {
+      const core::ResourceId resource = c->pending.front();
+      c->pending.pop_front();
+      c->runtime.ApplyCompletion(resource);
+      if (c->journal != nullptr) {
+        status = c->journal->AppendCompletion(
+            persist::CompletionRecord{c->next_apply_seq, resource});
+        if (!status.ok()) {
+          Finalize(c, CampaignState::kFailed, status.ToString());
+          return;
+        }
+      }
+      ++c->next_apply_seq;
+    }
+    FlushJournal(c);
+    if (c->runtime.done()) break;
+    status = c->runtime.DrawBatch(&c->batch);
+    if (!status.ok()) {
+      Finalize(c, CampaignState::kFailed, status.ToString());
+      return;
+    }
+    if (c->batch.empty()) break;  // stopped early; loop finalizes
+    for (core::ResourceId resource : c->batch) {
+      c->pending.push_back(resource);
+      ++c->next_assign_seq;
+    }
+  }
+  Finalize(c, CampaignState::kDone, "");
 }
 
 void CampaignManager::ScheduleStep(Campaign* c) {
@@ -207,6 +337,16 @@ void CampaignManager::OnCompletion(Campaign* c, uint64_t seq) {
   if (!c->finalized.load()) ScheduleStep(c);
 }
 
+void CampaignManager::FlushJournal(Campaign* c) {
+  if (c->journal == nullptr) return;
+  // Push appended records to the kernel now (cheap); the sink batches the
+  // expensive fsync across campaigns. Flush errors are not fatal here —
+  // the terminal Sync in Finalize retries and a crash in between simply
+  // loses a replayable tail.
+  c->journal->Flush();
+  if (sink_ != nullptr) sink_->Schedule(c->journal.get());
+}
+
 // One scheduling quantum of a campaign. Exactly one thread runs Step for
 // a given campaign at a time (the `scheduled` token); all stepper-owned
 // state is therefore lock-free to touch.
@@ -214,6 +354,14 @@ void CampaignManager::Step(Campaign* c) {
   if (c->finalized.load()) return;
 
   if (!c->begun) {
+    // Cancelled before the first step: skip Begin entirely — the report
+    // is synthesized from the config in Finalize.
+    if (c->cancel_requested.load()) {
+      Finalize(c, CampaignState::kCancelled, "");
+      return;
+    }
+    c->queue_delay_s = c->submitted.ElapsedSeconds();
+    c->started.Restart();
     util::Status status =
         c->runtime.Begin(c->config.strategy.get(), c->config.stream.get());
     if (!status.ok()) {
@@ -245,6 +393,14 @@ void CampaignManager::Step(Campaign* c) {
       const core::ResourceId resource = c->pending.front();
       c->pending.pop_front();
       c->runtime.ApplyCompletion(resource);
+      if (c->journal != nullptr) {
+        util::Status journaled = c->journal->AppendCompletion(
+            persist::CompletionRecord{c->next_apply_seq, resource});
+        if (!journaled.ok()) {
+          Finalize(c, CampaignState::kFailed, journaled.ToString());
+          return;
+        }
+      }
       ++c->next_apply_seq;
       ++applied;
     }
@@ -258,6 +414,7 @@ void CampaignManager::Step(Campaign* c) {
       // Quantum exhausted: yield the worker so other campaigns run, but
       // keep the token — we know there is more to do right now.
       PublishStatus(c);
+      FlushJournal(c);
       if (!pool_->Submit([this, c] { Step(c); })) {
         c->scheduled.store(false);  // teardown; cancel sweep finalizes
       }
@@ -285,10 +442,16 @@ void CampaignManager::Step(Campaign* c) {
       // callbacks land in the inbox and the next loop iteration applies
       // them. The token stays with us, so re-schedule attempts by those
       // callbacks are cheap no-ops.
-      source_->SubmitTasks(
-          c->tasks, [this, c](const TaskHandle& task) {
-            OnCompletion(c, task.seq);
-          });
+      if (!source_->SubmitTasks(
+              c->tasks, [this, c](const TaskHandle& task) {
+                OnCompletion(c, task.seq);
+              })) {
+        // The source dropped part of the batch (it was stopped): those
+        // completions can never arrive, so fail fast instead of leaving
+        // the campaign kRunning forever (ISSUE 2).
+        Finalize(c, CampaignState::kFailed, kSourceClosedError);
+        return;
+      }
       continue;
     }
 
@@ -296,6 +459,7 @@ void CampaignManager::Step(Campaign* c) {
     // token, then re-check the inbox — a completion may have raced in
     // between the drain above and the release.
     PublishStatus(c);
+    FlushJournal(c);
     c->scheduled.store(false);
     bool inbox_nonempty;
     {
@@ -319,32 +483,56 @@ void CampaignManager::PublishStatus(Campaign* c) {
   c->tasks_completed = c->runtime.tasks_completed();
   c->tasks_in_flight = static_cast<int64_t>(c->pending.size());
   c->checkpoints_recorded = c->runtime.checkpoints_recorded();
+  c->queue_delay_seconds = c->queue_delay_s;
   c->elapsed_seconds = c->started.ElapsedSeconds();
 }
 
 void CampaignManager::Finalize(Campaign* c, CampaignState state,
                                std::string error) {
+  // Terminal durability point: whatever the journal holds must hit the
+  // disk before waiters observe the terminal state. Best effort — a
+  // failed sync only costs a replayable tail at recovery. An explicit
+  // operator cancellation is journaled so Recover finalizes the campaign
+  // as kCancelled instead of resuming its spend.
+  if (c->journal != nullptr) {
+    if (state == CampaignState::kCancelled && c->user_cancelled.load()) {
+      c->journal->AppendCancel();
+    }
+    c->journal->Sync();
+  }
   // Keep the token forever: no further steps can be scheduled, and late
   // completions are dropped in OnCompletion via `finalized`.
   {
     std::lock_guard<std::mutex> lock(c->status_mu);
     c->state = state;
     c->error = std::move(error);
-    if (c->begun && state != CampaignState::kFailed) {
-      c->report = c->runtime.Finish();
-      // A cancellation that left budget unspent stopped the run early in
-      // the RunReport sense, even though the strategy never declined.
-      if (state == CampaignState::kCancelled &&
-          c->report.budget_spent < c->config.options.budget) {
-        c->report.stopped_early = true;
+    if (state != CampaignState::kFailed) {
+      if (c->begun) {
+        c->report = c->runtime.Finish();
+        // A cancellation that left budget unspent stopped the run early
+        // in the RunReport sense, even though the strategy never
+        // declined.
+        if (state == CampaignState::kCancelled &&
+            c->report.budget_spent < c->config.options.budget) {
+          c->report.stopped_early = true;
+        }
+        c->metrics = c->report.final_metrics;
+        c->budget_spent = c->report.budget_spent;
+        c->tasks_completed = c->runtime.tasks_completed();
+        c->checkpoints_recorded = c->report.checkpoints.size();
+      } else {
+        // Cancelled before Begin: synthesize the report from the config
+        // so it is distinguishable from a real (if empty) run — the
+        // default-constructed report used to leak out here (ISSUE 2).
+        c->report.strategy_name = c->strategy_name;
+        c->report.allocation.assign(c->config.initial_posts->size(), 0);
+        c->report.budget_spent = 0;
+        c->report.stopped_early = c->config.options.budget > 0;
       }
-      c->metrics = c->report.final_metrics;
-      c->budget_spent = c->report.budget_spent;
-      c->tasks_completed = c->runtime.tasks_completed();
-      c->checkpoints_recorded = c->report.checkpoints.size();
     }
     c->tasks_in_flight = static_cast<int64_t>(c->pending.size());
-    c->elapsed_seconds = c->started.ElapsedSeconds();
+    c->queue_delay_seconds = c->queue_delay_s;
+    c->elapsed_seconds = c->begun ? c->started.ElapsedSeconds() : 0.0;
   }
   c->finalized.store(true);
   c->terminal_cv.notify_all();
@@ -353,6 +541,7 @@ void CampaignManager::Finalize(Campaign* c, CampaignState state,
 util::Status CampaignManager::Cancel(CampaignId id) {
   Campaign* c = Find(id);
   if (c == nullptr) return util::Status::NotFound("no such campaign");
+  c->user_cancelled.store(true);
   c->cancel_requested.store(true);
   if (!options_.deterministic && !c->finalized.load()) ScheduleStep(c);
   return util::Status::OK();
@@ -373,6 +562,7 @@ util::Result<CampaignStatus> CampaignManager::Status(CampaignId id) const {
   out.tasks_in_flight = c->tasks_in_flight;
   out.metrics = c->metrics;
   out.checkpoints_recorded = c->checkpoints_recorded;
+  out.queue_delay_seconds = c->queue_delay_seconds;
   out.elapsed_seconds = c->elapsed_seconds;
   out.tasks_per_second =
       c->elapsed_seconds > 0.0
@@ -410,6 +600,26 @@ util::Result<core::RunReport> CampaignManager::Wait(CampaignId id) {
   return c->report;
 }
 
+util::Result<CampaignResult> CampaignManager::WaitFor(
+    CampaignId id, std::chrono::milliseconds timeout) {
+  Campaign* c = Find(id);
+  if (c == nullptr) return util::Status::NotFound("no such campaign");
+  std::unique_lock<std::mutex> lock(c->status_mu);
+  if (!c->terminal_cv.wait_for(lock, timeout, [c] {
+        return c->state != CampaignState::kRunning;
+      })) {
+    return util::Status::DeadlineExceeded(
+        "campaign " + std::to_string(id) + " not terminal after " +
+        std::to_string(timeout.count()) + "ms");
+  }
+  CampaignResult out;
+  out.id = id;
+  out.state = c->state;
+  out.report = c->report;
+  out.error = c->error;
+  return out;
+}
+
 void CampaignManager::WaitAll() {
   std::vector<CampaignId> ids;
   for (const auto& shard : shards_) {
@@ -419,33 +629,217 @@ void CampaignManager::WaitAll() {
   for (CampaignId id : ids) Wait(id);
 }
 
-void CampaignManager::Shutdown() {
-  // The flag must be set before the sweep locks the shards (see the
-  // matching comment in Submit); call_once makes concurrent or repeated
-  // Shutdown calls block until the one real teardown completes, so no
-  // caller can join the pool while another is still sweeping.
-  shutdown_.store(true);
-  std::call_once(shutdown_once_, [this] {
-    if (pool_ == nullptr) return;  // deterministic mode: nothing running
-    // Sweep every live campaign into cancellation, wait for the steps to
-    // finalize them, then drain and join the pool.
-    std::vector<Campaign*> live;
-    for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      for (const auto& [id, campaign] : shard->campaigns) {
-        live.push_back(campaign.get());
+util::Result<std::vector<CampaignId>> CampaignManager::Recover(
+    const std::string& dir, const CampaignFactory& factory) {
+  auto files = util::ListDirFiles(dir, ".journal");
+  if (!files.ok()) return files.status();
+
+  // Phase 1: parse and validate every journal with no side effects, so a
+  // factory or corruption error aborts recovery before any campaign has
+  // been registered or resumed — the caller can fix the input and call
+  // Recover again without double-resuming anything.
+  struct Pending {
+    std::string path;
+    persist::JournalContents contents;
+    CampaignConfig config;
+  };
+  std::vector<Pending> pending;
+  for (const std::string& path : files.value()) {
+    if (recovered_paths_.count(path) > 0) continue;  // a retried Recover
+    auto contents = persist::ReadJournal(path);
+    if (!contents.ok()) return contents.status();
+    if (!contents.value().has_submit) continue;
+    // A parseable id that is already registered means this journal's
+    // campaign is live in this manager; never open a second writer on a
+    // file a live campaign is appending to.
+    const CampaignId parsed = ParseJournalId(path);
+    if (parsed != 0 && Find(parsed) != nullptr) continue;
+    auto config = factory(contents.value().submit);
+    if (!config.ok()) return config.status();
+    INCENTAG_RETURN_IF_ERROR(ValidateConfig(config.value()));
+    pending.push_back(Pending{path, std::move(contents).value(),
+                              std::move(config).value()});
+  }
+
+  // Phase 2: register and resume. Only IO-level failures can abort from
+  // here on, and resumed journals are remembered, so even such an abort
+  // is safely retryable.
+  std::vector<CampaignId> out;
+  for (Pending& p : pending) {
+    auto recovered = RecoverOne(p.path, p.contents, std::move(p.config));
+    if (!recovered.ok()) return recovered.status();
+    recovered_paths_.insert(p.path);
+    out.push_back(recovered.value());
+  }
+  return out;
+}
+
+// Resurrects one parsed-and-validated journal. Runs on the calling
+// thread with the campaign's scheduling token held throughout the
+// replay.
+util::Result<CampaignId> CampaignManager::RecoverOne(
+    const std::string& path, const persist::JournalContents& contents,
+    CampaignConfig config) {
+  const std::vector<persist::CompletionRecord>& trace =
+      contents.completions;
+
+  // Keep the campaign's pre-crash id when the file name encodes one (ids
+  // are then stable across restarts), and move next_id_ past it so a
+  // later Submit can never be handed an id whose journal file this
+  // recovered campaign is still appending to.
+  CampaignId id = ParseJournalId(path);
+  if (id != 0 && Find(id) == nullptr) {
+    CampaignId current = next_id_.load();
+    while (current <= id &&
+           !next_id_.compare_exchange_weak(current, id + 1)) {
+    }
+  } else {
+    id = next_id_.fetch_add(1);
+  }
+  auto campaign = std::make_unique<Campaign>(id, std::move(config));
+  Campaign* c = campaign.get();
+
+  // Resume the original journal file: drop the torn tail (if any), then
+  // append post-recovery completions after the last intact record.
+  auto writer = persist::JournalWriter::Open(path, contents.valid_bytes);
+  if (!writer.ok()) return writer.status();
+  c->journal = std::move(writer).value();
+  if (sink_ == nullptr) {
+    // Journaling may be off for new submits; recovered campaigns still
+    // need the fsync batcher. Recover runs single-threaded before the
+    // recovered campaigns step, so this lazy init is unsynchronized.
+    persist::JournalSinkOptions sink_options;
+    sink_options.batch_interval_us = options_.journal_batch_interval_us;
+    sink_ = std::make_unique<persist::JournalSink>(sink_options);
+  }
+
+  INCENTAG_RETURN_IF_ERROR(TryRegister(id, std::move(campaign)));
+
+  // ---- replay: drive the recorded completions through the runtime ----
+  c->scheduled.store(true);  // the recovering thread is the stepper
+  c->queue_delay_s = c->submitted.ElapsedSeconds();
+  c->started.Restart();
+  util::Status status =
+      c->runtime.Begin(c->config.strategy.get(), c->config.stream.get());
+  if (!status.ok()) {
+    Finalize(c, CampaignState::kFailed, status.ToString());
+    return id;
+  }
+  c->begun = true;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (c->pending.empty()) {
+      status = c->runtime.DrawBatch(&c->batch);
+      if (!status.ok()) {
+        Finalize(c, CampaignState::kFailed, status.ToString());
+        return id;
+      }
+      if (c->batch.empty()) {
+        Finalize(c, CampaignState::kFailed,
+                 "journal replay diverged: " + std::to_string(trace.size()) +
+                     " recorded completions but the campaign stopped after " +
+                     std::to_string(i));
+        return id;
+      }
+      for (core::ResourceId resource : c->batch) {
+        c->pending.push_back(resource);
+        ++c->next_assign_seq;
       }
     }
-    for (Campaign* c : live) {
-      c->cancel_requested.store(true);
-      if (!c->finalized.load()) ScheduleStep(c);
+    // The journal records completions in application (= assignment)
+    // order; any divergence means the factory rebuilt a different
+    // campaign (wrong seed, options, or dataset) and replaying further
+    // would fabricate state.
+    if (trace[i].seq != c->next_apply_seq ||
+        trace[i].resource != c->pending.front()) {
+      Finalize(c, CampaignState::kFailed,
+               "journal replay diverged at record " + std::to_string(i) +
+                   ": recorded seq " + std::to_string(trace[i].seq) +
+                   "/resource " + std::to_string(trace[i].resource) +
+                   ", replay expected seq " +
+                   std::to_string(c->next_apply_seq) + "/resource " +
+                   std::to_string(c->pending.front()));
+      return id;
     }
-    for (Campaign* c : live) {
-      std::unique_lock<std::mutex> lock(c->status_mu);
-      c->terminal_cv.wait(
-          lock, [c] { return c->state != CampaignState::kRunning; });
+    c->pending.pop_front();
+    c->runtime.ApplyCompletion(trace[i].resource);
+    ++c->next_apply_seq;
+  }
+
+  // ---- resume live from exactly where the journal ends ----
+  if (contents.cancelled) {
+    // The operator cancelled this campaign before the restart; recovery
+    // rebuilds its partial report but must not resume its spend.
+    // (`user_cancelled` stays false, so no duplicate cancel record.)
+    Finalize(c, CampaignState::kCancelled, "");
+    return id;
+  }
+  if (options_.deterministic) {
+    DriveDeterministic(c);
+    return id;
+  }
+  if (c->runtime.done() && c->pending.empty()) {
+    Finalize(c, CampaignState::kDone, "");
+    return id;
+  }
+  if (!c->pending.empty()) {
+    // The tail of the last recorded batch never completed before the
+    // crash; hand it to the live completion source now.
+    c->tasks.clear();
+    c->tasks.reserve(c->pending.size());
+    uint64_t seq = c->next_apply_seq;
+    for (core::ResourceId resource : c->pending) {
+      c->tasks.push_back(TaskHandle{c->id, resource, seq++});
     }
-    pool_->Shutdown();
+    PublishStatus(c);
+    if (!source_->SubmitTasks(c->tasks,
+                              [this, c](const TaskHandle& task) {
+                                OnCompletion(c, task.seq);
+                              })) {
+      Finalize(c, CampaignState::kFailed, kSourceClosedError);
+      return id;
+    }
+  }
+  PublishStatus(c);
+  // Keep the token and hand the campaign to the pool; Step picks up from
+  // the replayed state (drains whatever the source completed inline).
+  if (!pool_->Submit([this, c] { Step(c); })) {
+    c->scheduled.store(false);  // teardown; cancel sweep finalizes
+  }
+  return id;
+}
+
+void CampaignManager::Shutdown() {
+  // The flag must be set before the sweep locks the shards (see the
+  // matching comment in TryRegister); call_once makes concurrent or
+  // repeated Shutdown calls block until the one real teardown completes,
+  // so no caller can join the pool while another is still sweeping.
+  shutdown_.store(true);
+  std::call_once(shutdown_once_, [this] {
+    if (pool_ != nullptr) {
+      // Sweep every live campaign into cancellation, wait for the steps
+      // to finalize them, then drain and join the pool.
+      std::vector<Campaign*> live;
+      for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        for (const auto& [id, campaign] : shard->campaigns) {
+          live.push_back(campaign.get());
+        }
+      }
+      for (Campaign* c : live) {
+        c->cancel_requested.store(true);
+        if (!c->finalized.load()) ScheduleStep(c);
+      }
+      for (Campaign* c : live) {
+        std::unique_lock<std::mutex> lock(c->status_mu);
+        c->terminal_cv.wait(
+            lock, [c] { return c->state != CampaignState::kRunning; });
+      }
+      pool_->Shutdown();
+    }
+    // After the pool: no stepper can schedule further syncs. Stop drains
+    // the dirty set, so every journaled record is on disk before the
+    // campaigns (and their writers) are destroyed.
+    if (sink_ != nullptr) sink_->Stop();
   });
 }
 

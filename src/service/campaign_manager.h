@@ -30,19 +30,34 @@
 // synchronously inside Submit on the calling thread, byte-identical to
 // AllocationEngine::Run for the same inputs (it drives the same
 // CampaignRuntime step protocol in the same order).
+//
+// Durability (ManagerOptions::journal_dir): each campaign appends a
+// write-ahead journal — one persist::SubmitRecord at Submit, one
+// persist::CompletionRecord per applied task — with fsync batched on a
+// persist::JournalSink thread. Recover(dir, factory) rebuilds campaigns
+// from their journals after a crash: the factory re-attaches the
+// non-serializable inputs (dataset pointers, strategy, stream) from the
+// journaled SubmitRecord, the manager replays the recorded completions
+// through the deterministic step protocol, and the campaign continues
+// live from exactly where the journal ends.
 #ifndef INCENTAG_SERVICE_CAMPAIGN_MANAGER_H_
 #define INCENTAG_SERVICE_CAMPAIGN_MANAGER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/allocation.h"
 #include "src/core/post_stream.h"
 #include "src/core/strategy.h"
+#include "src/persist/journal.h"
+#include "src/persist/journal_sink.h"
 #include "src/service/completion_source.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
@@ -61,6 +76,11 @@ struct CampaignConfig {
   const std::vector<core::ResourceReference>* references = nullptr;
   std::unique_ptr<core::Strategy> strategy;
   std::unique_ptr<core::PostStream> stream;
+  // Journaled verbatim in the SubmitRecord and handed back to the
+  // CampaignFactory at recovery — set it to whatever seed rebuilds this
+  // exact strategy/stream pair (e.g. the FC crowd-model seed). Unused by
+  // the manager itself.
+  uint64_t seed = 0;
   // Optional keep-alive for auxiliary objects the strategy or stream
   // reference (e.g. the sim::CrowdModel behind FreeChoiceStrategy's
   // picker). Destroyed with the campaign.
@@ -71,7 +91,8 @@ enum class CampaignState {
   kRunning,    // submitted; stepping or waiting for completions
   kDone,       // budget spent or strategy stopped early; report ready
   kCancelled,  // Cancel() took effect; partial report ready
-  kFailed,     // configuration or strategy error; see CampaignStatus::error
+  kFailed,     // configuration, strategy, journal or completion-source
+               // error; see CampaignStatus::error
 };
 
 // A point-in-time snapshot, pollable while the campaign runs.
@@ -88,10 +109,27 @@ struct CampaignStatus {
   // Latest evaluation snapshot (quality, over/under-tagged, wasted).
   core::AllocationMetrics metrics;
   size_t checkpoints_recorded = 0;
+  // Time from Submit until the first step ran — scheduler queueing, not
+  // campaign work. Zero until the first step.
+  double queue_delay_seconds = 0.0;
+  // Active time since the campaign's first step (excludes queue delay).
   double elapsed_seconds = 0.0;
-  // Completed tasks per wall-clock second since the campaign began.
+  // Completed tasks per active wall-clock second.
   double tasks_per_second = 0.0;
   std::string error;
+};
+
+// Terminal outcome of one campaign, as returned by WaitFor: unlike the
+// bare RunReport, the state disambiguates a cancelled-before-start
+// campaign from one that genuinely ran (ISSUE 2 satellite).
+struct CampaignResult {
+  CampaignId id = 0;
+  CampaignState state = CampaignState::kRunning;
+  // Populated for kDone/kCancelled; for a campaign cancelled before its
+  // first step it is synthesized from the config (strategy name, zero
+  // allocation, stopped_early) rather than default-constructed.
+  core::RunReport report;
+  std::string error;  // non-empty for kFailed
 };
 
 struct ManagerOptions {
@@ -110,10 +148,28 @@ struct ManagerOptions {
   CompletionSource* completions = nullptr;
   // Registry shards; more shards = less contention on Submit/Status.
   int num_shards = 16;
+  // Non-empty enables the write-ahead journal: one
+  // `<journal_dir>/campaign-<id>.journal` per submitted campaign. The
+  // directory is created if missing. Submitting reuses (truncates) a
+  // stale journal file of the same name, so Recover() from a previous
+  // incarnation's directory must happen before new Submits into it.
+  std::string journal_dir;
+  // Coalescing window of the background fsync batcher (see
+  // persist::JournalSinkOptions).
+  int64_t journal_batch_interval_us = 500;
 };
 
 class CampaignManager {
  public:
+  // Rebuilds the non-serializable parts of a campaign from its journaled
+  // SubmitRecord during Recover: dataset pointers, strategy (record.
+  // strategy_name + record.seed), stream, and any CostModel. The
+  // returned config's `options` should normally be taken from
+  // `record.options` unchanged — recovery replay is only byte-identical
+  // if the engine options match the original run.
+  using CampaignFactory = std::function<util::Result<CampaignConfig>(
+      const persist::SubmitRecord& record)>;
+
   explicit CampaignManager(ManagerOptions options);
   // Implies Shutdown(): campaigns still running are cancelled, not
   // awaited. Call WaitAll() first if you want their reports.
@@ -124,11 +180,36 @@ class CampaignManager {
 
   // Registers the campaign and schedules its first step (deterministic
   // mode: runs it to completion before returning). Fails fast on null
-  // config fields or mismatched sizes.
+  // config fields or mismatched sizes. With journaling enabled the
+  // SubmitRecord is fsynced before the campaign is registered, so a
+  // crash at any later point can recover it.
   util::Result<CampaignId> Submit(CampaignConfig config);
 
+  // Scans `dir` for campaign journals and resurrects each one: reads its
+  // SubmitRecord + completion trace (tolerating a torn/corrupt tail,
+  // which is truncated), asks `factory` for a fresh CampaignConfig,
+  // replays the recorded completions through the deterministic step
+  // protocol — Algorithm 1's determinism makes the replayed state
+  // byte-identical to the pre-crash run — and resumes the campaign live,
+  // appending new completions to the same journal. Files without an
+  // intact SubmitRecord (a crash between journal creation and the submit
+  // fsync) are skipped. Returns the new ids in journal-file order; a
+  // journal that diverges from the replay finalizes its campaign as
+  // kFailed rather than failing the whole recovery. A journal named
+  // `campaign-<id>.journal` resurrects under its original id (ids are
+  // stable across restarts) and next_id_ advances past it, so later
+  // Submits never reuse a recovered journal file. Every journal is
+  // parsed and run through the factory before any campaign is resumed,
+  // so an error return means no side effects (and a rare IO failure
+  // mid-resume is retryable: already-resumed journals are skipped).
+  // Call from one thread, before submitting new campaigns.
+  util::Result<std::vector<CampaignId>> Recover(const std::string& dir,
+                                                const CampaignFactory& factory);
+
   // Requests cancellation; takes effect at the campaign's next step
-  // boundary. No-op on campaigns already terminal.
+  // boundary (a campaign whose first step has not run yet is cancelled
+  // before Begin, and its report synthesized from the config). No-op on
+  // campaigns already terminal.
   util::Status Cancel(CampaignId id);
 
   // Snapshot of one campaign / of every campaign, in submission order.
@@ -141,11 +222,19 @@ class CampaignManager {
   // status.
   util::Result<core::RunReport> Wait(CampaignId id);
 
+  // Bounded Wait: blocks at most `timeout`, then DeadlineExceeded — so
+  // callers never hang forever on a wedged campaign. On success the
+  // CampaignResult carries the terminal state alongside the report
+  // (kFailed is a valid result here, not an error status).
+  util::Result<CampaignResult> WaitFor(CampaignId id,
+                                       std::chrono::milliseconds timeout);
+
   // Blocks until every submitted campaign is terminal.
   void WaitAll();
 
-  // Cancels all running campaigns, waits for their steps to settle and
-  // joins the pool. Idempotent; implied by the destructor.
+  // Cancels all running campaigns, waits for their steps to settle,
+  // joins the pool and stops the journal sink (final fsync included).
+  // Idempotent; implied by the destructor.
   void Shutdown();
 
   int num_threads() const;
@@ -156,18 +245,29 @@ class CampaignManager {
   struct Shard;
 
   Campaign* Find(CampaignId id) const;
+  util::Status TryRegister(CampaignId id,
+                           std::unique_ptr<Campaign> campaign);
   void ScheduleStep(Campaign* campaign);
   void Step(Campaign* campaign);
   void RunDeterministic(Campaign* campaign);
+  void DriveDeterministic(Campaign* campaign);
+  util::Result<CampaignId> RecoverOne(const std::string& path,
+                                      const persist::JournalContents& contents,
+                                      CampaignConfig config);
   void Finalize(Campaign* campaign, CampaignState state, std::string error);
   void PublishStatus(Campaign* campaign);
   void OnCompletion(Campaign* campaign, uint64_t seq);
+  void FlushJournal(Campaign* campaign);
 
   ManagerOptions options_;
   std::unique_ptr<InlineCompletionSource> inline_source_;
   CompletionSource* source_ = nullptr;  // options_.completions or inline
   std::unique_ptr<util::ThreadPool> pool_;  // null in deterministic mode
+  std::unique_ptr<persist::JournalSink> sink_;  // null unless journaling
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Journal files already resumed by Recover (single-threaded access —
+  // see Recover's contract); makes a retried Recover skip them.
+  std::unordered_set<std::string> recovered_paths_;
   std::atomic<CampaignId> next_id_{1};
   std::atomic<bool> shutdown_{false};
   std::once_flag shutdown_once_;

@@ -49,7 +49,12 @@ class CompletionSource {
   // complete some or all tasks synchronously before returning. The
   // callback must not be invoked after the source is stopped/destroyed —
   // quiesce the source before destroying the CampaignManager it feeds.
-  virtual void SubmitTasks(const std::vector<TaskHandle>& tasks,
+  //
+  // Returns false when the source could not accept the whole batch (it
+  // was stopped/closed): some tasks will never complete, and the manager
+  // finalizes the campaign as kFailed instead of leaving it kRunning
+  // forever waiting on completions that cannot arrive.
+  virtual bool SubmitTasks(const std::vector<TaskHandle>& tasks,
                            const CompletionFn& done) = 0;
 };
 
@@ -57,9 +62,10 @@ class CompletionSource {
 // on the submitting thread. The default source of CampaignManager.
 class InlineCompletionSource : public CompletionSource {
  public:
-  void SubmitTasks(const std::vector<TaskHandle>& tasks,
+  bool SubmitTasks(const std::vector<TaskHandle>& tasks,
                    const CompletionFn& done) override {
     for (const TaskHandle& task : tasks) done(task);
+    return true;
   }
 };
 

@@ -28,13 +28,14 @@ CrowdLoadGenerator::CrowdLoadGenerator(LoadGeneratorOptions options)
 
 CrowdLoadGenerator::~CrowdLoadGenerator() { Stop(); }
 
-void CrowdLoadGenerator::SubmitTasks(
+bool CrowdLoadGenerator::SubmitTasks(
     const std::vector<service::TaskHandle>& tasks, const CompletionFn& done) {
   for (const service::TaskHandle& task : tasks) {
     // Push returns false once the queue is closed; the dropped task's
-    // callback never fires, which Stop() documents.
-    if (!queue_.Push(Item{task, done})) return;
+    // callback never fires, so the caller must treat the batch as lost.
+    if (!queue_.Push(Item{task, done})) return false;
   }
+  return true;
 }
 
 void CrowdLoadGenerator::Stop() {

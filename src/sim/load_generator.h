@@ -47,9 +47,11 @@ class CrowdLoadGenerator : public service::CompletionSource {
   CrowdLoadGenerator(const CrowdLoadGenerator&) = delete;
   CrowdLoadGenerator& operator=(const CrowdLoadGenerator&) = delete;
 
-  // Blocks while the crowd queue is full. Tasks submitted after Stop()
-  // are dropped (their callbacks never fire).
-  void SubmitTasks(const std::vector<service::TaskHandle>& tasks,
+  // Blocks while the crowd queue is full. Once the queue is closed by
+  // Stop(), the remainder of the batch is dropped (those callbacks never
+  // fire) and false is returned so the campaign can be finalized instead
+  // of wedging in kRunning forever.
+  bool SubmitTasks(const std::vector<service::TaskHandle>& tasks,
                    const CompletionFn& done) override;
 
   // Closes the queue: queued tasks still complete, new ones are dropped;

@@ -1,0 +1,45 @@
+#include "src/sim/strategy_factory.h"
+
+#include "src/core/strategy_fc.h"
+#include "src/core/strategy_fp.h"
+#include "src/core/strategy_fpmu.h"
+#include "src/core/strategy_mu.h"
+#include "src/core/strategy_rr.h"
+#include "src/sim/crowd.h"
+
+namespace incentag {
+namespace sim {
+
+std::unique_ptr<core::Strategy> MakeStrategyByName(
+    std::string_view name, const std::vector<double>& popularity,
+    uint64_t seed, std::shared_ptr<void>* context) {
+  if (name == "RR") return std::make_unique<core::RoundRobinStrategy>();
+  if (name == "FP") return std::make_unique<core::FewestPostsStrategy>();
+  if (name == "MU") return std::make_unique<core::MostUnstableStrategy>();
+  if (name == "FP-MU") return std::make_unique<core::HybridFpMuStrategy>();
+  if (name == "FC") {
+    auto crowd =
+        std::make_shared<CrowdModel>(popularity, /*alpha=*/1.0, seed);
+    *context = crowd;
+    return std::make_unique<core::FreeChoiceStrategy>(crowd->MakePicker());
+  }
+  return nullptr;
+}
+
+std::string_view StrategyNameForKind(int64_t kind) {
+  switch (((kind % 5) + 5) % 5) {
+    case 0:
+      return "RR";
+    case 1:
+      return "FP";
+    case 2:
+      return "MU";
+    case 3:
+      return "FP-MU";
+    default:
+      return "FC";
+  }
+}
+
+}  // namespace sim
+}  // namespace incentag

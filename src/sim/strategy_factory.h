@@ -1,0 +1,40 @@
+// Strategy construction keyed by the short name recorded in reports and
+// journals ("RR", "FP", "MU", "FP-MU", "FC").
+//
+// This mapping is the recovery contract of the persist layer: a
+// journaled persist::SubmitRecord stores only Strategy::name() plus a
+// caller seed, and CampaignManager::Recover's factory must rebuild the
+// exact same strategy from them — so the mapping lives in one place,
+// shared by examples, benches and tests, instead of drifting copies.
+#ifndef INCENTAG_SIM_STRATEGY_FACTORY_H_
+#define INCENTAG_SIM_STRATEGY_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/core/strategy.h"
+
+namespace incentag {
+namespace sim {
+
+// Builds the strategy named `name`. "FC" draws its tagger picks from a
+// CrowdModel over `popularity` seeded with `seed` (deterministic: the
+// same seed rebuilds the same pick sequence); the model's keep-alive is
+// stored in `*context`, which the caller must hold alongside the
+// strategy (CampaignConfig::context). The other strategies ignore
+// `popularity`/`seed` and leave `*context` untouched. Returns null for
+// an unknown name.
+std::unique_ptr<core::Strategy> MakeStrategyByName(
+    std::string_view name, const std::vector<double>& popularity,
+    uint64_t seed, std::shared_ptr<void>* context);
+
+// The round-robin kind -> name assignment used by the example fleet and
+// the service tests ("RR", "FP", "MU", "FP-MU", "FC" cycling).
+std::string_view StrategyNameForKind(int64_t kind);
+
+}  // namespace sim
+}  // namespace incentag
+
+#endif  // INCENTAG_SIM_STRATEGY_FACTORY_H_

@@ -1,0 +1,162 @@
+#include "src/util/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace incentag {
+namespace util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status CreateDirectories(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("create_directories " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirFiles(const std::string& dir,
+                                              std::string_view suffix) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("opendir " + dir + ": " + ec.message());
+  }
+  std::vector<std::string> out;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::string path = entry.path().string();
+    if (!suffix.empty()) {
+      if (path.size() < suffix.size() ||
+          path.compare(path.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+    }
+    out.push_back(std::move(path));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("open " + path + " for read failed");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read " + path + " failed");
+  }
+  return std::move(contents).str();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IoError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", dir);
+  Status status;
+  if (::fsync(fd) != 0) status = ErrnoStatus("fsync", dir);
+  ::close(fd);
+  return status;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+Status AppendFile::Open(const std::string& path, int64_t truncate_to) {
+  if (is_open()) return Status::FailedPrecondition("AppendFile already open");
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return ErrnoStatus("open", path);
+  path_ = path;
+  if (truncate_to >= 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(truncate_to)) != 0) {
+      Status status = ErrnoStatus("ftruncate", path);
+      Close();
+      return status;
+    }
+    size_ = truncate_to;
+  } else {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) {
+      Status status = ErrnoStatus("lseek", path);
+      Close();
+      return status;
+    }
+    size_ = static_cast<int64_t>(end);
+  }
+  if (::lseek(fd_, static_cast<off_t>(size_), SEEK_SET) < 0) {
+    Status status = ErrnoStatus("lseek", path);
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Append(std::string_view data) {
+  if (!is_open()) return Status::FailedPrecondition("AppendFile not open");
+  buffer_.append(data.data(), data.size());
+  size_ += static_cast<int64_t>(data.size());
+  return Status::OK();
+}
+
+Status AppendFile::Flush() {
+  if (!is_open()) return Status::FailedPrecondition("AppendFile not open");
+  size_t written = 0;
+  while (written < buffer_.size()) {
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + written, buffer_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Drop the part that did reach the kernel so a retry cannot write
+      // those bytes twice (which would corrupt a journal).
+      buffer_.erase(0, written);
+      return ErrnoStatus("write", path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  INCENTAG_RETURN_IF_ERROR(Flush());
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  return Status::OK();
+}
+
+Status AppendFile::Close() {
+  if (!is_open()) return Status::OK();
+  Status status = Flush();
+  if (::close(fd_) != 0 && status.ok()) {
+    status = ErrnoStatus("close", path_);
+  }
+  fd_ = -1;
+  return status;
+}
+
+}  // namespace util
+}  // namespace incentag

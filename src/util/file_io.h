@@ -1,0 +1,87 @@
+// Durable-file primitives for the persist layer.
+//
+// AppendFile is the write side of a write-ahead journal: an O_APPEND-free
+// positioned writer with an explicit three-stage durability ladder —
+// Append (buffer in memory) -> Flush (write() to the kernel) -> Sync
+// (fsync to the platter). The persist::JournalSink batches the expensive
+// third stage across campaigns; everything here is synchronous and
+// thread-compatible (callers serialise access, see persist::JournalWriter
+// for the locked wrapper).
+//
+// All functions return util::Status instead of throwing; errno is folded
+// into the message.
+#ifndef INCENTAG_UTIL_FILE_IO_H_
+#define INCENTAG_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace incentag {
+namespace util {
+
+// Creates `dir` and any missing parents. OK if it already exists.
+Status CreateDirectories(const std::string& dir);
+
+// Regular files directly inside `dir` whose names end with `suffix`
+// (empty suffix = all), as full paths, sorted lexicographically so
+// directory scans are deterministic across platforms.
+Result<std::vector<std::string>> ListDirFiles(const std::string& dir,
+                                              std::string_view suffix = "");
+
+// Whole-file read; the journal reader works from an in-memory image
+// (journals are bounded by campaign budgets, not log retention).
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Deletes `path`. OK if it does not exist.
+Status RemoveFile(const std::string& path);
+
+// fsyncs the directory itself, making creations/removals of entries in
+// it power-loss durable — an fsync of a newly created file covers its
+// data, not its directory entry.
+Status SyncDir(const std::string& dir);
+
+// Byte-positioned appender. Open() creates the file when missing; when
+// `truncate_to` >= 0 the file is first truncated to that many bytes —
+// recovery uses this to drop a torn tail record before resuming appends.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();  // closes without syncing; call Sync() first if you care
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  Status Open(const std::string& path, int64_t truncate_to = -1);
+
+  // Buffers `data` in memory; cheap, no syscall.
+  Status Append(std::string_view data);
+
+  // Pushes the buffer to the kernel with write(). Data survives a process
+  // crash after Flush, but not a power loss — that needs Sync.
+  Status Flush();
+
+  // Flush + fsync: data is durable when this returns OK.
+  Status Sync();
+
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  // Bytes accepted so far (buffered + written), i.e. the logical size.
+  int64_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string buffer_;
+  int64_t size_ = 0;
+};
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_FILE_IO_H_

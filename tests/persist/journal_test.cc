@@ -1,0 +1,301 @@
+#include "src/persist/journal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/persist/journal_sink.h"
+#include "src/persist/replay_source.h"
+#include "src/util/file_io.h"
+
+namespace incentag {
+namespace persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("journal_test_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    ASSERT_TRUE(util::CreateDirectories(dir_.string()).ok());
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static SubmitRecord MakeSubmit() {
+    SubmitRecord record;
+    record.name = "community-7";
+    record.strategy_name = "FP-MU";
+    record.seed = 0xDEADBEEFCAFEBABEull;
+    record.options.budget = 1234;
+    record.options.omega = 7;
+    record.options.under_tagged_threshold = 11;
+    record.options.batch_size = 16;
+    record.options.checkpoints = {100, 500, 1234};
+    return record;
+  }
+
+  static void ExpectSubmitEqual(const SubmitRecord& want,
+                                const SubmitRecord& got) {
+    EXPECT_EQ(want.name, got.name);
+    EXPECT_EQ(want.strategy_name, got.strategy_name);
+    EXPECT_EQ(want.seed, got.seed);
+    EXPECT_EQ(want.options.budget, got.options.budget);
+    EXPECT_EQ(want.options.omega, got.options.omega);
+    EXPECT_EQ(want.options.under_tagged_threshold,
+              got.options.under_tagged_threshold);
+    EXPECT_EQ(want.options.batch_size, got.options.batch_size);
+    EXPECT_EQ(want.options.checkpoints, got.options.checkpoints);
+  }
+
+  // Writes a journal with `n` completions and returns its path.
+  std::string WriteJournal(const std::string& name, size_t n) {
+    const std::string path = PathFor(name);
+    auto writer = JournalWriter::Open(path);
+    EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+    EXPECT_TRUE(writer.value()->AppendSubmit(MakeSubmit()).ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(writer.value()
+                      ->AppendCompletion(CompletionRecord{
+                          i, static_cast<core::ResourceId>(i % 13)})
+                      .ok());
+    }
+    EXPECT_TRUE(writer.value()->Sync().ok());
+    return path;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(JournalTest, SubmitRecordRoundtrip) {
+  const SubmitRecord want = MakeSubmit();
+  SubmitRecord got;
+  ASSERT_TRUE(DecodeSubmitRecord(EncodeSubmitRecord(want), &got).ok());
+  ExpectSubmitEqual(want, got);
+}
+
+TEST_F(JournalTest, CompletionRecordRoundtrip) {
+  const CompletionRecord want{42, 7};
+  CompletionRecord got;
+  ASSERT_TRUE(DecodeCompletionRecord(EncodeCompletionRecord(want), &got).ok());
+  EXPECT_EQ(want.seq, got.seq);
+  EXPECT_EQ(want.resource, got.resource);
+}
+
+TEST_F(JournalTest, WriteThenReadBack) {
+  const std::string path = WriteJournal("roundtrip.journal", 25);
+  auto contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents.value().has_submit);
+  ExpectSubmitEqual(MakeSubmit(), contents.value().submit);
+  ASSERT_EQ(contents.value().completions.size(), 25u);
+  for (size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(contents.value().completions[i].seq, i);
+    EXPECT_EQ(contents.value().completions[i].resource,
+              static_cast<core::ResourceId>(i % 13));
+  }
+  EXPECT_TRUE(contents.value().tail_status.ok())
+      << contents.value().tail_status.ToString();
+  EXPECT_EQ(contents.value().valid_bytes,
+            static_cast<int64_t>(fs::file_size(path)));
+}
+
+TEST_F(JournalTest, TruncatedTailRecordIsDropped) {
+  const std::string path = WriteJournal("truncated.journal", 10);
+  const auto full_size = fs::file_size(path);
+  // Tear the final record: cut 3 bytes out of its payload.
+  fs::resize_file(path, full_size - 3);
+
+  auto contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents.value().completions.size(), 9u);
+  EXPECT_FALSE(contents.value().tail_status.ok());
+  EXPECT_LT(contents.value().valid_bytes,
+            static_cast<int64_t>(full_size - 3));
+
+  // Resuming at valid_bytes drops the torn tail and appends cleanly.
+  auto writer = JournalWriter::Open(path, contents.value().valid_bytes);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer.value()->AppendCompletion(CompletionRecord{9, 9}).ok());
+  ASSERT_TRUE(writer.value()->Sync().ok());
+  auto reread = ReadJournal(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().completions.size(), 10u);
+  EXPECT_TRUE(reread.value().tail_status.ok());
+}
+
+TEST_F(JournalTest, CorruptCrcTailRecordIsDropped) {
+  const std::string path = WriteJournal("corrupt.journal", 10);
+  // Flip one byte in the last record's payload; its CRC no longer checks.
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    char byte;
+    f.seekg(-1, std::ios::end);
+    f.get(byte);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(byte ^ 0x5A));
+  }
+  auto contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents.value().completions.size(), 9u);
+  EXPECT_FALSE(contents.value().tail_status.ok());
+  EXPECT_NE(contents.value().tail_status.message().find("crc"),
+            std::string::npos)
+      << contents.value().tail_status.ToString();
+}
+
+TEST_F(JournalTest, MidJournalCorruptionIsAHardError) {
+  const std::string path = WriteJournal("midrot.journal", 10);
+  const auto size = static_cast<std::streamoff>(fs::file_size(path));
+  // Flip a payload byte of the 3rd-from-last record (each completion
+  // frame is 8 header + 13 payload = 21 bytes): fully-present damage
+  // with intact records after it is bit rot, not a torn tail — the
+  // reader must refuse rather than silently truncate fsynced records.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::streamoff target = size - 3 * 21 + 9;
+    char byte;
+    f.seekg(target);
+    f.get(byte);
+    f.seekp(target);
+    f.put(static_cast<char>(byte ^ 0x5A));
+  }
+  auto contents = ReadJournal(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), util::StatusCode::kCorruption);
+  EXPECT_NE(contents.status().message().find("mid-journal"),
+            std::string::npos)
+      << contents.status().ToString();
+}
+
+TEST_F(JournalTest, EmptyOrTornFileHasNoSubmit) {
+  const std::string path = PathFor("empty.journal");
+  { std::ofstream f(path, std::ios::binary); }
+  auto contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_FALSE(contents.value().has_submit);
+  EXPECT_EQ(contents.value().valid_bytes, 0);
+
+  // A few garbage bytes (torn submit write) behave the same.
+  { std::ofstream f(path, std::ios::binary); f << "torn"; }
+  contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_FALSE(contents.value().has_submit);
+  EXPECT_FALSE(contents.value().tail_status.ok());
+}
+
+TEST_F(JournalTest, CompletionSeqGapIsStructuralCorruption) {
+  const std::string path = PathFor("gap.journal");
+  auto writer = JournalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->AppendSubmit(MakeSubmit()).ok());
+  ASSERT_TRUE(writer.value()->AppendCompletion(CompletionRecord{0, 1}).ok());
+  ASSERT_TRUE(writer.value()->AppendCompletion(CompletionRecord{2, 1}).ok());
+  ASSERT_TRUE(writer.value()->Sync().ok());
+  auto contents = ReadJournal(path);
+  EXPECT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST_F(JournalTest, CompletionBeforeSubmitIsStructuralCorruption) {
+  const std::string path = PathFor("order.journal");
+  auto writer = JournalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->AppendCompletion(CompletionRecord{0, 1}).ok());
+  ASSERT_TRUE(writer.value()->Sync().ok());
+  auto contents = ReadJournal(path);
+  EXPECT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST_F(JournalTest, SinkBatchesSyncsAndDrains) {
+  const std::string path = PathFor("sink.journal");
+  auto writer = JournalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  JournalSinkOptions options;
+  options.batch_interval_us = 100;
+  JournalSink sink(options);
+  ASSERT_TRUE(writer.value()->AppendSubmit(MakeSubmit()).ok());
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(writer.value()
+                    ->AppendCompletion(
+                        CompletionRecord{i, static_cast<core::ResourceId>(i)})
+                    .ok());
+    sink.Schedule(writer.value().get());
+  }
+  sink.Drain();
+  // Durable now: read the file back without touching the writer again.
+  auto contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents.value().completions.size(), 64u);
+  // Coalescing must beat one fsync per append by a wide margin.
+  EXPECT_GE(sink.syncs(), 1);
+  EXPECT_LE(sink.syncs(), 64);
+  sink.Stop();
+  // Post-stop stragglers sync inline instead of being lost.
+  ASSERT_TRUE(writer.value()->AppendCompletion(CompletionRecord{64, 1}).ok());
+  sink.Schedule(writer.value().get());
+  auto reread = ReadJournal(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().completions.size(), 65u);
+}
+
+TEST_F(JournalTest, ReplaySourceCompletesInRecordedOrder) {
+  std::vector<CompletionRecord> trace{{0, 5}, {1, 3}, {2, 5}};
+  ReplayCompletionSource source(trace);
+  std::vector<uint64_t> completed;
+  auto done = [&completed](const service::TaskHandle& task) {
+    completed.push_back(task.seq);
+  };
+  std::vector<service::TaskHandle> batch{{1, 5, 0}, {1, 3, 1}, {1, 5, 2}};
+  EXPECT_TRUE(source.SubmitTasks(batch, done));
+  EXPECT_EQ(completed, (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(source.remaining(), 0u);
+  // kCompleteTail: tasks beyond the trace complete inline.
+  std::vector<service::TaskHandle> tail{{1, 9, 3}};
+  EXPECT_TRUE(source.SubmitTasks(tail, done));
+  EXPECT_EQ(completed.back(), 3u);
+}
+
+TEST_F(JournalTest, ReplaySourceHaltsAtEndWhenAsked) {
+  std::vector<CompletionRecord> trace{{0, 5}};
+  ReplayCompletionSource source(trace,
+                                ReplayCompletionSource::TailPolicy::kHaltAtEnd);
+  std::vector<uint64_t> completed;
+  auto done = [&completed](const service::TaskHandle& task) {
+    completed.push_back(task.seq);
+  };
+  std::vector<service::TaskHandle> batch{{1, 5, 0}, {1, 6, 1}};
+  EXPECT_FALSE(source.SubmitTasks(batch, done));
+  // The in-trace prefix still completed.
+  EXPECT_EQ(completed, (std::vector<uint64_t>{0}));
+  EXPECT_TRUE(source.error().ok());
+}
+
+TEST_F(JournalTest, ReplaySourceRejectsForeignTrace) {
+  std::vector<CompletionRecord> trace{{0, 5}};
+  ReplayCompletionSource source(trace);
+  std::vector<service::TaskHandle> batch{{1, 6, 0}};  // wrong resource
+  EXPECT_FALSE(source.SubmitTasks(batch, [](const service::TaskHandle&) {}));
+  EXPECT_FALSE(source.error().ok());
+  EXPECT_EQ(source.error().code(), util::StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace incentag

@@ -1,0 +1,651 @@
+// Crash-recovery, replay and teardown-robustness tests for the service
+// layer (ISSUE 2): a journaled campaign killed mid-run and recovered by a
+// fresh CampaignManager must produce a RunReport byte-identical to the
+// uninterrupted deterministic run, a recorded trace must re-drive through
+// persist::ReplayCompletionSource to the same report, and no campaign may
+// ever wedge in kRunning — a closed completion source fails it fast and
+// WaitFor bounds every wait.
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/allocation.h"
+#include "src/core/post_stream.h"
+#include "src/persist/journal.h"
+#include "src/persist/replay_source.h"
+#include "src/service/campaign_manager.h"
+#include "src/sim/crowd.h"
+#include "src/sim/dataset_prep.h"
+#include "src/sim/generator.h"
+#include "src/sim/load_generator.h"
+#include "src/sim/strategy_factory.h"
+#include "src/util/file_io.h"
+#include "src/util/random.h"
+
+namespace incentag {
+namespace service {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+// Completes the first `limit` tasks inline, then silently drops the rest
+// — the misbehaving-source scenario that used to wedge campaigns in
+// kRunning forever. Never reports itself closed.
+class LimitedCompletionSource : public CompletionSource {
+ public:
+  explicit LimitedCompletionSource(int64_t limit) : remaining_(limit) {}
+
+  bool SubmitTasks(const std::vector<TaskHandle>& tasks,
+                   const CompletionFn& done) override {
+    for (const TaskHandle& task : tasks) {
+      if (remaining_ > 0) {
+        --remaining_;
+        done(task);
+      }
+    }
+    return true;
+  }
+
+ private:
+  int64_t remaining_;
+};
+
+// Inline source whose first SubmitTasks blocks until Release() — used to
+// pin the single pool worker so a second campaign provably queues.
+class BlockingCompletionSource : public CompletionSource {
+ public:
+  bool SubmitTasks(const std::vector<TaskHandle>& tasks,
+                   const CompletionFn& done) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return released_; });
+    }
+    for (const TaskHandle& task : tasks) done(task);
+    return true;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::CorpusConfig config;
+    config.num_resources = 60;
+    config.seed = 20260729;
+    auto corpus = sim::Corpus::Generate(config);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    corpus_ = new sim::Corpus(std::move(corpus).value());
+    auto prep = sim::PrepareFromCorpus(*corpus_, sim::PrepConfig{});
+    ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+    dataset_ = new sim::PreparedDataset(std::move(prep).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete corpus_;
+    dataset_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("recovery_test_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    ASSERT_TRUE(util::CreateDirectories(dir_.string()).ok());
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static core::EngineOptions MakeOptions(int kind, int64_t budget) {
+    core::EngineOptions options;
+    options.budget = budget;
+    options.omega = 5;
+    options.checkpoints = {budget / 4, budget / 2, budget};
+    options.batch_size = (kind % 3 == 0) ? 16 : 1;
+    return options;
+  }
+
+  static CampaignConfig MakeConfig(int kind, int64_t budget, uint64_t seed) {
+    CampaignConfig config;
+    config.name = "campaign-" + std::to_string(kind);
+    config.options = MakeOptions(kind, budget);
+    config.initial_posts = &dataset_->initial_posts;
+    config.references = &dataset_->references;
+    config.seed = seed;
+    config.strategy =
+        sim::MakeStrategyByName(sim::StrategyNameForKind(kind),
+                                dataset_->popularity, seed, &config.context);
+    config.stream =
+        std::make_unique<core::VectorPostStream>(dataset_->MakeStream());
+    return config;
+  }
+
+  // The CampaignFactory handed to Recover: rebuilds dataset pointers,
+  // strategy and stream from the journaled SubmitRecord.
+  static util::Result<CampaignConfig> Factory(
+      const persist::SubmitRecord& record) {
+    CampaignConfig config;
+    config.name = record.name;
+    config.options = record.options;
+    config.initial_posts = &dataset_->initial_posts;
+    config.references = &dataset_->references;
+    config.seed = record.seed;
+    config.strategy =
+        sim::MakeStrategyByName(record.strategy_name, dataset_->popularity,
+                                record.seed, &config.context);
+    if (config.strategy == nullptr) {
+      return util::Status::InvalidArgument("unknown strategy " +
+                                           record.strategy_name);
+    }
+    config.stream =
+        std::make_unique<core::VectorPostStream>(dataset_->MakeStream());
+    return config;
+  }
+
+  // Uninterrupted ground truth for the same campaign parameters.
+  static core::RunReport RunSequential(int kind, int64_t budget,
+                                       uint64_t seed) {
+    std::shared_ptr<void> context;
+    auto strategy =
+        sim::MakeStrategyByName(sim::StrategyNameForKind(kind),
+                                dataset_->popularity, seed, &context);
+    core::AllocationEngine engine(MakeOptions(kind, budget),
+                                  &dataset_->initial_posts,
+                                  &dataset_->references);
+    core::VectorPostStream stream = dataset_->MakeStream();
+    auto report = engine.Run(strategy.get(), &stream);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  }
+
+  static void ExpectReportsEqual(const core::RunReport& want,
+                                 const core::RunReport& got,
+                                 const std::string& label) {
+    EXPECT_EQ(want.strategy_name, got.strategy_name) << label;
+    EXPECT_EQ(want.allocation, got.allocation) << label;
+    EXPECT_EQ(want.budget_spent, got.budget_spent) << label;
+    EXPECT_EQ(want.stopped_early, got.stopped_early) << label;
+    ASSERT_EQ(want.checkpoints.size(), got.checkpoints.size()) << label;
+    for (size_t i = 0; i < want.checkpoints.size(); ++i) {
+      ExpectMetricsEqual(want.checkpoints[i], got.checkpoints[i],
+                         label + " checkpoint " + std::to_string(i));
+    }
+    ExpectMetricsEqual(want.final_metrics, got.final_metrics,
+                       label + " final");
+  }
+
+  static void ExpectMetricsEqual(const core::AllocationMetrics& want,
+                                 const core::AllocationMetrics& got,
+                                 const std::string& label) {
+    EXPECT_EQ(want.budget_used, got.budget_used) << label;
+    EXPECT_EQ(want.avg_quality, got.avg_quality) << label;
+    EXPECT_EQ(want.over_tagged, got.over_tagged) << label;
+    EXPECT_EQ(want.wasted_posts, got.wasted_posts) << label;
+    EXPECT_EQ(want.under_tagged, got.under_tagged) << label;
+  }
+
+  // Runs campaign `kind` against a source that completes only
+  // `kill_after` tasks, so the campaign wedges mid-run; tears the
+  // manager down (the "kill"), leaving a journal whose trace ends
+  // mid-campaign. Returns the journal directory.
+  void KillMidRun(int kind, int64_t budget, uint64_t seed,
+                  int64_t kill_after) {
+    LimitedCompletionSource source(kill_after);
+    ManagerOptions options;
+    options.num_threads = 2;
+    options.tasks_per_step = 8;
+    options.completions = &source;
+    options.journal_dir = dir_.string();
+    CampaignManager manager(options);
+    auto id = manager.Submit(MakeConfig(kind, budget, seed));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    // The campaign can never finish: the source went silent. WaitFor
+    // bounds the wait instead of hanging (the old Wait would never
+    // return here).
+    auto result = manager.WaitFor(id.value(), milliseconds(200));
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
+    manager.Shutdown();  // the "kill": cancels and drops the campaign
+  }
+
+  static sim::Corpus* corpus_;
+  static sim::PreparedDataset* dataset_;
+  fs::path dir_;
+};
+
+sim::Corpus* RecoveryTest::corpus_ = nullptr;
+sim::PreparedDataset* RecoveryTest::dataset_ = nullptr;
+
+// The acceptance test: kill after N completions -> Recover -> report
+// byte-identical to the uninterrupted deterministic run, for every
+// strategy kind.
+TEST_F(RecoveryTest, KillAndRecoverMatchesUninterruptedRun) {
+  for (int kind = 0; kind < 5; ++kind) {
+    const int64_t budget = 220 + 30 * kind;
+    const uint64_t seed = 77 + static_cast<uint64_t>(kind);
+    KillMidRun(kind, budget, seed, /*kill_after=*/budget / 3);
+
+    ManagerOptions options;
+    options.deterministic = true;
+    CampaignManager recovered(options);
+    auto ids = recovered.Recover(dir_.string(), Factory);
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+    ASSERT_EQ(ids.value().size(), 1u) << "kind " << kind;
+    auto report = recovered.Wait(ids.value()[0]);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ExpectReportsEqual(RunSequential(kind, budget, seed), report.value(),
+                       "kind " + std::to_string(kind));
+    fs::remove_all(dir_);
+    ASSERT_TRUE(util::CreateDirectories(dir_.string()).ok());
+  }
+}
+
+// Same kill, but the fresh manager resumes the campaign *live* on its
+// thread pool with inline completions — recovery is not limited to
+// deterministic mode.
+TEST_F(RecoveryTest, RecoverContinuesLiveOnThreadPool) {
+  const int kind = 1;
+  const int64_t budget = 400;
+  const uint64_t seed = 1234;
+  KillMidRun(kind, budget, seed, /*kill_after=*/150);
+
+  ManagerOptions options;
+  options.num_threads = 3;
+  options.tasks_per_step = 16;
+  CampaignManager recovered(options);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto result = recovered.WaitFor(ids.value()[0], milliseconds(10000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().state, CampaignState::kDone);
+  ExpectReportsEqual(RunSequential(kind, budget, seed),
+                     result.value().report, "live recovery");
+
+  // The resumed journal now records the full campaign: a second recovery
+  // replays it end-to-end to the same report again.
+  recovered.Shutdown();
+  ManagerOptions det;
+  det.deterministic = true;
+  CampaignManager again(det);
+  auto ids2 = again.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids2.ok()) << ids2.status().ToString();
+  ASSERT_EQ(ids2.value().size(), 1u);
+  auto report2 = again.Wait(ids2.value()[0]);
+  ASSERT_TRUE(report2.ok());
+  ExpectReportsEqual(RunSequential(kind, budget, seed), report2.value(),
+                     "second recovery");
+}
+
+// Recovered campaigns keep their pre-crash ids, and a Submit into the
+// same journal directory afterwards gets a fresh id — it must never
+// truncate a journal file a recovered campaign is still appending to.
+TEST_F(RecoveryTest, RecoveredIdsAreStableAndNewSubmitsDoNotCollide) {
+  const int kind = 1;
+  const int64_t budget = 300;
+  const uint64_t seed = 8;
+  KillMidRun(kind, budget, seed, /*kill_after=*/100);
+
+  ManagerOptions options;
+  options.num_threads = 2;
+  options.journal_dir = dir_.string();
+  CampaignManager manager(options);
+  // A failing factory aborts recovery before any side effects...
+  auto failing = manager.Recover(
+      dir_.string(),
+      [](const persist::SubmitRecord&) -> util::Result<CampaignConfig> {
+        return util::Status::InvalidArgument("factory not ready");
+      });
+  EXPECT_FALSE(failing.ok());
+  EXPECT_EQ(manager.num_campaigns(), 0u);
+  // ...so retrying with a working factory recovers cleanly.
+  auto ids = manager.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  EXPECT_EQ(ids.value()[0], 1u);  // the pre-crash id
+  // An accidental repeat is a no-op: resumed journals are skipped.
+  auto repeat = manager.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+  EXPECT_TRUE(repeat.value().empty());
+
+  auto fresh = manager.Submit(MakeConfig(kind, budget, seed + 1));
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh.value(), 2u);  // bumped past the recovered id
+  auto r1 = manager.WaitFor(ids.value()[0], milliseconds(10000));
+  auto r2 = manager.WaitFor(fresh.value(), milliseconds(10000));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1.value().state, CampaignState::kDone);
+  EXPECT_EQ(r2.value().state, CampaignState::kDone);
+  ExpectReportsEqual(RunSequential(kind, budget, seed),
+                     r1.value().report, "recovered");
+  manager.Shutdown();
+
+  // Both journals intact and complete after the mixed run.
+  auto files = util::ListDirFiles(dir_.string(), ".journal");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files.value().size(), 2u);
+  for (const std::string& path : files.value()) {
+    auto contents = persist::ReadJournal(path);
+    ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+    EXPECT_TRUE(contents.value().tail_status.ok()) << path;
+    EXPECT_TRUE(contents.value().has_submit) << path;
+  }
+}
+
+// A crash tears bytes, not records: garbage appended past the last valid
+// record (or a bit flip inside it) must not block recovery.
+TEST_F(RecoveryTest, RecoveryToleratesTornJournalTail) {
+  const int kind = 0;
+  const int64_t budget = 300;
+  const uint64_t seed = 5;
+  KillMidRun(kind, budget, seed, /*kill_after=*/100);
+
+  auto files = util::ListDirFiles(dir_.string(), ".journal");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files.value().size(), 1u);
+  {
+    std::ofstream f(files.value()[0],
+                    std::ios::binary | std::ios::app);
+    f << "\x07torn-partial-frame";
+  }
+
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager recovered(options);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto report = recovered.Wait(ids.value()[0]);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectReportsEqual(RunSequential(kind, budget, seed), report.value(),
+                     "torn tail");
+
+  // An empty journal (crash before the submit fsync) is skipped, not an
+  // error, and does not disturb other journals in the directory.
+  { std::ofstream f((dir_ / "campaign-99.journal").string()); }
+  CampaignManager again(options);
+  auto ids2 = again.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids2.ok()) << ids2.status().ToString();
+  EXPECT_EQ(ids2.value().size(), 1u);
+}
+
+// A journal replayed against the wrong inputs (different seed => the
+// strategy chooses differently) must fail that campaign loudly, not
+// fabricate state.
+TEST_F(RecoveryTest, DivergentJournalFinalizesAsFailed) {
+  const int kind = 4;  // FC: seed-dependent choices
+  KillMidRun(kind, /*budget=*/300, /*seed=*/42, /*kill_after=*/120);
+
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager recovered(options);
+  auto wrong_seed_factory = [](const persist::SubmitRecord& record)
+      -> util::Result<CampaignConfig> {
+    persist::SubmitRecord tweaked = record;
+    tweaked.seed = record.seed + 1;
+    return Factory(tweaked);
+  };
+  auto ids = recovered.Recover(dir_.string(), wrong_seed_factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto result = recovered.WaitFor(ids.value()[0], milliseconds(5000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().state, CampaignState::kFailed);
+  EXPECT_NE(result.value().error.find("diverged"), std::string::npos)
+      << result.value().error;
+}
+
+// An explicit operator cancellation is journaled: Recover rebuilds the
+// partial report but finalizes kCancelled instead of resuming the spend
+// (a shutdown-interrupted campaign, by contrast, resumes — that is what
+// the kill-and-recover tests above assert).
+TEST_F(RecoveryTest, CancelledCampaignStaysCancelledAcrossRecovery) {
+  const int kind = 1;
+  const int64_t budget = 100000;
+  const uint64_t seed = 4;
+  {
+    LimitedCompletionSource source(50);
+    ManagerOptions options;
+    options.num_threads = 2;
+    options.completions = &source;
+    options.journal_dir = dir_.string();
+    CampaignManager manager(options);
+    auto id = manager.Submit(MakeConfig(kind, budget, seed));
+    ASSERT_TRUE(id.ok());
+    // Let it wedge at 50 completions, then cancel explicitly.
+    auto running = manager.WaitFor(id.value(), milliseconds(200));
+    EXPECT_FALSE(running.ok());
+    ASSERT_TRUE(manager.Cancel(id.value()).ok());
+    auto result = manager.WaitFor(id.value(), milliseconds(10000));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().state, CampaignState::kCancelled);
+    manager.Shutdown();
+  }
+
+  ManagerOptions det;
+  det.deterministic = true;
+  CampaignManager recovered(det);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto result = recovered.WaitFor(ids.value()[0], milliseconds(1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().state, CampaignState::kCancelled);
+  EXPECT_TRUE(result.value().report.stopped_early);
+  EXPECT_LT(result.value().report.budget_spent, budget);
+  EXPECT_GT(result.value().report.budget_spent, 0);
+}
+
+// ReplayCompletionSource re-drives a recorded crowd trace: a campaign
+// completed against the replayed journal reproduces the original report.
+TEST_F(RecoveryTest, ReplaySourceRedrivesRecordedTrace) {
+  const int kind = 2;
+  const int64_t budget = 350;
+  const uint64_t seed = 9;
+  // Record a full run (crowd-completed, out-of-order arrivals).
+  {
+    sim::LoadGeneratorOptions load_options;
+    load_options.num_taggers = 4;
+    load_options.mean_latency_us = 20.0;
+    load_options.seed = 11;
+    sim::CrowdLoadGenerator crowd(load_options);
+    ManagerOptions options;
+    options.num_threads = 2;
+    options.completions = &crowd;
+    options.journal_dir = dir_.string();
+    CampaignManager manager(options);
+    auto id = manager.Submit(MakeConfig(kind, budget, seed));
+    ASSERT_TRUE(id.ok());
+    auto report = manager.Wait(id.value());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    crowd.Stop();
+    manager.Shutdown();
+  }
+
+  auto files = util::ListDirFiles(dir_.string(), ".journal");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files.value().size(), 1u);
+  auto replay = persist::ReplayCompletionSource::Open(files.value()[0]);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+  ManagerOptions options;
+  options.num_threads = 2;
+  options.tasks_per_step = 16;
+  options.completions = replay.value().get();
+  CampaignManager manager(options);
+  auto id = manager.Submit(MakeConfig(kind, budget, seed));
+  ASSERT_TRUE(id.ok());
+  auto report = manager.Wait(id.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectReportsEqual(RunSequential(kind, budget, seed), report.value(),
+                     "replayed trace");
+  EXPECT_TRUE(replay.value()->error().ok())
+      << replay.value()->error().ToString();
+  manager.Shutdown();
+}
+
+// ISSUE 2 satellite: a completion source that closes mid-campaign must
+// finalize the campaign as kFailed("completion source closed"), never
+// leave it kRunning forever.
+TEST_F(RecoveryTest, ClosedCrowdFailsCampaignsInsteadOfWedging) {
+  sim::LoadGeneratorOptions load_options;
+  load_options.num_taggers = 2;
+  load_options.mean_latency_us = 300.0;
+  load_options.seed = 3;
+  sim::CrowdLoadGenerator crowd(load_options);
+  ManagerOptions options;
+  options.num_threads = 2;
+  options.completions = &crowd;
+  CampaignManager manager(options);
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = manager.Submit(MakeConfig(i, 1000000, 21));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  // Let some tasks flow, then close the crowd under the campaigns.
+  std::this_thread::sleep_for(milliseconds(30));
+  crowd.Stop();
+  for (CampaignId id : ids) {
+    auto result = manager.WaitFor(id, milliseconds(10000));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().state, CampaignState::kFailed);
+    EXPECT_NE(result.value().error.find("completion source closed"),
+              std::string::npos)
+        << result.value().error;
+  }
+  manager.Shutdown();
+}
+
+// ISSUE 2 satellite: cancelling a campaign that never got its first step
+// yields a report synthesized from the config — strategy name and a
+// zero allocation — plus the kCancelled state via WaitFor, instead of an
+// anonymous default-constructed RunReport.
+TEST_F(RecoveryTest, CancelBeforeFirstStepSynthesizesReport) {
+  BlockingCompletionSource blocker;
+  ManagerOptions options;
+  options.num_threads = 1;  // one worker, pinned by the blocker
+  options.completions = &blocker;
+  CampaignManager manager(options);
+  auto pinned = manager.Submit(MakeConfig(0, 50, 1));
+  ASSERT_TRUE(pinned.ok());
+  // Give the worker time to enter the blocking SubmitTasks.
+  std::this_thread::sleep_for(milliseconds(50));
+  auto queued = manager.Submit(MakeConfig(1, 50, 1));  // FP strategy
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(manager.Cancel(queued.value()).ok());
+  blocker.Release();
+
+  auto result = manager.WaitFor(queued.value(), milliseconds(10000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().state, CampaignState::kCancelled);
+  EXPECT_EQ(result.value().report.strategy_name, "FP");
+  EXPECT_EQ(result.value().report.allocation.size(), dataset_->size());
+  EXPECT_EQ(result.value().report.budget_spent, 0);
+  EXPECT_TRUE(result.value().report.stopped_early);
+
+  auto first = manager.WaitFor(pinned.value(), milliseconds(10000));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  manager.Shutdown();
+}
+
+// ISSUE 2 satellite: elapsed_seconds starts at the first step, and the
+// time a campaign sat queued behind other campaigns is reported
+// separately as queue_delay_seconds.
+TEST_F(RecoveryTest, QueueDelayReportedSeparatelyFromElapsed) {
+  BlockingCompletionSource blocker;
+  ManagerOptions options;
+  options.num_threads = 1;
+  options.completions = &blocker;
+  CampaignManager manager(options);
+  auto pinned = manager.Submit(MakeConfig(0, 50, 1));
+  ASSERT_TRUE(pinned.ok());
+  std::this_thread::sleep_for(milliseconds(50));
+  auto queued = manager.Submit(MakeConfig(1, 50, 1));
+  ASSERT_TRUE(queued.ok());
+  // The queued campaign cannot step while the worker is pinned.
+  std::this_thread::sleep_for(milliseconds(150));
+  blocker.Release();
+  auto result = manager.WaitFor(queued.value(), milliseconds(10000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto status = manager.Status(queued.value());
+  ASSERT_TRUE(status.ok());
+  // Queued >= 150ms behind the pinned campaign; generous margin for CI.
+  EXPECT_GE(status.value().queue_delay_seconds, 0.05);
+  // Active time excludes the queueing: an inline 50-budget campaign
+  // finishes orders of magnitude faster than it queued.
+  EXPECT_LT(status.value().elapsed_seconds,
+            status.value().queue_delay_seconds);
+  manager.WaitFor(pinned.value(), milliseconds(10000));
+  manager.Shutdown();
+}
+
+// ISSUE 2 satellite: the cancel-while-token-released race. Campaigns
+// waiting on a slow crowd release their scheduling token; Cancel must
+// always re-schedule a finalizing step, never strand the campaign.
+TEST_F(RecoveryTest, CancelRacingTokenReleaseAlwaysTerminates) {
+  sim::LoadGeneratorOptions load_options;
+  load_options.num_taggers = 3;
+  load_options.mean_latency_us = 80.0;
+  load_options.tagger_speed_sigma = 1.0;
+  load_options.seed = 99;
+  sim::CrowdLoadGenerator crowd(load_options);
+  ManagerOptions options;
+  options.num_threads = 3;
+  options.tasks_per_step = 4;
+  options.completions = &crowd;
+  CampaignManager manager(options);
+
+  util::Rng rng(2026);
+  const int kCampaigns = 16;
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto id = manager.Submit(MakeConfig(i, 100000, 7));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  // Hammer cancels from a racing thread at jittered times, so some land
+  // while the stepper holds the token, some exactly around the release
+  // point, some while the campaign is idle.
+  std::thread canceller([&] {
+    for (CampaignId id : ids) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.NextBounded(2000)));
+      EXPECT_TRUE(manager.Cancel(id).ok());
+    }
+  });
+  canceller.join();
+  for (CampaignId id : ids) {
+    auto result = manager.WaitFor(id, milliseconds(10000));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NE(result.value().state, CampaignState::kRunning);
+  }
+  crowd.Stop();
+  manager.Shutdown();
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace incentag
