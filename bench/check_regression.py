@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the CI perf-gate job.
+
+Compares a bench's JSON output against its checked-in baseline
+(bench/baselines/<name>.json) and fails (exit 1) when a gated metric
+regresses past the tolerance. Metrics are direction-aware: throughput
+must not drop, recovery time and replayed-record counts must not grow.
+Deterministic metrics (records replayed, report identity) gate tightly;
+wall-clock metrics get the full tolerance because CI runners vary.
+
+Usage:
+  check_regression.py BASELINE CURRENT [--tolerance 0.30]
+  check_regression.py --update BASELINE CURRENT   # refresh the baseline
+
+Baselines are refreshed deliberately (run the bench on a quiet machine,
+pass --update, commit the diff) — never automatically, or the gate
+would chase its own regressions downhill.
+"""
+
+import argparse
+import json
+import math
+import shutil
+import sys
+
+
+def die(message):
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def get_path(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+# (dotted metric path, direction, kind) per bench type. direction
+# "higher" = regression when current < baseline * (1 - tol);
+# "lower"  = regression when current > baseline * (1 + tol).
+# kind scales the tolerance to the metric's noise floor:
+#   deterministic — identical on any machine; half tolerance.
+#   ratio         — wall-clock ratio (speedups); machine-portable,
+#                   full tolerance.
+#   absolute      — raw seconds / tasks-per-sec; depends on the machine
+#                   that recorded the baseline, so double tolerance —
+#                   wide enough to ride out runner variance, tight
+#                   enough to catch an order-of-magnitude cliff.
+GATES = {
+    "recovery": [
+        ("compacted.records_replayed", "lower", "deterministic"),
+        ("replay_reduction", "higher", "deterministic"),
+        ("compacted.recovery_seconds", "lower", "absolute"),
+        ("recovery_speedup", "higher", "ratio"),
+    ],
+    "service_throughput": [
+        ("max_tasks_per_sec", "higher", "absolute"),
+    ],
+}
+
+TOLERANCE_SCALE = {"deterministic": 0.5, "ratio": 1.0, "absolute": 2.0}
+
+
+def derive_metrics(doc):
+    """Adds computed metrics the gates reference."""
+    if doc.get("bench") == "service_throughput":
+        rates = [r.get("tasks_per_sec", 0.0) for r in doc.get("results", [])]
+        doc["max_tasks_per_sec"] = max(rates) if rates else 0.0
+    return doc
+
+
+def check(baseline, current, tolerance):
+    bench = current.get("bench")
+    if bench != baseline.get("bench"):
+        die(f"bench mismatch: baseline {baseline.get('bench')!r} vs "
+            f"current {bench!r}")
+    if bench not in GATES:
+        die(f"no gates defined for bench {bench!r}")
+
+    if bench == "recovery" and current.get("reports_identical") is not True:
+        die("recovery reports are not byte-identical — correctness, "
+            "not perf; no tolerance applies")
+
+    failures = []
+    for path, direction, kind in GATES[bench]:
+        base = get_path(baseline, path)
+        cur = get_path(current, path)
+        if base is None:
+            print(f"  skip {path}: not in baseline")
+            continue
+        if cur is None:
+            failures.append(f"{path}: missing from current output")
+            continue
+        tol = tolerance * TOLERANCE_SCALE[kind]
+        if direction == "higher":
+            bound = base * (1.0 - tol)
+            ok = cur >= bound or math.isclose(cur, bound)
+            verdict = f">= {bound:.4g}"
+        else:
+            bound = base * (1.0 + tol)
+            ok = cur <= bound or math.isclose(cur, bound)
+            verdict = f"<= {bound:.4g}"
+        marker = "ok  " if ok else "FAIL"
+        print(f"  {marker} {path}: current {cur:.4g} vs baseline "
+              f"{base:.4g} (need {verdict})")
+        if not ok:
+            failures.append(
+                f"{path} regressed: {cur:.4g} vs baseline {base:.4g} "
+                f"(tolerance {tol:.0%})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="relative regression tolerance (default 0.30)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite BASELINE with CURRENT and exit")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"updated {args.baseline} from {args.current}")
+        return
+
+    with open(args.baseline) as f:
+        baseline = derive_metrics(json.load(f))
+    with open(args.current) as f:
+        current = derive_metrics(json.load(f))
+
+    print(f"perf gate: {current.get('bench')} "
+          f"(tolerance {args.tolerance:.0%})")
+    failures = check(baseline, current, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        sys.exit(1)
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

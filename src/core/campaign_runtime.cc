@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/core/quality.h"
+#include "src/util/wire.h"
 
 namespace incentag {
 namespace core {
@@ -72,6 +73,32 @@ class Evaluation {
     m.wasted_posts = wasted_posts_;
     m.under_tagged = under_tagged_;
     return m;
+  }
+
+  // Resumable-state round trip (campaign snapshots, journal format v2).
+  // quality_sum_ is an order-dependent float accumulation, so it is
+  // serialized bit-exactly rather than recomputed from the trackers.
+  void Serialize(std::string* out) const {
+    util::wire::PutU64(out, static_cast<uint64_t>(trackers_.size()));
+    for (const QualityTracker& tracker : trackers_) tracker.Serialize(out);
+    for (double q : qualities_) util::wire::PutDouble(out, q);
+    util::wire::PutDouble(out, quality_sum_);
+    util::wire::PutI64(out, over_tagged_);
+    util::wire::PutI64(out, under_tagged_);
+    util::wire::PutI64(out, wasted_posts_);
+  }
+
+  bool Restore(util::wire::Reader* in) {
+    uint64_t n = 0;
+    if (!in->GetU64(&n) || n != trackers_.size()) return false;
+    for (QualityTracker& tracker : trackers_) {
+      if (!tracker.Restore(in)) return false;
+    }
+    for (double& q : qualities_) {
+      if (!in->GetDouble(&q)) return false;
+    }
+    return in->GetDouble(&quality_sum_) && in->GetI64(&over_tagged_) &&
+           in->GetI64(&under_tagged_) && in->GetI64(&wasted_posts_);
   }
 
  private:
@@ -230,6 +257,178 @@ void CampaignRuntime::ApplyCompletion(ResourceId chosen) {
 AllocationMetrics CampaignRuntime::Metrics() const {
   assert(eval_ != nullptr && "Begin() must succeed before Metrics()");
   return eval_->Snapshot(spent_, initial_posts_->size());
+}
+
+namespace {
+
+// Bumped when the resumable-state layout changes incompatibly; a
+// mismatch makes recovery fall back to full journal replay rather than
+// guess at old bytes.
+constexpr uint32_t kRuntimeStateVersion = 1;
+
+void PutMetrics(std::string* out, const AllocationMetrics& m) {
+  util::wire::PutI64(out, m.budget_used);
+  util::wire::PutDouble(out, m.avg_quality);
+  util::wire::PutI64(out, m.over_tagged);
+  util::wire::PutI64(out, m.wasted_posts);
+  util::wire::PutI64(out, m.under_tagged);
+}
+
+bool GetMetrics(util::wire::Reader* in, AllocationMetrics* m) {
+  return in->GetI64(&m->budget_used) && in->GetDouble(&m->avg_quality) &&
+         in->GetI64(&m->over_tagged) && in->GetI64(&m->wasted_posts) &&
+         in->GetI64(&m->under_tagged);
+}
+
+}  // namespace
+
+util::Status CampaignRuntime::SerializeResumableState(
+    std::string* out) const {
+  if (eval_ == nullptr || strategy_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "runtime state can only be serialized after Begin");
+  }
+  const size_t n = initial_posts_->size();
+  util::wire::PutU32(out, kRuntimeStateVersion);
+  util::wire::PutU64(out, static_cast<uint64_t>(n));
+  util::wire::PutI64(out, spent_);
+  util::wire::PutI64(out, tasks_completed_);
+  util::wire::PutU8(out, stopped_early_ ? 1 : 0);
+  util::wire::PutU64(out, static_cast<uint64_t>(next_checkpoint_));
+  for (int64_t x : allocation_) util::wire::PutI64(out, x);
+  for (size_t i = 0; i < n; ++i) {
+    util::wire::PutU8(out, exhausted_[i] ? 1 : 0);
+  }
+  util::wire::PutU32(out, static_cast<uint32_t>(checkpoints_.size()));
+  for (const AllocationMetrics& m : checkpoints_) PutMetrics(out, m);
+  for (const ResourceState& state : states_) state.Serialize(out);
+  eval_->Serialize(out);
+  for (size_t i = 0; i < n; ++i) {
+    util::wire::PutI64(out, stream_->Consumed(static_cast<ResourceId>(i)));
+  }
+  std::string strategy_state;
+  strategy_->SerializeState(&strategy_state);
+  util::wire::PutString(out, strategy_state);
+  return util::Status::OK();
+}
+
+util::Status CampaignRuntime::RestoreResumableState(std::string_view state,
+                                                    Strategy* strategy,
+                                                    PostStream* stream) {
+  if (eval_ != nullptr) {
+    return util::Status::FailedPrecondition(
+        "RestoreResumableState replaces Begin on a fresh runtime");
+  }
+  const size_t n = initial_posts_->size();
+  if (stream->num_resources() != n) {
+    return util::Status::InvalidArgument(
+        "stream resource count does not match the engine's");
+  }
+  if (options_.costs != nullptr && options_.costs->num_resources() != n) {
+    return util::Status::InvalidArgument(
+        "cost model resource count does not match the engine's");
+  }
+  util::wire::Reader in(state);
+  uint32_t version = 0;
+  uint64_t encoded_n = 0;
+  uint8_t stopped_early = 0;
+  uint64_t next_checkpoint = 0;
+  if (!in.GetU32(&version) || version != kRuntimeStateVersion) {
+    return util::Status::Corruption("unsupported runtime state version");
+  }
+  if (!in.GetU64(&encoded_n) || encoded_n != n) {
+    return util::Status::Corruption(
+        "runtime state resource count does not match the dataset");
+  }
+  if (!in.GetI64(&spent_) || !in.GetI64(&tasks_completed_) ||
+      !in.GetU8(&stopped_early) || !in.GetU64(&next_checkpoint)) {
+    return util::Status::Corruption("short runtime state header");
+  }
+  stopped_early_ = stopped_early != 0;
+  if (next_checkpoint > options_.checkpoints.size()) {
+    return util::Status::Corruption(
+        "runtime state checkpoint cursor out of range");
+  }
+  next_checkpoint_ = static_cast<size_t>(next_checkpoint);
+
+  allocation_.assign(n, 0);
+  for (int64_t& x : allocation_) {
+    if (!in.GetI64(&x)) {
+      return util::Status::Corruption("short runtime state allocation");
+    }
+  }
+  exhausted_.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t flag = 0;
+    if (!in.GetU8(&flag)) {
+      return util::Status::Corruption("short runtime state exhausted set");
+    }
+    exhausted_[i] = flag != 0;
+  }
+  uint32_t num_checkpoints = 0;
+  if (!in.GetU32(&num_checkpoints) ||
+      num_checkpoints > options_.checkpoints.size() + 1) {
+    return util::Status::Corruption("runtime state checkpoint count");
+  }
+  checkpoints_.clear();
+  checkpoints_.reserve(num_checkpoints);
+  for (uint32_t i = 0; i < num_checkpoints; ++i) {
+    AllocationMetrics m;
+    if (!GetMetrics(&in, &m)) {
+      return util::Status::Corruption("short runtime state checkpoints");
+    }
+    checkpoints_.push_back(m);
+  }
+
+  states_.clear();
+  states_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    states_.emplace_back(options_.omega);
+    if (!states_[i].Restore(&in)) {
+      return util::Status::Corruption("malformed runtime resource state");
+    }
+  }
+  eval_ = std::make_unique<internal::Evaluation>(
+      states_, *references_, options_.under_tagged_threshold);
+  if (!eval_->Restore(&in)) {
+    eval_.reset();
+    return util::Status::Corruption("malformed runtime evaluation state");
+  }
+
+  // Fast-forward the fresh stream to where the serialized one stood; a
+  // deterministic stream then yields the same future posts.
+  for (size_t i = 0; i < n; ++i) {
+    int64_t consumed = 0;
+    if (!in.GetI64(&consumed) || consumed < 0) {
+      eval_.reset();
+      return util::Status::Corruption("malformed runtime stream cursors");
+    }
+    util::Status skipped =
+        stream->Skip(static_cast<ResourceId>(i), consumed);
+    if (!skipped.ok()) {
+      eval_.reset();
+      return skipped;
+    }
+  }
+
+  std::string_view strategy_state;
+  if (!in.GetStringView(&strategy_state) || !in.exhausted()) {
+    eval_.reset();
+    return util::Status::Corruption("malformed runtime strategy state");
+  }
+  strategy_ = strategy;
+  stream_ = stream;
+  ctx_.states = &states_;
+  ctx_.omega = options_.omega;
+  timer_.Restart();
+  util::Status restored = strategy_->RestoreState(ctx_, strategy_state);
+  if (!restored.ok()) {
+    eval_.reset();
+    strategy_ = nullptr;
+    stream_ = nullptr;
+    return restored;
+  }
+  return util::Status::OK();
 }
 
 RunReport CampaignRuntime::Finish() {

@@ -98,6 +98,27 @@ class CampaignRuntime {
   // which the runtime is spent.
   RunReport Finish();
 
+  // ---- resumable state (campaign snapshots, journal format v2) ----
+  //
+  // SerializeResumableState captures everything the runtime needs to
+  // continue mid-campaign — per-resource observable states, the
+  // incremental evaluation, allocation, checkpoints, budget counters,
+  // the stream's consumed positions and the strategy's opaque state —
+  // with doubles stored bit-exactly, so a restored runtime produces a
+  // RunReport byte-identical to one that replayed the whole journal.
+  // Valid between any two steps after a successful Begin and before
+  // Finish.
+  util::Status SerializeResumableState(std::string* out) const;
+
+  // Restores a freshly constructed runtime (same options and dataset
+  // pointers as the serialized one) from a SerializeResumableState blob.
+  // Called INSTEAD of Begin: re-attaches `strategy` and `stream` (both
+  // freshly built by the recovery factory), fast-forwards the stream to
+  // its serialized position via PostStream::Skip, and hands the strategy
+  // its serialized sub-blob through Strategy::RestoreState.
+  util::Status RestoreResumableState(std::string_view state,
+                                     Strategy* strategy, PostStream* stream);
+
  private:
   int64_t CostOf(ResourceId i) const;
   void RecordCheckpointsThrough(int64_t budget_used);

@@ -92,6 +92,33 @@ class PlanStrategy : public Strategy {
 
   void OnExhausted(ResourceId i) override { remaining_[i] = 0; }
 
+  void SerializeState(std::string* out) const override {
+    util::wire::PutU64(out, static_cast<uint64_t>(cursor_));
+    util::wire::PutU64(out, static_cast<uint64_t>(remaining_.size()));
+    for (int64_t r : remaining_) util::wire::PutI64(out, r);
+  }
+
+  util::Status RestoreState(const StrategyContext& /*ctx*/,
+                            std::string_view state) override {
+    util::wire::Reader in(state);
+    uint64_t cursor = 0;
+    uint64_t n = 0;
+    if (!in.GetU64(&cursor) || !in.GetU64(&n) || n != remaining_.size() ||
+        cursor > remaining_.size()) {
+      return util::Status::Corruption("malformed DP strategy state");
+    }
+    cursor_ = static_cast<size_t>(cursor);
+    for (int64_t& r : remaining_) {
+      if (!in.GetI64(&r)) {
+        return util::Status::Corruption("short DP strategy state");
+      }
+    }
+    if (!in.exhausted()) {
+      return util::Status::Corruption("trailing bytes in DP strategy state");
+    }
+    return util::Status::OK();
+  }
+
  private:
   std::vector<int64_t> remaining_;
   size_t cursor_ = 0;

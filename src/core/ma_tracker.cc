@@ -30,5 +30,34 @@ double MaTracker::Score() const {
   return window_sum_ / static_cast<double>(omega_ - 1);
 }
 
+void MaTracker::Serialize(std::string* out) const {
+  util::wire::PutU32(out, static_cast<uint32_t>(omega_));
+  util::wire::PutI64(out, posts_);
+  util::wire::PutDouble(out, last_sim_);
+  util::wire::PutDouble(out, window_sum_);
+  util::wire::PutU64(out, static_cast<uint64_t>(next_));
+  util::wire::PutU64(out, static_cast<uint64_t>(filled_));
+  for (double sim : ring_) util::wire::PutDouble(out, sim);
+}
+
+bool MaTracker::Restore(util::wire::Reader* in) {
+  uint32_t omega = 0;
+  uint64_t next = 0;
+  uint64_t filled = 0;
+  if (!in->GetU32(&omega) || static_cast<int>(omega) != omega_ ||
+      !in->GetI64(&posts_) || !in->GetDouble(&last_sim_) ||
+      !in->GetDouble(&window_sum_) || !in->GetU64(&next) ||
+      !in->GetU64(&filled)) {
+    return false;
+  }
+  if (next >= ring_.size() || filled > ring_.size()) return false;
+  next_ = static_cast<size_t>(next);
+  filled_ = static_cast<size_t>(filled);
+  for (double& sim : ring_) {
+    if (!in->GetDouble(&sim)) return false;
+  }
+  return true;
+}
+
 }  // namespace core
 }  // namespace incentag

@@ -11,7 +11,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "src/util/wire.h"
 
 namespace incentag {
 namespace core {
@@ -37,6 +40,13 @@ class MaTracker {
 
   // The most recent adjacent similarity (0 before the first post).
   double LastAdjacentSimilarity() const { return last_sim_; }
+
+  // Resumable-state round trip (campaign snapshots, journal format v2).
+  // The ring buffer and running sum restore bit-exactly so the restored
+  // Score() equals the live one to the last bit. Restore fails on a
+  // malformed buffer or an omega mismatch.
+  void Serialize(std::string* out) const;
+  bool Restore(util::wire::Reader* in);
 
  private:
   int omega_;

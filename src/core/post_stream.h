@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/types.h"
+#include "src/util/status.h"
 
 namespace incentag {
 namespace core {
@@ -39,6 +40,24 @@ class PostStream {
 
   // Number of posts already consumed for resource i.
   virtual int64_t Consumed(ResourceId i) const = 0;
+
+  // Advances resource i's cursor by `k` posts without observing them —
+  // snapshot restore (journal format v2) fast-forwards a fresh stream to
+  // its serialized Consumed() position this way. The default draws and
+  // discards, which is correct for any deterministic stream; streams
+  // with cheap random access (VectorPostStream) override it with an O(1)
+  // seek. A failure (stream too short for the requested skip) leaves the
+  // cursor position unspecified; callers treat it as unrecoverable.
+  virtual util::Status Skip(ResourceId i, int64_t k) {
+    for (int64_t step = 0; step < k; ++step) {
+      if (!HasNext(i)) {
+        return util::Status::OutOfRange(
+            "stream ran dry fast-forwarding resource " + std::to_string(i));
+      }
+      Next(i);
+    }
+    return util::Status::OK();
+  }
 };
 
 // A PostStream whose future is fully known ahead of time.
@@ -75,6 +94,15 @@ class VectorPostStream : public ReplayablePostStream {
   }
 
   int64_t Consumed(ResourceId i) const override { return cursors_[i]; }
+
+  util::Status Skip(ResourceId i, int64_t k) override {
+    if (cursors_[i] + k > static_cast<int64_t>(sequences_[i].size())) {
+      return util::Status::OutOfRange(
+          "stream ran dry fast-forwarding resource " + std::to_string(i));
+    }
+    cursors_[i] += k;
+    return util::Status::OK();
+  }
 
   const Post& Peek(ResourceId i, int64_t k) override {
     return sequences_[i][static_cast<size_t>(k)];

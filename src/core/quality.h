@@ -12,9 +12,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 
 #include "src/core/rfd.h"
 #include "src/core/types.h"
+#include "src/util/wire.h"
 
 namespace incentag {
 namespace core {
@@ -44,6 +46,19 @@ class QualityTracker {
 
   int64_t posts() const { return posts_; }
   const RfdVector& reference() const { return *reference_; }
+
+  // Resumable-state round trip (campaign snapshots, journal format v2).
+  // The incrementally accumulated dot product restores bit-exactly; the
+  // reference pointer is re-attached by the constructor, not serialized.
+  void Serialize(std::string* out) const {
+    util::wire::PutDouble(out, dot_);
+    util::wire::PutDouble(out, norm_sq_);
+    util::wire::PutI64(out, posts_);
+  }
+  bool Restore(util::wire::Reader* in) {
+    return in->GetDouble(&dot_) && in->GetDouble(&norm_sq_) &&
+           in->GetI64(&posts_);
+  }
 
  private:
   const RfdVector* reference_;

@@ -43,6 +43,15 @@ class ResourceState {
   // Requires has_ma_score().
   double ma_score() const { return ma_.Score(); }
 
+  // Resumable-state round trip (campaign snapshots, journal format v2).
+  void Serialize(std::string* out) const {
+    counts_.Serialize(out);
+    ma_.Serialize(out);
+  }
+  bool Restore(util::wire::Reader* in) {
+    return counts_.Restore(in) && ma_.Restore(in);
+  }
+
  private:
   TagCounts counts_;
   MaTracker ma_;

@@ -40,6 +40,37 @@ double TagCounts::AddPost(const Post& post) {
          (std::sqrt(old_norm_sq) * std::sqrt(static_cast<double>(norm_sq_)));
 }
 
+void TagCounts::Serialize(std::string* out) const {
+  util::wire::PutI64(out, posts_);
+  util::wire::PutI64(out, total_tags_);
+  util::wire::PutI64(out, norm_sq_);
+  std::vector<std::pair<TagId, int64_t>> sorted(counts_.begin(),
+                                                counts_.end());
+  std::sort(sorted.begin(), sorted.end());
+  util::wire::PutU32(out, static_cast<uint32_t>(sorted.size()));
+  for (const auto& [tag, count] : sorted) {
+    util::wire::PutU32(out, tag);
+    util::wire::PutI64(out, count);
+  }
+}
+
+bool TagCounts::Restore(util::wire::Reader* in) {
+  uint32_t num_tags = 0;
+  if (!in->GetI64(&posts_) || !in->GetI64(&total_tags_) ||
+      !in->GetI64(&norm_sq_) || !in->GetU32(&num_tags)) {
+    return false;
+  }
+  counts_.clear();
+  counts_.reserve(num_tags);
+  for (uint32_t i = 0; i < num_tags; ++i) {
+    TagId tag = 0;
+    int64_t count = 0;
+    if (!in->GetU32(&tag) || !in->GetI64(&count)) return false;
+    counts_[tag] = count;
+  }
+  return true;
+}
+
 RfdVector TagCounts::Snapshot() const {
   std::vector<std::pair<TagId, double>> weights;
   weights.reserve(counts_.size());

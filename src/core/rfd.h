@@ -19,11 +19,13 @@
 #define INCENTAG_CORE_RFD_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/core/types.h"
+#include "src/util/wire.h"
 
 namespace incentag {
 namespace core {
@@ -60,6 +62,13 @@ class TagCounts {
   // Read-only access to the underlying counts (iteration order is
   // unspecified; use Snapshot() when determinism matters).
   const std::unordered_map<TagId, int64_t>& counts() const { return counts_; }
+
+  // Resumable-state round trip (campaign snapshots, journal format v2).
+  // Counts are written sorted by tag so the encoding is deterministic;
+  // Restore replaces the accumulator's state bit-exactly. Restore returns
+  // false on a malformed buffer.
+  void Serialize(std::string* out) const;
+  bool Restore(util::wire::Reader* in);
 
  private:
   std::unordered_map<TagId, int64_t> counts_;

@@ -14,11 +14,14 @@
 #define INCENTAG_CORE_STRATEGY_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/core/resource_state.h"
 #include "src/core/types.h"
+#include "src/util/status.h"
+#include "src/util/wire.h"
 
 namespace incentag {
 namespace core {
@@ -68,6 +71,32 @@ class Strategy {
   // Called when the stream ran out of posts for `i` (only possible with
   // materialised datasets). The strategy must stop proposing `i`.
   virtual void OnExhausted(ResourceId i) = 0;
+
+  // ---- resumable state (campaign snapshots, journal format v2) ----
+  //
+  // SerializeState appends the strategy's internal state to *out between
+  // two engine steps; RestoreState is called INSTEAD of Init on a fresh
+  // instance and must leave it behaving exactly as the serialized one —
+  // the same Choose/Update sequence going forward, so a snapshot-restored
+  // campaign is byte-identical to a journal replay. Heap-based strategies
+  // need not serialize their heap layout: IndexedHeap orders by
+  // (priority, id), so rebuilding from keys reproduces the same picks.
+  //
+  // The defaults cover a stateless strategy only: nothing serialized, and
+  // RestoreState == Init (rejecting a non-empty blob). Every strategy
+  // with internal counters, pending bookkeeping or an RNG must override
+  // both.
+  virtual void SerializeState(std::string* /*out*/) const {}
+  virtual util::Status RestoreState(const StrategyContext& ctx,
+                                    std::string_view state) {
+    if (!state.empty()) {
+      return util::Status::InvalidArgument(
+          "strategy " + std::string(name()) +
+          " does not implement RestoreState but was given state");
+    }
+    Init(ctx);
+    return util::Status::OK();
+  }
 };
 
 }  // namespace core

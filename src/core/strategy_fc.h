@@ -37,7 +37,7 @@ class FreeChoiceStrategy : public Strategy {
     // model that by redrawing (bounded, then giving up).
     if (num_exhausted_ == exhausted_.size()) return kInvalidResource;
     for (int attempt = 0; attempt < kMaxRedraws; ++attempt) {
-      ResourceId pick = picker_();
+      ResourceId pick = Draw();
       if (!exhausted_[pick]) return pick;
     }
     // Popularity weights may make redraws futile; fall back to scanning.
@@ -56,12 +56,56 @@ class FreeChoiceStrategy : public Strategy {
     }
   }
 
+  // The picker (typically sim::CrowdModel's seeded RNG) is opaque, so its
+  // position is captured as the number of draws made and restored by
+  // fast-forwarding a freshly seeded picker that many draws — cheap, and
+  // it works for any deterministic picker without an RNG-state API.
+  void SerializeState(std::string* out) const override {
+    util::wire::PutU64(out, picks_);
+    util::wire::PutU64(out, static_cast<uint64_t>(exhausted_.size()));
+    for (size_t i = 0; i < exhausted_.size(); ++i) {
+      util::wire::PutU8(out, exhausted_[i] ? 1 : 0);
+    }
+  }
+
+  util::Status RestoreState(const StrategyContext& ctx,
+                            std::string_view state) override {
+    Init(ctx);
+    util::wire::Reader in(state);
+    uint64_t picks = 0;
+    uint64_t n = 0;
+    if (!in.GetU64(&picks) || !in.GetU64(&n) || n != exhausted_.size()) {
+      return util::Status::Corruption("malformed FC strategy state");
+    }
+    for (size_t i = 0; i < exhausted_.size(); ++i) {
+      uint8_t flag = 0;
+      if (!in.GetU8(&flag)) {
+        return util::Status::Corruption("short FC strategy state");
+      }
+      if (flag != 0) {
+        exhausted_[i] = true;
+        ++num_exhausted_;
+      }
+    }
+    if (!in.exhausted()) {
+      return util::Status::Corruption("trailing bytes in FC strategy state");
+    }
+    while (picks_ < picks) Draw();
+    return util::Status::OK();
+  }
+
  private:
   static constexpr int kMaxRedraws = 64;
+
+  ResourceId Draw() {
+    ++picks_;
+    return picker_();
+  }
 
   std::function<ResourceId()> picker_;
   std::vector<bool> exhausted_;
   size_t num_exhausted_ = 0;
+  uint64_t picks_ = 0;
 };
 
 }  // namespace core

@@ -57,6 +57,40 @@ class CostAwareFpStrategy : public Strategy {
     if (heap_->Contains(i)) heap_->Remove(i);
   }
 
+  // Same shape as FP: membership + pending rebuild the heap exactly
+  // (Priority() is a pure function of posts, pending and the cost model).
+  void SerializeState(std::string* out) const override {
+    const size_t n = pending_.size();
+    util::wire::PutU64(out, static_cast<uint64_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      util::wire::PutU8(out, heap_->Contains(i) ? 1 : 0);
+      util::wire::PutI64(out, pending_[i]);
+    }
+  }
+
+  util::Status RestoreState(const StrategyContext& ctx,
+                            std::string_view state) override {
+    ctx_ = &ctx;
+    util::wire::Reader in(state);
+    uint64_t n = 0;
+    if (!in.GetU64(&n) || n != ctx.num_resources()) {
+      return util::Status::Corruption("malformed FP-$ strategy state");
+    }
+    pending_.assign(ctx.num_resources(), 0);
+    heap_ = std::make_unique<util::IndexedHeap>(ctx.num_resources());
+    for (ResourceId i = 0; i < ctx.num_resources(); ++i) {
+      uint8_t in_heap = 0;
+      if (!in.GetU8(&in_heap) || !in.GetI64(&pending_[i])) {
+        return util::Status::Corruption("short FP-$ strategy state");
+      }
+      if (in_heap != 0) heap_->Push(i, Priority(i));
+    }
+    if (!in.exhausted()) {
+      return util::Status::Corruption("trailing bytes in FP-$ strategy state");
+    }
+    return util::Status::OK();
+  }
+
  private:
   // Lexicographic (posts, cost) packed into one double. Costs are clamped
   // into [0, kCostRange); posts * kCostRange stays well under 2^53 for any

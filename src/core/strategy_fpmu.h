@@ -88,6 +88,43 @@ class HybridFpMuStrategy : public Strategy {
   int64_t warmup_remaining() const { return warmup_remaining_; }
   bool InWarmup() const { return warmup_remaining_ > 0; }
 
+  // Stage counters plus the nested FP/MU blobs, each length-prefixed so
+  // the sub-strategy encodings stay opaque here.
+  void SerializeState(std::string* out) const override {
+    util::wire::PutI64(out, warmup_remaining_);
+    util::wire::PutI64(out, fp_tasks_in_flight_);
+    util::wire::PutU8(out, mu_initialized_ ? 1 : 0);
+    std::string fp_state;
+    fp_.SerializeState(&fp_state);
+    util::wire::PutString(out, fp_state);
+    std::string mu_state;
+    if (mu_initialized_) mu_.SerializeState(&mu_state);
+    util::wire::PutString(out, mu_state);
+  }
+
+  util::Status RestoreState(const StrategyContext& ctx,
+                            std::string_view state) override {
+    ctx_ = &ctx;
+    util::wire::Reader in(state);
+    uint8_t mu_initialized = 0;
+    std::string_view fp_state;
+    std::string_view mu_state;
+    if (!in.GetI64(&warmup_remaining_) || !in.GetI64(&fp_tasks_in_flight_) ||
+        !in.GetU8(&mu_initialized) || !in.GetStringView(&fp_state) ||
+        !in.GetStringView(&mu_state) || !in.exhausted()) {
+      return util::Status::Corruption("malformed FP-MU strategy state");
+    }
+    mu_initialized_ = mu_initialized != 0;
+    INCENTAG_RETURN_IF_ERROR(fp_.RestoreState(ctx, fp_state));
+    if (mu_initialized_) {
+      INCENTAG_RETURN_IF_ERROR(mu_.RestoreState(ctx, mu_state));
+    } else if (!mu_state.empty()) {
+      return util::Status::Corruption(
+          "FP-MU strategy state carries an MU blob before the switch");
+    }
+    return util::Status::OK();
+  }
+
  private:
   const StrategyContext* ctx_ = nullptr;
   FewestPostsStrategy fp_;

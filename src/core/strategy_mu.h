@@ -49,6 +49,45 @@ class MostUnstableStrategy : public Strategy {
     if (heap_->Contains(i)) heap_->Remove(i);
   }
 
+  // Membership is the only non-derivable state: a member's heap key is
+  // always its current MA score (Update rekeys the only resource whose
+  // score can have changed), so the rebuilt heap picks identically.
+  void SerializeState(std::string* out) const override {
+    const size_t n = heap_->capacity();
+    util::wire::PutU64(out, static_cast<uint64_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      util::wire::PutU8(out, heap_->Contains(i) ? 1 : 0);
+    }
+  }
+
+  util::Status RestoreState(const StrategyContext& ctx,
+                            std::string_view state) override {
+    ctx_ = &ctx;
+    util::wire::Reader in(state);
+    uint64_t n = 0;
+    if (!in.GetU64(&n) || n != ctx.num_resources()) {
+      return util::Status::Corruption("malformed MU strategy state");
+    }
+    heap_ = std::make_unique<util::IndexedHeap>(ctx.num_resources());
+    for (ResourceId i = 0; i < ctx.num_resources(); ++i) {
+      uint8_t in_heap = 0;
+      if (!in.GetU8(&in_heap)) {
+        return util::Status::Corruption("short MU strategy state");
+      }
+      if (in_heap != 0) {
+        if (!ctx.state(i).has_ma_score()) {
+          return util::Status::Corruption(
+              "MU strategy state lists a member without an MA score");
+        }
+        heap_->Push(i, ctx.state(i).ma_score());
+      }
+    }
+    if (!in.exhausted()) {
+      return util::Status::Corruption("trailing bytes in MU strategy state");
+    }
+    return util::Status::OK();
+  }
+
  private:
   const StrategyContext* ctx_ = nullptr;
   std::unique_ptr<util::IndexedHeap> heap_;

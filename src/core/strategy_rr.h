@@ -52,6 +52,41 @@ class RoundRobinStrategy : public Strategy {
     next_ = (next_ + 1) % n_;
   }
 
+  void SerializeState(std::string* out) const override {
+    util::wire::PutU64(out, static_cast<uint64_t>(next_));
+    util::wire::PutU64(out, static_cast<uint64_t>(n_));
+    for (size_t i = 0; i < n_; ++i) {
+      util::wire::PutU8(out, exhausted_[i] ? 1 : 0);
+    }
+  }
+
+  util::Status RestoreState(const StrategyContext& ctx,
+                            std::string_view state) override {
+    Init(ctx);
+    util::wire::Reader in(state);
+    uint64_t next = 0;
+    uint64_t n = 0;
+    if (!in.GetU64(&next) || !in.GetU64(&n) || n != n_ ||
+        (n_ != 0 && next >= n_)) {
+      return util::Status::Corruption("malformed RR strategy state");
+    }
+    next_ = static_cast<size_t>(next);
+    for (size_t i = 0; i < n_; ++i) {
+      uint8_t flag = 0;
+      if (!in.GetU8(&flag)) {
+        return util::Status::Corruption("short RR strategy state");
+      }
+      if (flag != 0) {
+        exhausted_[i] = true;
+        ++num_exhausted_;
+      }
+    }
+    if (!in.exhausted()) {
+      return util::Status::Corruption("trailing bytes in RR strategy state");
+    }
+    return util::Status::OK();
+  }
+
  private:
   size_t n_ = 0;
   size_t next_ = 0;

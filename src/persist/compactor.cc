@@ -1,0 +1,76 @@
+#include "src/persist/compactor.h"
+
+#include <utility>
+
+namespace incentag {
+namespace persist {
+
+Compactor::Compactor() : thread_([this] { Loop(); }) {}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Enqueue(CompactionJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      queue_.push_back(std::move(job));
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  // Rejected after Stop: report instead of silently dropping. The
+  // journal stays valid either way — an uncompacted journal just
+  // replays longer.
+  if (job.done) {
+    job.done(util::Status::FailedPrecondition("compactor is stopped"));
+  }
+}
+
+void Compactor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !running_job_; });
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  std::call_once(join_once_, [this] {
+    if (thread_.joinable()) thread_.join();
+  });
+}
+
+int64_t Compactor::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void Compactor::Loop() {
+  for (;;) {
+    CompactionJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: Stop promises every job
+      // enqueued before it completes (writers are still alive then).
+      if (queue_.empty()) break;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_job_ = true;
+    }
+    util::Status status =
+        job.writer->Compact(job.submit, job.snapshot, job.tail_offset);
+    if (job.done) job.done(status);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_job_ = false;
+      ++completed_;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace persist
+}  // namespace incentag

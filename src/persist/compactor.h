@@ -1,0 +1,87 @@
+// Compactor: background journal compaction on a dedicated thread.
+//
+// Compaction bounds recovery time: a checkpoint snapshot replaces the
+// completion prefix it summarizes, so recovering a months-long campaign
+// replays only the records since the last snapshot instead of millions
+// (the PR 2 journal grew by one record per applied task forever). The
+// rewrite itself — serialize nothing, just SubmitRecord + SnapshotRecord
+// + tail, temp file + fsync + rename + directory fsync — lives in
+// JournalWriter::Compact; this class only takes it off the campaign
+// stepper's thread, the same division of labour as persist::JournalSink
+// for fsyncs.
+//
+// The stepper serializes the snapshot at a step boundary (it owns the
+// runtime exclusively there), records the journal's current size as the
+// tail offset, and enqueues a job. The campaign keeps appending while
+// the compactor copies; only the final delta-copy + rename briefly take
+// the writer lock. Jobs for the same journal are naturally serialized by
+// the single compactor thread.
+//
+// Lifetime: the JournalWriter of every enqueued job must stay alive
+// until Drain() or Stop() returns — the CampaignManager stops its
+// compactor before destroying campaigns, exactly like the sink.
+#ifndef INCENTAG_PERSIST_COMPACTOR_H_
+#define INCENTAG_PERSIST_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "src/persist/journal.h"
+
+namespace incentag {
+namespace persist {
+
+struct CompactionJob {
+  JournalWriter* writer = nullptr;
+  SubmitRecord submit;
+  SnapshotRecord snapshot;
+  // Journal size when the snapshot was taken; every byte at or past it
+  // is a completion applied after the snapshot and becomes the tail.
+  int64_t tail_offset = 0;
+  // Optional; runs on the compactor thread with the rewrite's outcome.
+  std::function<void(const util::Status&)> done;
+};
+
+class Compactor {
+ public:
+  Compactor();
+  ~Compactor();  // implies Stop()
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  // Queues one rewrite. After Stop the job is rejected: `done` (if any)
+  // fires inline with FailedPrecondition and nothing is touched.
+  void Enqueue(CompactionJob job);
+
+  // Blocks until every job enqueued before the call has finished.
+  void Drain();
+
+  // Drains, then joins the thread. Idempotent.
+  void Stop();
+
+  // Completed rewrites (successful or not), for tests and benches.
+  int64_t compactions() const;
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals the compactor thread
+  std::condition_variable idle_cv_;  // signals Drain waiters
+  std::deque<CompactionJob> queue_;
+  bool running_job_ = false;
+  int64_t completed_ = 0;
+  bool stop_ = false;
+  std::once_flag join_once_;
+  std::thread thread_;
+};
+
+}  // namespace persist
+}  // namespace incentag
+
+#endif  // INCENTAG_PERSIST_COMPACTOR_H_

@@ -3,94 +3,19 @@
 #include <cstring>
 
 #include "src/util/crc32.h"
+#include "src/util/wire.h"
 
 namespace incentag {
 namespace persist {
 
 namespace {
 
-// ---- little-endian primitive encoding --------------------------------
-
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void PutI64(std::string* out, int64_t v) {
-  PutU64(out, static_cast<uint64_t>(v));
-}
-
-void PutString(std::string* out, std::string_view s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s.data(), s.size());
-}
-
-// Bounds-checked cursor over a record body.
-class Decoder {
- public:
-  explicit Decoder(std::string_view data) : data_(data) {}
-
-  bool GetU8(uint8_t* v) {
-    if (pos_ + 1 > data_.size()) return false;
-    *v = static_cast<uint8_t>(data_[pos_++]);
-    return true;
-  }
-
-  bool GetU32(uint32_t* v) {
-    if (pos_ + 4 > data_.size()) return false;
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
-            << (8 * i);
-    }
-    pos_ += 4;
-    return true;
-  }
-
-  bool GetU64(uint64_t* v) {
-    if (pos_ + 8 > data_.size()) return false;
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
-            << (8 * i);
-    }
-    pos_ += 8;
-    return true;
-  }
-
-  bool GetI64(int64_t* v) {
-    uint64_t raw;
-    if (!GetU64(&raw)) return false;
-    *v = static_cast<int64_t>(raw);
-    return true;
-  }
-
-  bool GetString(std::string* v) {
-    uint32_t len;
-    if (!GetU32(&len)) return false;
-    if (pos_ + len > data_.size()) return false;
-    v->assign(data_.data() + pos_, len);
-    pos_ += len;
-    return true;
-  }
-
-  bool exhausted() const { return pos_ == data_.size(); }
-
- private:
-  std::string_view data_;
-  size_t pos_ = 0;
-};
+using util::wire::PutI64;
+using util::wire::PutString;
+using util::wire::PutU32;
+using util::wire::PutU64;
+using util::wire::PutU8;
+using util::wire::Reader;
 
 constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
 
@@ -124,8 +49,22 @@ std::string EncodeCompletionRecord(const CompletionRecord& record) {
   return out;
 }
 
+std::string EncodeSnapshotRecord(const SnapshotRecord& record) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(RecordType::kSnapshot));
+  PutU32(&out, record.format_version);
+  PutU64(&out, record.num_completions);
+  PutU64(&out, record.next_assign_seq);
+  PutU32(&out, static_cast<uint32_t>(record.pending.size()));
+  for (core::ResourceId resource : record.pending) {
+    PutU32(&out, resource);
+  }
+  PutString(&out, record.runtime_state);
+  return out;
+}
+
 util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out) {
-  Decoder in(body);
+  Reader in(body);
   uint8_t type;
   if (!in.GetU8(&type) ||
       type != static_cast<uint8_t>(RecordType::kSubmit)) {
@@ -140,7 +79,9 @@ util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out) {
       !in.GetI64(&out->options.batch_size) || !in.GetU32(&num_checkpoints)) {
     return util::Status::Corruption("short submit record");
   }
-  if (out->format_version != kJournalFormatVersion) {
+  // v1 and v2 submit bodies are identical; only future majors are
+  // unreadable.
+  if (out->format_version > kJournalFormatVersion) {
     return util::Status::Corruption(
         "unsupported journal format version " +
         std::to_string(out->format_version));
@@ -163,7 +104,7 @@ util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out) {
 
 util::Status DecodeCompletionRecord(std::string_view body,
                                     CompletionRecord* out) {
-  Decoder in(body);
+  Reader in(body);
   uint8_t type;
   if (!in.GetU8(&type) ||
       type != static_cast<uint8_t>(RecordType::kCompletion)) {
@@ -176,6 +117,52 @@ util::Status DecodeCompletionRecord(std::string_view body,
   return util::Status::OK();
 }
 
+util::Status DecodeSnapshotRecord(std::string_view body, SnapshotRecord* out) {
+  Reader in(body);
+  uint8_t type;
+  if (!in.GetU8(&type) ||
+      type != static_cast<uint8_t>(RecordType::kSnapshot)) {
+    return util::Status::Corruption("not a snapshot record");
+  }
+  uint32_t num_pending = 0;
+  if (!in.GetU32(&out->format_version) ||
+      out->format_version > kJournalFormatVersion ||
+      !in.GetU64(&out->num_completions) || !in.GetU64(&out->next_assign_seq) ||
+      !in.GetU32(&num_pending)) {
+    return util::Status::Corruption("malformed snapshot record header");
+  }
+  if (out->next_assign_seq != out->num_completions + num_pending) {
+    return util::Status::Corruption(
+        "snapshot record seq accounting is inconsistent");
+  }
+  out->pending.clear();
+  out->pending.reserve(num_pending);
+  for (uint32_t i = 0; i < num_pending; ++i) {
+    core::ResourceId resource = core::kInvalidResource;
+    if (!in.GetU32(&resource)) {
+      return util::Status::Corruption("short snapshot record pending set");
+    }
+    out->pending.push_back(resource);
+  }
+  if (!in.GetString(&out->runtime_state) || !in.exhausted()) {
+    return util::Status::Corruption("malformed snapshot record state");
+  }
+  return util::Status::OK();
+}
+
+std::string FrameRecord(std::string_view body) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  // The CRC covers the length word too, so a bit-flip in the length is
+  // detected like any payload damage instead of silently reframing.
+  uint32_t crc = util::Crc32(std::string_view(frame.data(), 4));
+  crc = util::Crc32(body, crc);
+  PutU32(&frame, crc);
+  frame.append(body.data(), body.size());
+  return frame;
+}
+
 // ---- writer ------------------------------------------------------------
 
 util::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
@@ -186,15 +173,7 @@ util::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
 }
 
 util::Status JournalWriter::AppendFramed(std::string_view body) {
-  std::string frame;
-  frame.reserve(kFrameHeaderBytes + body.size());
-  PutU32(&frame, static_cast<uint32_t>(body.size()));
-  // The CRC covers the length word too, so a bit-flip in the length is
-  // detected like any payload damage instead of silently reframing.
-  uint32_t crc = util::Crc32(std::string_view(frame.data(), 4));
-  crc = util::Crc32(body, crc);
-  PutU32(&frame, crc);
-  frame.append(body.data(), body.size());
+  const std::string frame = FrameRecord(body);
   std::lock_guard<std::mutex> lock(mu_);
   return file_.Append(frame);
 }
@@ -223,6 +202,71 @@ util::Status JournalWriter::Sync() {
   return file_.Sync();
 }
 
+int64_t JournalWriter::size() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_.size();
+}
+
+util::Status JournalWriter::Compact(const SubmitRecord& submit,
+                                    const SnapshotRecord& snapshot,
+                                    int64_t tail_offset) {
+  const std::string tmp_path = path_ + kCompactionTmpSuffix;
+  std::string prefix = FrameRecord(EncodeSubmitRecord(submit));
+  prefix += FrameRecord(EncodeSnapshotRecord(snapshot));
+
+  util::AppendFile tmp;
+  INCENTAG_RETURN_IF_ERROR(tmp.Open(tmp_path, /*truncate_to=*/0));
+  INCENTAG_RETURN_IF_ERROR(tmp.Append(prefix));
+
+  // Phase 1, without the writer lock: push everything appended so far to
+  // the kernel and copy the bulk of the tail. Appends racing with this
+  // copy only extend the file past `flushed`; phase 2 picks them up.
+  int64_t flushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    INCENTAG_RETURN_IF_ERROR(file_.Flush());
+    flushed = file_.size();
+  }
+  if (tail_offset < 0 || tail_offset > flushed) {
+    return util::Status::InvalidArgument(
+        "compaction tail offset " + std::to_string(tail_offset) +
+        " out of range for journal of " + std::to_string(flushed) + " bytes");
+  }
+  if (tail_offset < flushed) {
+    auto bulk =
+        util::ReadFileRange(path_, tail_offset, flushed - tail_offset);
+    if (!bulk.ok()) return bulk.status();
+    INCENTAG_RETURN_IF_ERROR(tmp.Append(bulk.value()));
+  }
+
+  // Phase 2, under the writer lock: copy the delta appended during phase
+  // 1, make the rewrite durable and swap it in. Appenders stall for one
+  // small copy + fsync + rename, not for the bulk copy above.
+  std::lock_guard<std::mutex> lock(mu_);
+  INCENTAG_RETURN_IF_ERROR(file_.Flush());
+  const int64_t final_size = file_.size();
+  if (final_size > flushed) {
+    auto delta = util::ReadFileRange(path_, flushed, final_size - flushed);
+    if (!delta.ok()) return delta.status();
+    INCENTAG_RETURN_IF_ERROR(tmp.Append(delta.value()));
+  }
+  INCENTAG_RETURN_IF_ERROR(tmp.Sync());
+  INCENTAG_RETURN_IF_ERROR(util::RenameFile(tmp_path, path_));
+  // The rename must be durable before anyone relies on the dropped
+  // prefix being gone; the containing directory carries that entry.
+  const size_t slash = path_.find_last_of('/');
+  INCENTAG_RETURN_IF_ERROR(util::SyncDir(
+      slash == std::string::npos ? "." : path_.substr(0, slash)));
+  // Swap the writer onto the rewrite's still-open descriptor — it now
+  // backs `path_` — and drop the old one, which points at the replaced
+  // file where appends would vanish. Adopting the open fd instead of
+  // close-then-reopen leaves no window in which a transient open
+  // failure could strand an otherwise healthy writer.
+  file_ = std::move(tmp);
+  file_.set_path(path_);
+  return util::Status::OK();
+}
+
 // ---- reader ------------------------------------------------------------
 
 util::Result<JournalContents> ReadJournal(const std::string& path) {
@@ -232,8 +276,15 @@ util::Result<JournalContents> ReadJournal(const std::string& path) {
 
   JournalContents out;
   out.tail_status = util::Status::OK();
+  out.snapshot_status = util::Status::OK();
   size_t pos = 0;
   bool& saw_submit = out.has_submit;
+  // Next expected completion seq. A decodable snapshot before the first
+  // completion re-bases it (the compacted-journal layout); a snapshot
+  // that fails to decode leaves the base to the first completion record
+  // after it, so the fallback path still sees a contiguous trace.
+  uint64_t next_seq = 0;
+  bool seq_base_known = true;
   while (pos < bytes.size()) {
     // Frame header. A short header or short payload is a torn tail write:
     // stop and report the bytes up to the previous record as valid.
@@ -242,7 +293,7 @@ util::Result<JournalContents> ReadJournal(const std::string& path) {
           "torn frame header at offset " + std::to_string(pos));
       break;
     }
-    Decoder header(std::string_view(bytes).substr(pos, kFrameHeaderBytes));
+    Reader header(std::string_view(bytes).substr(pos, kFrameHeaderBytes));
     uint32_t length = 0;
     uint32_t crc = 0;
     header.GetU32(&length);
@@ -275,6 +326,7 @@ util::Result<JournalContents> ReadJournal(const std::string& path) {
 
     // An intact frame that fails to decode is not a torn tail — it is
     // structural corruption mid-journal, and recovery must not guess.
+    // (Snapshots are the one exception: see below.)
     if (body.empty()) {
       return util::Status::Corruption("empty record at offset " +
                                       std::to_string(pos));
@@ -297,18 +349,56 @@ util::Result<JournalContents> ReadJournal(const std::string& path) {
       }
       CompletionRecord record;
       INCENTAG_RETURN_IF_ERROR(DecodeCompletionRecord(body, &record));
-      if (record.seq != out.completions.size()) {
+      if (!seq_base_known) {
+        // The base snapshot did not decode; the first completion after
+        // it re-anchors the sequence (it is self-describing).
+        next_seq = record.seq;
+        seq_base_known = true;
+      }
+      if (record.seq != next_seq) {
         return util::Status::Corruption(
             "completion seq gap at offset " + std::to_string(pos) +
-            ": want " + std::to_string(out.completions.size()) + " got " +
+            ": want " + std::to_string(next_seq) + " got " +
             std::to_string(record.seq));
       }
+      ++next_seq;
       out.completions.push_back(record);
     } else if (type == static_cast<uint8_t>(RecordType::kCancel)) {
       if (!saw_submit || body.size() != 1) {
         return util::Status::Corruption("malformed cancel record");
       }
       out.cancelled = true;
+    } else if (type == static_cast<uint8_t>(RecordType::kSnapshot)) {
+      if (!saw_submit) {
+        return util::Status::Corruption(
+            "snapshot record before submit record");
+      }
+      SnapshotRecord snapshot;
+      util::Status decoded = DecodeSnapshotRecord(body, &snapshot);
+      if (!decoded.ok()) {
+        // The frame is intact (CRC passed) but the body is opaque — for
+        // example a snapshot written by a newer format. Remember the
+        // failure instead of refusing the whole journal: recovery falls
+        // back to full replay when the completion trace permits it.
+        out.snapshot_status = std::move(decoded);
+        if (out.completions.empty()) seq_base_known = false;
+      } else if (!out.completions.empty() &&
+                 snapshot.num_completions != next_seq) {
+        // A checkpoint mid-trace must agree with the records around it.
+        return util::Status::Corruption(
+            "snapshot at offset " + std::to_string(pos) + " claims " +
+            std::to_string(snapshot.num_completions) +
+            " completions but the journal holds " +
+            std::to_string(next_seq));
+      } else {
+        if (out.completions.empty()) {
+          // Compacted layout: the snapshot establishes the seq base.
+          next_seq = snapshot.num_completions;
+          seq_base_known = true;
+        }
+        out.snapshot = std::move(snapshot);
+        out.has_snapshot = true;
+      }
     } else {
       return util::Status::Corruption("unknown record type " +
                                       std::to_string(type));

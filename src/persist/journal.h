@@ -50,8 +50,9 @@
 namespace incentag {
 namespace persist {
 
-// Bumped when the framing or record bodies change incompatibly.
-inline constexpr uint32_t kJournalFormatVersion = 1;
+// Format 2 adds checkpoint snapshots (kSnapshot) and compaction; format-1
+// journals (no snapshots, completions from seq 0) still read fine.
+inline constexpr uint32_t kJournalFormatVersion = 2;
 
 enum class RecordType : uint8_t {
   kSubmit = 1,
@@ -61,6 +62,11 @@ enum class RecordType : uint8_t {
   // Recovery replays the trace for the partial report, then finalizes
   // kCancelled instead of resuming spend.
   kCancel = 3,
+  // Format v2: a checkpoint snapshot of the campaign's full resumable
+  // state after `num_completions` applied tasks. Compaction rewrites the
+  // journal as submit + snapshot + tail so recovery replays only the
+  // completions after the snapshot instead of the whole trace.
+  kSnapshot = 4,
 };
 
 // The deterministic inputs of one campaign, written once at Submit.
@@ -81,12 +87,44 @@ struct CompletionRecord {
   core::ResourceId resource = core::kInvalidResource;
 };
 
+// A checkpoint of one campaign's full resumable state (format v2). The
+// runtime_state blob is produced by
+// core::CampaignRuntime::SerializeResumableState and covers the
+// per-resource observable states, evaluation accumulators, allocation,
+// checkpoint metrics, stream cursors and the strategy's opaque state —
+// doubles bit-exact, so restoring is byte-identical to replaying the
+// first num_completions records. pending/next_assign_seq capture the
+// service layer's in-flight batch tail (assigned but not yet applied)
+// at the moment of the snapshot.
+struct SnapshotRecord {
+  uint32_t format_version = kJournalFormatVersion;
+  // Completions applied when the snapshot was taken; the journal's tail
+  // continues with seq == num_completions.
+  uint64_t num_completions = 0;
+  uint64_t next_assign_seq = 0;
+  // Assignment order of drawn-but-unapplied tasks; front corresponds to
+  // seq num_completions.
+  std::vector<core::ResourceId> pending;
+  std::string runtime_state;
+};
+
 // Record body encoding (used by the writer; exposed for tests).
 std::string EncodeSubmitRecord(const SubmitRecord& record);
 std::string EncodeCompletionRecord(const CompletionRecord& record);
+std::string EncodeSnapshotRecord(const SnapshotRecord& record);
 util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out);
 util::Status DecodeCompletionRecord(std::string_view body,
                                     CompletionRecord* out);
+util::Status DecodeSnapshotRecord(std::string_view body, SnapshotRecord* out);
+
+// Wraps a record body in the on-disk framing ([len][crc][payload]); the
+// writer appends these, and tests hand-construct journal files with it.
+std::string FrameRecord(std::string_view body);
+
+// Suffix of the temporary file a compaction writes next to the journal
+// before the atomic rename. A crash mid-compaction leaves it behind; it
+// never matches ListDirFiles(dir, ".journal"), and recovery deletes it.
+inline constexpr char kCompactionTmpSuffix[] = ".compact.tmp";
 
 // Appends framed records to one campaign's journal file. Thread-safe: the
 // stepper thread appends while the JournalSink's thread syncs. Appends
@@ -106,6 +144,24 @@ class JournalWriter {
 
   util::Status Flush();
   util::Status Sync();
+
+  // Logical journal size in bytes (appended, possibly still buffered).
+  // A stepper reads this right after taking a snapshot: everything at or
+  // beyond the returned offset is the snapshot's tail.
+  int64_t size();
+
+  // Atomically rewrites the journal as `submit + snapshot + tail`, where
+  // the tail is every byte from `tail_offset` to the end — the
+  // completions applied after the snapshot was taken. Safe to run from a
+  // background thread while other threads keep appending: the bulk of
+  // the tail is copied without the writer lock, and only the final
+  // delta-copy + fsync + rename + fd swap hold it. Torn-compaction safe:
+  // the rewrite goes to `path + kCompactionTmpSuffix` first, is fsynced,
+  // renamed over the journal, and the directory fsynced — a crash leaves
+  // either the old journal (plus a stale tmp) or the new one, never a
+  // mix.
+  util::Status Compact(const SubmitRecord& submit,
+                       const SnapshotRecord& snapshot, int64_t tail_offset);
 
   const std::string& path() const { return path_; }
 
@@ -129,6 +185,19 @@ struct JournalContents {
   // True when the journal records an explicit operator cancellation; no
   // completions may follow it.
   bool cancelled = false;
+  // Format v2: the latest decodable snapshot. Recovery restores from it
+  // and replays only the completions with seq >= snapshot.num_completions.
+  bool has_snapshot = false;
+  SnapshotRecord snapshot;
+  // OK when every snapshot record in the file decoded. A snapshot whose
+  // frame is intact but whose body does not decode (e.g. written by a
+  // newer format) is reported here instead of failing the read, so
+  // recovery can fall back to full replay when the completion trace
+  // still starts at seq 0 — and fail the campaign when it does not.
+  util::Status snapshot_status;
+  // Completions in seq order. Format v1 (and uncompacted v2) journals
+  // start at seq 0; a compacted journal's trace starts at the seq the
+  // snapshot base established. Contiguous either way.
   std::vector<CompletionRecord> completions;
   // Bytes of the file occupied by intact records; pass to
   // JournalWriter::Open(truncate_to) when resuming the journal.

@@ -14,6 +14,17 @@ ReplayCompletionSource::Open(const std::string& journal_path,
                              TailPolicy tail_policy) {
   auto contents = ReadJournal(journal_path);
   if (!contents.ok()) return contents.status();
+  // Replay re-drives a fresh campaign from seq 0; a compacted journal
+  // (format v2) only holds the tail after its snapshot, so the mismatch
+  // would otherwise surface later as a baffling "trace mismatch" error.
+  if (!contents.value().completions.empty() &&
+      contents.value().completions.front().seq != 0) {
+    return util::Status::FailedPrecondition(
+        "journal " + journal_path +
+        " was compacted: its completion trace starts at seq " +
+        std::to_string(contents.value().completions.front().seq) +
+        "; replay-from-log needs an uncompacted journal");
+  }
   return std::make_unique<ReplayCompletionSource>(
       std::move(contents.value().completions), tail_policy);
 }

@@ -10,6 +10,7 @@
 
 #include "src/core/campaign_runtime.h"
 #include "src/util/file_io.h"
+#include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 
 namespace incentag {
@@ -103,6 +104,12 @@ struct CampaignManager::Campaign {
   std::vector<TaskHandle> tasks;
   // Write-ahead journal; null when the manager journals nothing.
   std::unique_ptr<persist::JournalWriter> journal;
+  // The journaled deterministic inputs, kept so a compaction can rewrite
+  // the journal's submit record without re-deriving it.
+  persist::SubmitRecord submit_record;
+  // next_apply_seq as of the last snapshot handed to the compactor; the
+  // compact_every_n_completions policy measures from here.
+  uint64_t last_compact_seq = 0;
   // Ticks from Submit; measures scheduler queueing until the first step.
   util::Stopwatch submitted;
   // Restarted by the first step, so elapsed_seconds measures campaign
@@ -115,6 +122,12 @@ struct CampaignManager::Campaign {
   // owns the right (and duty) to submit the next step.
   std::atomic<bool> scheduled{false};
   std::atomic<bool> cancel_requested{false};
+  // Set by an explicit Compact() call; consumed at a step boundary.
+  std::atomic<bool> compact_requested{false};
+  // True while a compaction job for this campaign is queued or running.
+  // At most one is ever in flight: a second job's tail offset would
+  // refer to the pre-rewrite file layout and corrupt the journal.
+  std::atomic<bool> compact_in_flight{false};
   // Set only by an explicit Cancel() call — not by Shutdown's teardown
   // sweep — so the journal records operator intent: a cancelled campaign
   // must stay cancelled across recovery, while a campaign interrupted by
@@ -134,6 +147,7 @@ struct CampaignManager::Campaign {
   int64_t budget_spent = 0;
   int64_t tasks_completed = 0;
   int64_t tasks_in_flight = 0;
+  int64_t records_replayed = 0;
   size_t checkpoints_recorded = 0;
   double queue_delay_seconds = 0.0;
   double elapsed_seconds = 0.0;
@@ -166,15 +180,29 @@ CampaignManager::CampaignManager(ManagerOptions options)
   if (!options_.journal_dir.empty()) {
     // Best effort here; a failure resurfaces as an open error at Submit.
     util::CreateDirectories(options_.journal_dir);
-    persist::JournalSinkOptions sink_options;
-    sink_options.batch_interval_us = options_.journal_batch_interval_us;
-    sink_ = std::make_unique<persist::JournalSink>(sink_options);
+    EnsureJournalWorkers();
   }
   if (!options_.deterministic) {
     const int threads = options_.num_threads > 0
                             ? options_.num_threads
                             : util::DefaultThreadCount();
     pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+}
+
+// Spins up the journal's background helpers — the fsync batcher, and
+// (outside deterministic mode, which compacts inline) the compactor.
+// Called from the constructor when journal_dir is set and lazily from
+// Recover, which journals recovered campaigns even when new submits are
+// unjournaled; both call sites are single-threaded.
+void CampaignManager::EnsureJournalWorkers() {
+  if (sink_ == nullptr) {
+    persist::JournalSinkOptions sink_options;
+    sink_options.batch_interval_us = options_.journal_batch_interval_us;
+    sink_ = std::make_unique<persist::JournalSink>(sink_options);
+  }
+  if (compactor_ == nullptr && !options_.deterministic) {
+    compactor_ = std::make_unique<persist::Compactor>();
   }
 }
 
@@ -229,13 +257,12 @@ util::Result<CampaignId> CampaignManager::Submit(CampaignConfig config) {
     const std::string path = JournalPath(options_.journal_dir, id);
     auto writer = persist::JournalWriter::Open(path, /*truncate_to=*/0);
     if (!writer.ok()) return writer.status();
-    persist::SubmitRecord record;
-    record.name = raw->config.name;
-    record.strategy_name = raw->strategy_name;
-    record.seed = raw->config.seed;
-    record.options = raw->config.options;
+    raw->submit_record.name = raw->config.name;
+    raw->submit_record.strategy_name = raw->strategy_name;
+    raw->submit_record.seed = raw->config.seed;
+    raw->submit_record.options = raw->config.options;
     raw->journal = std::move(writer).value();
-    util::Status journaled = raw->journal->AppendSubmit(record);
+    util::Status journaled = raw->journal->AppendSubmit(raw->submit_record);
     if (journaled.ok()) journaled = raw->journal->Sync();
     // The file's fsync covers its data; the directory entry of the newly
     // created file needs its own fsync to survive power loss.
@@ -304,6 +331,7 @@ void CampaignManager::DriveDeterministic(Campaign* c) {
       ++c->next_apply_seq;
     }
     FlushJournal(c);
+    MaybeCompact(c);
     if (c->runtime.done()) break;
     status = c->runtime.DrawBatch(&c->batch);
     if (!status.ok()) {
@@ -345,6 +373,64 @@ void CampaignManager::FlushJournal(Campaign* c) {
   // loses a replayable tail.
   c->journal->Flush();
   if (sink_ != nullptr) sink_->Schedule(c->journal.get());
+}
+
+// Runs on the stepper (token held), so the runtime, strategy, stream and
+// seq counters are stable to serialize. The snapshot summarizes exactly
+// the records currently in the journal — appends happen on this thread,
+// in order — so the journal's current size is the tail boundary. The
+// rewrite itself runs on the compactor thread; a failure there leaves
+// the journal uncompacted but valid, so it is logged, not fatal.
+void CampaignManager::MaybeCompact(Campaign* c) {
+  if (c->journal == nullptr || !c->begun) return;
+  const bool due =
+      c->compact_requested.load() ||
+      (options_.compact_every_n_completions > 0 &&
+       c->next_apply_seq - c->last_compact_seq >=
+           static_cast<uint64_t>(options_.compact_every_n_completions));
+  if (!due) return;
+  // One rewrite at a time per campaign: the tail offset below is only
+  // meaningful against the file layout the job will find. A skipped
+  // round leaves compact_requested / the policy counter untouched, so
+  // the next step boundary retries.
+  if (c->compact_in_flight.exchange(true)) return;
+  c->compact_requested.store(false);
+
+  persist::CompactionJob job;
+  job.writer = c->journal.get();
+  job.submit = c->submit_record;
+  job.snapshot.num_completions = c->next_apply_seq;
+  job.snapshot.next_assign_seq = c->next_assign_seq;
+  job.snapshot.pending.assign(c->pending.begin(), c->pending.end());
+  util::Status serialized =
+      c->runtime.SerializeResumableState(&job.snapshot.runtime_state);
+  if (!serialized.ok()) {
+    INCENTAG_LOG_ERROR("campaign %llu snapshot failed: %s",
+                       static_cast<unsigned long long>(c->id),
+                       serialized.ToString().c_str());
+    c->compact_in_flight.store(false);
+    return;
+  }
+  job.tail_offset = c->journal->size();
+  c->last_compact_seq = c->next_apply_seq;
+  // The campaign outlives the job: Shutdown stops the compactor before
+  // any campaign is destroyed.
+  job.done = [c](const util::Status& status) {
+    if (!status.ok()) {
+      INCENTAG_LOG_ERROR("campaign %llu compaction failed: %s",
+                         static_cast<unsigned long long>(c->id),
+                         status.ToString().c_str());
+    }
+    c->compact_in_flight.store(false);
+  };
+  if (compactor_ != nullptr) {
+    compactor_->Enqueue(std::move(job));
+  } else {
+    // Deterministic mode compacts inline on the driving thread.
+    util::Status status =
+        job.writer->Compact(job.submit, job.snapshot, job.tail_offset);
+    job.done(status);
+  }
 }
 
 // One scheduling quantum of a campaign. Exactly one thread runs Step for
@@ -404,6 +490,7 @@ void CampaignManager::Step(Campaign* c) {
       ++c->next_apply_seq;
       ++applied;
     }
+    MaybeCompact(c);
 
     if (c->runtime.done() && c->pending.empty()) {
       Finalize(c, CampaignState::kDone, "");
@@ -547,6 +634,23 @@ util::Status CampaignManager::Cancel(CampaignId id) {
   return util::Status::OK();
 }
 
+util::Status CampaignManager::Compact(CampaignId id) {
+  Campaign* c = Find(id);
+  if (c == nullptr) return util::Status::NotFound("no such campaign");
+  if (c->journal == nullptr) {
+    return util::Status::FailedPrecondition("campaign is not journaled");
+  }
+  if (c->finalized.load()) {
+    // Finish() moved the runtime's state into the report; there is
+    // nothing left to snapshot (and nothing left to gain — a terminal
+    // journal replays once, at recovery, into a terminal campaign).
+    return util::Status::FailedPrecondition("campaign is terminal");
+  }
+  c->compact_requested.store(true);
+  if (!options_.deterministic && !c->finalized.load()) ScheduleStep(c);
+  return util::Status::OK();
+}
+
 util::Result<CampaignStatus> CampaignManager::Status(CampaignId id) const {
   const Campaign* c = Find(id);
   if (c == nullptr) return util::Status::NotFound("no such campaign");
@@ -560,6 +664,7 @@ util::Result<CampaignStatus> CampaignManager::Status(CampaignId id) const {
   out.budget_spent = c->budget_spent;
   out.tasks_completed = c->tasks_completed;
   out.tasks_in_flight = c->tasks_in_flight;
+  out.records_replayed = c->records_replayed;
   out.metrics = c->metrics;
   out.checkpoints_recorded = c->checkpoints_recorded;
   out.queue_delay_seconds = c->queue_delay_seconds;
@@ -699,36 +804,90 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
   auto campaign = std::make_unique<Campaign>(id, std::move(config));
   Campaign* c = campaign.get();
 
+  // A crash mid-compaction can leave a temp rewrite next to the journal;
+  // it was never renamed, so it is dead weight — the journal itself is
+  // the (old, uncompacted) truth.
+  util::RemoveFile(path + persist::kCompactionTmpSuffix);
+
   // Resume the original journal file: drop the torn tail (if any), then
   // append post-recovery completions after the last intact record.
   auto writer = persist::JournalWriter::Open(path, contents.valid_bytes);
   if (!writer.ok()) return writer.status();
   c->journal = std::move(writer).value();
-  if (sink_ == nullptr) {
-    // Journaling may be off for new submits; recovered campaigns still
-    // need the fsync batcher. Recover runs single-threaded before the
-    // recovered campaigns step, so this lazy init is unsynchronized.
-    persist::JournalSinkOptions sink_options;
-    sink_options.batch_interval_us = options_.journal_batch_interval_us;
-    sink_ = std::make_unique<persist::JournalSink>(sink_options);
-  }
+  c->submit_record = contents.submit;
+  // Journaling may be off for new submits; recovered campaigns still
+  // need the fsync batcher (and compactor). Recover runs single-threaded
+  // before the recovered campaigns step, so this lazy init is
+  // unsynchronized.
+  EnsureJournalWorkers();
 
   INCENTAG_RETURN_IF_ERROR(TryRegister(id, std::move(campaign)));
 
-  // ---- replay: drive the recorded completions through the runtime ----
+  // ---- replay: seek to the latest snapshot, replay only the tail ----
   c->scheduled.store(true);  // the recovering thread is the stepper
   c->queue_delay_s = c->submitted.ElapsedSeconds();
   c->started.Restart();
-  util::Status status =
-      c->runtime.Begin(c->config.strategy.get(), c->config.stream.get());
-  if (!status.ok()) {
-    Finalize(c, CampaignState::kFailed, status.ToString());
-    return id;
+  uint64_t replay_from = 0;
+  if (contents.has_snapshot) {
+    // Restore the campaign's full resumable state from the snapshot;
+    // Algorithm 1 determinism makes this byte-identical to replaying the
+    // num_completions records it summarizes. A runtime-level restore
+    // failure cannot fall back to full replay — the strategy, stream and
+    // runtime are partially consumed by then, and a compacted journal no
+    // longer holds the summarized prefix anyway — so it fails loudly.
+    util::Status restored = c->runtime.RestoreResumableState(
+        contents.snapshot.runtime_state, c->config.strategy.get(),
+        c->config.stream.get());
+    if (!restored.ok()) {
+      Finalize(c, CampaignState::kFailed,
+               "journal snapshot failed to restore: " + restored.ToString());
+      return id;
+    }
+    c->begun = true;
+    c->next_apply_seq = contents.snapshot.num_completions;
+    c->next_assign_seq = contents.snapshot.next_assign_seq;
+    c->last_compact_seq = contents.snapshot.num_completions;
+    for (core::ResourceId resource : contents.snapshot.pending) {
+      c->pending.push_back(resource);
+    }
+    replay_from = contents.snapshot.num_completions;
+  } else {
+    // No usable snapshot. Full replay works when the completion trace
+    // starts at seq 0 — which is also the corrupt-snapshot fallback: a
+    // snapshot whose intact frame fails to decode (snapshot_status) in
+    // an uncompacted journal degrades to replaying everything. But a
+    // trace that starts later — or an undecodable snapshot with NO tail
+    // at all, the normal state right after a compaction — lost its
+    // prefix to that snapshot; restarting from Begin would silently
+    // discard the campaign's whole pre-crash spend, so fail loudly.
+    if ((!trace.empty() && trace.front().seq != 0) ||
+        (trace.empty() && !contents.snapshot_status.ok())) {
+      Finalize(c, CampaignState::kFailed,
+               "journal snapshot is unusable (" +
+                   contents.snapshot_status.ToString() +
+                   ") and the completion trace " +
+                   (trace.empty()
+                        ? std::string("was compacted into it")
+                        : "starts at seq " +
+                              std::to_string(trace.front().seq)) +
+                   ": full replay impossible");
+      return id;
+    }
+    util::Status status =
+        c->runtime.Begin(c->config.strategy.get(), c->config.stream.get());
+    if (!status.ok()) {
+      Finalize(c, CampaignState::kFailed, status.ToString());
+      return id;
+    }
+    c->begun = true;
   }
-  c->begun = true;
+  int64_t replayed = 0;
   for (size_t i = 0; i < trace.size(); ++i) {
+    // Records the snapshot already summarizes (an uncompacted journal
+    // with an inline checkpoint still carries them).
+    if (trace[i].seq < replay_from) continue;
     if (c->pending.empty()) {
-      status = c->runtime.DrawBatch(&c->batch);
+      util::Status status = c->runtime.DrawBatch(&c->batch);
       if (!status.ok()) {
         Finalize(c, CampaignState::kFailed, status.ToString());
         return id;
@@ -763,6 +922,14 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
     c->pending.pop_front();
     c->runtime.ApplyCompletion(trace[i].resource);
     ++c->next_apply_seq;
+    ++replayed;
+  }
+  {
+    // Observability for benches and the recovery demo: how much tail the
+    // snapshot seek left to replay. Guarded because pollers may already
+    // see the registered campaign.
+    std::lock_guard<std::mutex> lock(c->status_mu);
+    c->records_replayed = replayed;
   }
 
   // ---- resume live from exactly where the journal ends ----
@@ -836,9 +1003,12 @@ void CampaignManager::Shutdown() {
       }
       pool_->Shutdown();
     }
-    // After the pool: no stepper can schedule further syncs. Stop drains
-    // the dirty set, so every journaled record is on disk before the
-    // campaigns (and their writers) are destroyed.
+    // After the pool: no stepper can enqueue further compactions or
+    // syncs. The compactor stops first (its rewrites append nothing, but
+    // they swap writer fds the sink is about to fsync), then the sink
+    // drains its dirty set — every journaled record is on disk before
+    // the campaigns (and their writers) are destroyed.
+    if (compactor_ != nullptr) compactor_->Stop();
     if (sink_ != nullptr) sink_->Stop();
   });
 }

@@ -56,6 +56,7 @@
 #include "src/core/allocation.h"
 #include "src/core/post_stream.h"
 #include "src/core/strategy.h"
+#include "src/persist/compactor.h"
 #include "src/persist/journal.h"
 #include "src/persist/journal_sink.h"
 #include "src/service/completion_source.h"
@@ -109,6 +110,10 @@ struct CampaignStatus {
   // Latest evaluation snapshot (quality, over/under-tagged, wasted).
   core::AllocationMetrics metrics;
   size_t checkpoints_recorded = 0;
+  // Completions replayed from the journal when this campaign was
+  // resurrected by Recover — the tail after the latest snapshot for a
+  // compacted journal, the whole trace otherwise. 0 for fresh campaigns.
+  int64_t records_replayed = 0;
   // Time from Submit until the first step ran — scheduler queueing, not
   // campaign work. Zero until the first step.
   double queue_delay_seconds = 0.0;
@@ -157,6 +162,14 @@ struct ManagerOptions {
   // Coalescing window of the background fsync batcher (see
   // persist::JournalSinkOptions).
   int64_t journal_batch_interval_us = 500;
+  // Journal compaction policy (format v2): every n applied completions
+  // the stepper serializes a checkpoint snapshot of the campaign's
+  // resumable state and hands the journal to the persist::Compactor,
+  // which rewrites it as `submit + snapshot + tail`. Recovery then seeks
+  // to the snapshot and replays only the tail — bounded-time restarts
+  // for long campaigns. 0 disables automatic compaction (explicit
+  // Compact(id) still works). Deterministic mode compacts inline.
+  int64_t compact_every_n_completions = 0;
 };
 
 class CampaignManager {
@@ -188,10 +201,15 @@ class CampaignManager {
   // Scans `dir` for campaign journals and resurrects each one: reads its
   // SubmitRecord + completion trace (tolerating a torn/corrupt tail,
   // which is truncated), asks `factory` for a fresh CampaignConfig,
-  // replays the recorded completions through the deterministic step
-  // protocol — Algorithm 1's determinism makes the replayed state
-  // byte-identical to the pre-crash run — and resumes the campaign live,
-  // appending new completions to the same journal. Files without an
+  // seeks to the latest checkpoint snapshot (format v2) when one exists
+  // — restoring the serialized runtime/strategy/stream state, then
+  // replaying only the tail — and otherwise replays the whole trace
+  // through the deterministic step protocol; Algorithm 1's determinism
+  // makes either path byte-identical to the pre-crash run. The campaign
+  // then resumes live, appending new completions to the same journal. A
+  // snapshot whose record does not decode falls back to full replay
+  // when the trace still starts at seq 0 and fails the campaign when
+  // its prefix was compacted away. Files without an
   // intact SubmitRecord (a crash between journal creation and the submit
   // fsync) are skipped. Returns the new ids in journal-file order; a
   // journal that diverges from the replay finalizes its campaign as
@@ -211,6 +229,12 @@ class CampaignManager {
   // before Begin, and its report synthesized from the config). No-op on
   // campaigns already terminal.
   util::Status Cancel(CampaignId id);
+
+  // Requests a one-off journal compaction, independent of
+  // compact_every_n_completions; the snapshot is taken at the campaign's
+  // next step boundary and the rewrite runs on the compactor thread.
+  // Fails on unjournaled or already-terminal campaigns.
+  util::Status Compact(CampaignId id);
 
   // Snapshot of one campaign / of every campaign, in submission order.
   util::Result<CampaignStatus> Status(CampaignId id) const;
@@ -258,12 +282,17 @@ class CampaignManager {
   void PublishStatus(Campaign* campaign);
   void OnCompletion(Campaign* campaign, uint64_t seq);
   void FlushJournal(Campaign* campaign);
+  void MaybeCompact(Campaign* campaign);
+  void EnsureJournalWorkers();
 
   ManagerOptions options_;
   std::unique_ptr<InlineCompletionSource> inline_source_;
   CompletionSource* source_ = nullptr;  // options_.completions or inline
   std::unique_ptr<util::ThreadPool> pool_;  // null in deterministic mode
   std::unique_ptr<persist::JournalSink> sink_;  // null unless journaling
+  // Background journal rewriter; null in deterministic mode (compaction
+  // then runs inline on the driving thread) and until journaling is on.
+  std::unique_ptr<persist::Compactor> compactor_;
   std::vector<std::unique_ptr<Shard>> shards_;
   // Journal files already resumed by Recover (single-threaded access —
   // see Recover's contract); makes a retried Recover skip them.

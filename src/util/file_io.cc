@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -69,10 +70,50 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return std::move(contents).str();
 }
 
+Result<std::string> ReadFileRange(const std::string& path, int64_t offset,
+                                  int64_t length) {
+  if (offset < 0 || length < 0) {
+    return Status::InvalidArgument("negative file range");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::string out;
+  out.resize(static_cast<size_t>(length));
+  size_t have = 0;
+  while (have < out.size()) {
+    const ssize_t n =
+        ::pread(fd, out.data() + have, out.size() - have,
+                static_cast<off_t>(offset + static_cast<int64_t>(have)));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = ErrnoStatus("pread", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
+      ::close(fd);
+      return Status::OutOfRange(
+          "short read at offset " +
+          std::to_string(offset + static_cast<int64_t>(have)) + " of " +
+          path);
+    }
+    have += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return out;
+}
+
 Status RemoveFile(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);
   if (ec) return Status::IoError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to);
+  }
   return Status::OK();
 }
 
@@ -86,6 +127,21 @@ Status SyncDir(const std::string& dir) {
 }
 
 AppendFile::~AppendFile() { Close(); }
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();  // best effort; an unsynced buffer was the caller's choice
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.path_.clear();
+    other.buffer_.clear();
+    other.size_ = 0;
+  }
+  return *this;
+}
 
 Status AppendFile::Open(const std::string& path, int64_t truncate_to) {
   if (is_open()) return Status::FailedPrecondition("AppendFile already open");

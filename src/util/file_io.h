@@ -36,8 +36,19 @@ Result<std::vector<std::string>> ListDirFiles(const std::string& dir,
 // (journals are bounded by campaign budgets, not log retention).
 Result<std::string> ReadFileToString(const std::string& path);
 
+// Reads exactly `length` bytes starting at `offset`. Fails (OutOfRange)
+// when the file is shorter — the compactor uses this to copy a journal
+// tail whose extent it computed under the writer lock, so a short read
+// means a logic error, not a benign race.
+Result<std::string> ReadFileRange(const std::string& path, int64_t offset,
+                                  int64_t length);
+
 // Deletes `path`. OK if it does not exist.
 Status RemoveFile(const std::string& path);
+
+// Atomically renames `from` over `to` (POSIX rename: `to` is replaced).
+// Durability of the swap additionally needs SyncDir on the directory.
+Status RenameFile(const std::string& from, const std::string& to);
 
 // fsyncs the directory itself, making creations/removals of entries in
 // it power-loss durable — an fsync of a newly created file covers its
@@ -55,6 +66,14 @@ class AppendFile {
   AppendFile(const AppendFile&) = delete;
   AppendFile& operator=(const AppendFile&) = delete;
 
+  // Movable: the target closes its own file (best effort) and adopts the
+  // source's descriptor. The journal compactor uses this to swap a
+  // writer onto the already-open rewrite after rename(), so there is no
+  // close-then-reopen window in which a transient failure could strand
+  // the writer.
+  AppendFile(AppendFile&& other) noexcept { *this = std::move(other); }
+  AppendFile& operator=(AppendFile&& other) noexcept;
+
   Status Open(const std::string& path, int64_t truncate_to = -1);
 
   // Buffers `data` in memory; cheap, no syscall.
@@ -71,6 +90,10 @@ class AppendFile {
 
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
+  // Renames the path used in error messages — for callers that moved a
+  // descriptor whose file was just rename()d (see the move contract
+  // above); it does not touch the filesystem.
+  void set_path(std::string path) { path_ = std::move(path); }
   // Bytes accepted so far (buffered + written), i.e. the logical size.
   int64_t size() const { return size_; }
 

@@ -1,0 +1,549 @@
+// Checkpointed journal compaction (journal format v2): a campaign killed
+// mid-run with compaction enabled recovers from snapshot + tail to a
+// RunReport byte-identical to recovering the full journal and to the
+// uninterrupted run; a kill during the compaction rewrite (temp file
+// present, rename not done) recovers from the old journal; a corrupt
+// snapshot record falls back to full replay; and compaction running
+// concurrently with live completion application never perturbs results
+// (the TSan job runs this file).
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/allocation.h"
+#include "src/core/post_stream.h"
+#include "src/persist/journal.h"
+#include "src/service/campaign_manager.h"
+#include "src/sim/dataset_prep.h"
+#include "src/sim/generator.h"
+#include "src/sim/load_generator.h"
+#include "src/sim/strategy_factory.h"
+#include "src/util/file_io.h"
+
+namespace incentag {
+namespace service {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+// Completes the first `limit` tasks inline, then silently drops the rest
+// — wedges the campaign mid-run so Shutdown acts as the "kill".
+class LimitedCompletionSource : public CompletionSource {
+ public:
+  explicit LimitedCompletionSource(int64_t limit) : remaining_(limit) {}
+
+  bool SubmitTasks(const std::vector<TaskHandle>& tasks,
+                   const CompletionFn& done) override {
+    for (const TaskHandle& task : tasks) {
+      if (remaining_ > 0) {
+        --remaining_;
+        done(task);
+      }
+    }
+    return true;
+  }
+
+ private:
+  int64_t remaining_;
+};
+
+class CompactionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::CorpusConfig config;
+    config.num_resources = 60;
+    config.seed = 20260729;
+    auto corpus = sim::Corpus::Generate(config);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    corpus_ = new sim::Corpus(std::move(corpus).value());
+    auto prep = sim::PrepareFromCorpus(*corpus_, sim::PrepConfig{});
+    ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+    dataset_ = new sim::PreparedDataset(std::move(prep).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete corpus_;
+    dataset_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("compaction_test_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    ASSERT_TRUE(util::CreateDirectories(dir_.string()).ok());
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static core::EngineOptions MakeOptions(int kind, int64_t budget) {
+    core::EngineOptions options;
+    options.budget = budget;
+    options.omega = 5;
+    options.checkpoints = {budget / 4, budget / 2, budget};
+    options.batch_size = (kind % 3 == 0) ? 16 : 1;
+    return options;
+  }
+
+  static CampaignConfig MakeConfig(int kind, int64_t budget, uint64_t seed) {
+    CampaignConfig config;
+    config.name = "campaign-" + std::to_string(kind);
+    config.options = MakeOptions(kind, budget);
+    config.initial_posts = &dataset_->initial_posts;
+    config.references = &dataset_->references;
+    config.seed = seed;
+    config.strategy =
+        sim::MakeStrategyByName(sim::StrategyNameForKind(kind),
+                                dataset_->popularity, seed, &config.context);
+    config.stream =
+        std::make_unique<core::VectorPostStream>(dataset_->MakeStream());
+    return config;
+  }
+
+  static util::Result<CampaignConfig> Factory(
+      const persist::SubmitRecord& record) {
+    CampaignConfig config;
+    config.name = record.name;
+    config.options = record.options;
+    config.initial_posts = &dataset_->initial_posts;
+    config.references = &dataset_->references;
+    config.seed = record.seed;
+    config.strategy =
+        sim::MakeStrategyByName(record.strategy_name, dataset_->popularity,
+                                record.seed, &config.context);
+    if (config.strategy == nullptr) {
+      return util::Status::InvalidArgument("unknown strategy " +
+                                           record.strategy_name);
+    }
+    config.stream =
+        std::make_unique<core::VectorPostStream>(dataset_->MakeStream());
+    return config;
+  }
+
+  static core::RunReport RunSequential(int kind, int64_t budget,
+                                       uint64_t seed) {
+    std::shared_ptr<void> context;
+    auto strategy =
+        sim::MakeStrategyByName(sim::StrategyNameForKind(kind),
+                                dataset_->popularity, seed, &context);
+    core::AllocationEngine engine(MakeOptions(kind, budget),
+                                  &dataset_->initial_posts,
+                                  &dataset_->references);
+    core::VectorPostStream stream = dataset_->MakeStream();
+    auto report = engine.Run(strategy.get(), &stream);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  }
+
+  static void ExpectReportsEqual(const core::RunReport& want,
+                                 const core::RunReport& got,
+                                 const std::string& label) {
+    EXPECT_EQ(want.strategy_name, got.strategy_name) << label;
+    EXPECT_EQ(want.allocation, got.allocation) << label;
+    EXPECT_EQ(want.budget_spent, got.budget_spent) << label;
+    EXPECT_EQ(want.stopped_early, got.stopped_early) << label;
+    ASSERT_EQ(want.checkpoints.size(), got.checkpoints.size()) << label;
+    for (size_t i = 0; i < want.checkpoints.size(); ++i) {
+      ExpectMetricsEqual(want.checkpoints[i], got.checkpoints[i],
+                         label + " checkpoint " + std::to_string(i));
+    }
+    ExpectMetricsEqual(want.final_metrics, got.final_metrics,
+                       label + " final");
+  }
+
+  static void ExpectMetricsEqual(const core::AllocationMetrics& want,
+                                 const core::AllocationMetrics& got,
+                                 const std::string& label) {
+    EXPECT_EQ(want.budget_used, got.budget_used) << label;
+    EXPECT_EQ(want.avg_quality, got.avg_quality) << label;
+    EXPECT_EQ(want.over_tagged, got.over_tagged) << label;
+    EXPECT_EQ(want.wasted_posts, got.wasted_posts) << label;
+    EXPECT_EQ(want.under_tagged, got.under_tagged) << label;
+  }
+
+  // Runs campaign `kind` against a source that completes only
+  // `kill_after` tasks so it wedges mid-run, then tears the manager down
+  // (the "kill"). With compact_every > 0 the journal gets compacted
+  // along the way. Returns the journal path.
+  std::string KillMidRun(int kind, int64_t budget, uint64_t seed,
+                         int64_t kill_after, int64_t compact_every) {
+    LimitedCompletionSource source(kill_after);
+    ManagerOptions options;
+    options.num_threads = 2;
+    options.tasks_per_step = 8;
+    options.completions = &source;
+    options.journal_dir = dir_.string();
+    options.compact_every_n_completions = compact_every;
+    CampaignManager manager(options);
+    auto id = manager.Submit(MakeConfig(kind, budget, seed));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    auto result = manager.WaitFor(id.value(), milliseconds(200));
+    EXPECT_FALSE(result.ok());  // wedged: the source went silent
+    manager.Shutdown();
+    return (dir_ / ("campaign-" + std::to_string(id.value()) + ".journal"))
+        .string();
+  }
+
+  static sim::Corpus* corpus_;
+  static sim::PreparedDataset* dataset_;
+  fs::path dir_;
+};
+
+sim::Corpus* CompactionTest::corpus_ = nullptr;
+sim::PreparedDataset* CompactionTest::dataset_ = nullptr;
+
+// The acceptance property, per strategy kind: kill mid-run with
+// compaction on -> the journal holds a snapshot, recovery replays only
+// the tail, and the final report is byte-identical to the uninterrupted
+// run (and hence to recovering an uncompacted journal, which the PR 2
+// tests already pin to the same ground truth).
+TEST_F(CompactionTest, SnapshotRecoveryMatchesUninterruptedRun) {
+  for (int kind = 0; kind < 5; ++kind) {
+    const int64_t budget = 220 + 30 * kind;
+    const uint64_t seed = 77 + static_cast<uint64_t>(kind);
+    const int64_t kill_after = budget / 2;
+    const std::string journal =
+        KillMidRun(kind, budget, seed, kill_after, /*compact_every=*/25);
+
+    auto contents = persist::ReadJournal(journal);
+    ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+    ASSERT_TRUE(contents.value().has_snapshot) << "kind " << kind;
+    // The snapshot swallowed a non-trivial prefix of the trace.
+    EXPECT_GT(contents.value().snapshot.num_completions, 0u)
+        << "kind " << kind;
+
+    ManagerOptions options;
+    options.deterministic = true;
+    CampaignManager recovered(options);
+    auto ids = recovered.Recover(dir_.string(), Factory);
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+    ASSERT_EQ(ids.value().size(), 1u) << "kind " << kind;
+    auto report = recovered.Wait(ids.value()[0]);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ExpectReportsEqual(RunSequential(kind, budget, seed), report.value(),
+                       "kind " + std::to_string(kind));
+
+    // The snapshot bounded the replay: recovery applied exactly the
+    // compacted journal's tail, which is shorter than the trace the
+    // campaign accumulated before the kill by the snapshot's prefix.
+    // (The precise tail length varies — concurrent bursts can skip
+    // compaction rounds while one rewrite is in flight — so the hard
+    // ratio is pinned by bench_recovery in steady state instead.)
+    auto status = recovered.Status(ids.value()[0]);
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status.value().records_replayed,
+              static_cast<int64_t>(contents.value().completions.size()))
+        << "kind " << kind;
+    EXPECT_LT(status.value().records_replayed, kill_after)
+        << "kind " << kind;
+
+    fs::remove_all(dir_);
+    ASSERT_TRUE(util::CreateDirectories(dir_.string()).ok());
+  }
+}
+
+// Same kill, but recovery resumes live on a thread pool and runs to
+// completion with further compactions enabled — the journal stays
+// recoverable (deterministically) after the campaign finishes.
+TEST_F(CompactionTest, SnapshotRecoveryContinuesLiveAndStaysRecoverable) {
+  const int kind = 1;
+  const int64_t budget = 400;
+  const uint64_t seed = 1234;
+  KillMidRun(kind, budget, seed, /*kill_after=*/200, /*compact_every=*/30);
+
+  ManagerOptions options;
+  options.num_threads = 3;
+  options.tasks_per_step = 16;
+  options.compact_every_n_completions = 30;
+  options.journal_dir = dir_.string();
+  CampaignManager recovered(options);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto result = recovered.WaitFor(ids.value()[0], milliseconds(10000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().state, CampaignState::kDone);
+  const core::RunReport want = RunSequential(kind, budget, seed);
+  ExpectReportsEqual(want, result.value().report, "live recovery");
+  recovered.Shutdown();
+
+  ManagerOptions det;
+  det.deterministic = true;
+  CampaignManager again(det);
+  auto ids2 = again.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids2.ok()) << ids2.status().ToString();
+  ASSERT_EQ(ids2.value().size(), 1u);
+  auto report2 = again.Wait(ids2.value()[0]);
+  ASSERT_TRUE(report2.ok()) << report2.status().ToString();
+  ExpectReportsEqual(want, report2.value(), "second recovery");
+}
+
+// Kill during the compaction rewrite: the temp file exists but the
+// rename never happened. The original journal is untouched truth;
+// recovery ignores and removes the orphan.
+TEST_F(CompactionTest, KillDuringCompactionRecoversFromOldJournal) {
+  const int kind = 0;
+  const int64_t budget = 300;
+  const uint64_t seed = 5;
+  const std::string journal =
+      KillMidRun(kind, budget, seed, /*kill_after=*/120, /*compact_every=*/0);
+  const std::string tmp = journal + persist::kCompactionTmpSuffix;
+  {
+    std::ofstream f(tmp, std::ios::binary);
+    f << "half-written compaction rewrite";
+  }
+
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager recovered(options);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto report = recovered.Wait(ids.value()[0]);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectReportsEqual(RunSequential(kind, budget, seed), report.value(),
+                     "kill during compaction");
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+// A snapshot record whose frame is intact but whose body is garbage
+// (e.g. a half-migrated or future-format snapshot) must not poison the
+// journal: with the full trace still present, recovery falls back to
+// replaying everything.
+TEST_F(CompactionTest, CorruptSnapshotFallsBackToFullReplay) {
+  const int kind = 2;
+  const int64_t budget = 300;
+  const uint64_t seed = 9;
+  const std::string journal =
+      KillMidRun(kind, budget, seed, /*kill_after=*/120, /*compact_every=*/0);
+
+  auto before = persist::ReadJournal(journal);
+  ASSERT_TRUE(before.ok());
+  const int64_t trace_len =
+      static_cast<int64_t>(before.value().completions.size());
+  ASSERT_GT(trace_len, 0);
+  {
+    std::string garbage;
+    garbage.push_back(static_cast<char>(persist::RecordType::kSnapshot));
+    garbage += "these bytes are not a snapshot";
+    const std::string frame = persist::FrameRecord(garbage);
+    std::ofstream f(journal, std::ios::binary | std::ios::app);
+    f.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager recovered(options);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto report = recovered.Wait(ids.value()[0]);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectReportsEqual(RunSequential(kind, budget, seed), report.value(),
+                     "corrupt snapshot fallback");
+  auto status = recovered.Status(ids.value()[0]);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().records_replayed, trace_len);  // full replay
+}
+
+// A compacted journal whose snapshot is unusable has lost its prefix;
+// recovery must fail that campaign loudly instead of fabricating state.
+TEST_F(CompactionTest, UnusableSnapshotWithCompactedPrefixFailsCampaign) {
+  const int kind = 1;
+  KillMidRun(kind, /*budget=*/300, /*seed=*/8, /*kill_after=*/150,
+             /*compact_every=*/40);
+  auto files = util::ListDirFiles(dir_.string(), ".journal");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files.value().size(), 1u);
+  auto contents = persist::ReadJournal(files.value()[0]);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(contents.value().has_snapshot);
+  ASSERT_FALSE(contents.value().completions.empty());
+  ASSERT_GT(contents.value().completions.front().seq, 0u);
+
+  // Rewrite the journal with the snapshot body replaced by garbage of
+  // the same framing (prefix records are gone — that is the point).
+  std::string bytes =
+      persist::FrameRecord(persist::EncodeSubmitRecord(contents.value().submit));
+  std::string garbage;
+  garbage.push_back(static_cast<char>(persist::RecordType::kSnapshot));
+  garbage += "unreadable snapshot";
+  bytes += persist::FrameRecord(garbage);
+  for (const persist::CompletionRecord& record :
+       contents.value().completions) {
+    bytes += persist::FrameRecord(persist::EncodeCompletionRecord(record));
+  }
+  {
+    std::ofstream f(files.value()[0], std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager recovered(options);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto result = recovered.WaitFor(ids.value()[0], milliseconds(1000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().state, CampaignState::kFailed);
+  EXPECT_NE(result.value().error.find("full replay impossible"),
+            std::string::npos)
+      << result.value().error;
+
+  // The empty-tail variant — the journal's normal state right after a
+  // compaction. Restarting from Begin here would silently discard the
+  // whole pre-crash spend, so it must fail just as loudly.
+  std::string no_tail =
+      persist::FrameRecord(persist::EncodeSubmitRecord(contents.value().submit));
+  no_tail += persist::FrameRecord(garbage);
+  {
+    std::ofstream f(files.value()[0], std::ios::binary | std::ios::trunc);
+    f.write(no_tail.data(), static_cast<std::streamsize>(no_tail.size()));
+  }
+  CampaignManager recovered2(options);
+  auto ids2 = recovered2.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids2.ok()) << ids2.status().ToString();
+  ASSERT_EQ(ids2.value().size(), 1u);
+  auto result2 = recovered2.WaitFor(ids2.value()[0], milliseconds(1000));
+  ASSERT_TRUE(result2.ok()) << result2.status().ToString();
+  EXPECT_EQ(result2.value().state, CampaignState::kFailed);
+  EXPECT_NE(result2.value().error.find("full replay impossible"),
+            std::string::npos)
+      << result2.value().error;
+}
+
+// Explicit Compact(id): a wedged (but journaled) campaign can be
+// compacted on demand; the rewrite lands within a bounded wait and the
+// journal recovers to ground truth afterwards.
+TEST_F(CompactionTest, ExplicitCompactRewritesWedgedCampaign) {
+  const int kind = 3;
+  const int64_t budget = 300;
+  const uint64_t seed = 21;
+  LimitedCompletionSource source(150);
+  ManagerOptions options;
+  options.num_threads = 2;
+  options.tasks_per_step = 8;
+  options.completions = &source;
+  options.journal_dir = dir_.string();
+  CampaignManager manager(options);
+  auto id = manager.Submit(MakeConfig(kind, budget, seed));
+  ASSERT_TRUE(id.ok());
+  auto wedged = manager.WaitFor(id.value(), milliseconds(300));
+  EXPECT_FALSE(wedged.ok());
+
+  EXPECT_EQ(manager.Compact(id.value() + 999).code(),
+            util::StatusCode::kNotFound);
+  ASSERT_TRUE(manager.Compact(id.value()).ok());
+  const std::string journal =
+      (dir_ / ("campaign-" + std::to_string(id.value()) + ".journal"))
+          .string();
+  bool compacted = false;
+  for (int i = 0; i < 100 && !compacted; ++i) {
+    std::this_thread::sleep_for(milliseconds(20));
+    auto contents = persist::ReadJournal(journal);
+    compacted = contents.ok() && contents.value().has_snapshot;
+  }
+  EXPECT_TRUE(compacted);
+  manager.Shutdown();
+
+  ManagerOptions det;
+  det.deterministic = true;
+  CampaignManager recovered(det);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto report = recovered.Wait(ids.value()[0]);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectReportsEqual(RunSequential(kind, budget, seed), report.value(),
+                     "explicit compact");
+}
+
+// Compact() contract errors: unjournaled and terminal campaigns.
+TEST_F(CompactionTest, CompactRejectsUnjournaledAndTerminalCampaigns) {
+  {
+    ManagerOptions options;  // no journal_dir
+    options.num_threads = 2;
+    CampaignManager manager(options);
+    auto id = manager.Submit(MakeConfig(1, 50, 3));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(manager.Compact(id.value()).code(),
+              util::StatusCode::kFailedPrecondition);
+    manager.WaitFor(id.value(), milliseconds(10000));
+  }
+  {
+    ManagerOptions options;
+    options.num_threads = 2;
+    options.journal_dir = dir_.string();
+    CampaignManager manager(options);
+    auto id = manager.Submit(MakeConfig(1, 50, 3));
+    ASSERT_TRUE(id.ok());
+    auto result = manager.WaitFor(id.value(), milliseconds(10000));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(manager.Compact(id.value()).code(),
+              util::StatusCode::kFailedPrecondition);
+  }
+}
+
+// Compaction racing live application: a crowd completes tasks out of
+// order on tagger threads while the compactor rewrites the journal
+// every few completions. Reports must equal the sequential ground truth
+// for every campaign, and every journal must stay recoverable. This is
+// the TSan target for the stepper/compactor/sink interleaving.
+TEST_F(CompactionTest, ConcurrentCompactionUnderCrowdLoadIsExact) {
+  sim::LoadGeneratorOptions load_options;
+  load_options.num_taggers = 4;
+  load_options.mean_latency_us = 30.0;
+  load_options.seed = 11;
+  sim::CrowdLoadGenerator crowd(load_options);
+  ManagerOptions options;
+  options.num_threads = 3;
+  options.tasks_per_step = 8;
+  options.completions = &crowd;
+  options.journal_dir = dir_.string();
+  options.compact_every_n_completions = 10;  // compact aggressively
+  CampaignManager manager(options);
+
+  const int kCampaigns = 6;
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto id = manager.Submit(MakeConfig(i, 200 + 20 * i, 7));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto result = manager.WaitFor(ids[i], milliseconds(20000));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value().state, CampaignState::kDone);
+    ExpectReportsEqual(RunSequential(i, 200 + 20 * i, 7),
+                       result.value().report,
+                       "campaign " + std::to_string(i));
+  }
+  crowd.Stop();
+  manager.Shutdown();
+
+  ManagerOptions det;
+  det.deterministic = true;
+  CampaignManager recovered(det);
+  auto recovered_ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(recovered_ids.ok()) << recovered_ids.status().ToString();
+  ASSERT_EQ(recovered_ids.value().size(), static_cast<size_t>(kCampaigns));
+  for (CampaignId id : recovered_ids.value()) {
+    auto report = recovered.Wait(id);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace incentag
