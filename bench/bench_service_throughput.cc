@@ -32,6 +32,7 @@
 #include "src/util/flags.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
+#include "src/util/text.h"
 
 namespace {
 
@@ -54,18 +55,23 @@ struct SweepResult {
   int threads = 0;
   int64_t tasks = 0;
   double seconds = 0.0;
+  // Journal fsyncs the group-commit sink performed (0 unjournaled); the
+  // coalescing win is tasks >> syncs.
+  int64_t journal_syncs = 0;
 };
 
 SweepResult RunOnce(const bench::BenchDataset& bench_ds, int threads,
                     int64_t campaigns, int64_t budget, int64_t batch,
                     int64_t taggers, double latency_us,
-                    const std::string& journal_dir) {
+                    const std::string& journal_dir,
+                    int64_t journal_batch_us) {
   const sim::PreparedDataset& ds = bench_ds.dataset;
 
   std::unique_ptr<sim::CrowdLoadGenerator> crowd;
   service::ManagerOptions options;
   options.num_threads = threads;
   options.journal_dir = journal_dir;
+  options.journal_batch_interval_us = journal_batch_us;
   if (taggers > 0) {
     sim::LoadGeneratorOptions load_options;
     load_options.num_taggers = static_cast<int>(taggers);
@@ -97,6 +103,8 @@ SweepResult RunOnce(const bench::BenchDataset& bench_ds, int threads,
   for (const service::CampaignStatus& status : manager.StatusAll()) {
     INCENTAG_CHECK(status.state == service::CampaignState::kDone);
     result.tasks += status.tasks_completed;
+    // Manager-wide counter, identical on every status; keep the latest.
+    result.journal_syncs = status.journal_syncs;
   }
   if (crowd != nullptr) crowd->Stop();
   manager.Shutdown();
@@ -114,6 +122,8 @@ int main(int argc, char** argv) {
   int64_t threads = 0;
   int64_t taggers = 0;
   double latency_us = 0.0;
+  int64_t journal_batch_us = 500;
+  std::string journal_batch_us_sweep;
   std::string journal_dir;
   std::string json_path;
   util::FlagSet flags;
@@ -130,6 +140,13 @@ int main(int argc, char** argv) {
   flags.AddString("journal_dir", &journal_dir,
                   "enable the write-ahead journal in this directory "
                   "('' = journaling off) to measure its overhead");
+  flags.AddInt("journal_batch_us", &journal_batch_us,
+               "group-commit coalescing window of the journal sink, "
+               "microseconds (needs --journal_dir)");
+  flags.AddString("journal_batch_us_sweep", &journal_batch_us_sweep,
+                  "comma-separated journal_batch_interval_us values to "
+                  "sweep at max threads (needs --journal_dir); reports "
+                  "tasks/sec and group-commit fsync counts per window");
   flags.AddString("json", &json_path,
                   "also write the sweep results as JSON to this file "
                   "(the CI perf-trajectory artifact)");
@@ -158,7 +175,7 @@ int main(int argc, char** argv) {
   for (int64_t t : sweep) {
     SweepResult result =
         RunOnce(*bench_ds, static_cast<int>(t), campaigns, budget, batch,
-                taggers, latency_us, journal_dir);
+                taggers, latency_us, journal_dir, journal_batch_us);
     const double rate =
         result.seconds > 0.0
             ? static_cast<double>(result.tasks) / result.seconds
@@ -169,6 +186,48 @@ int main(int argc, char** argv) {
                 base_rate > 0.0 ? rate / base_rate : 0.0);
     results.push_back(result);
     rates.push_back(rate);
+  }
+
+  // Group-commit window sweep: the sink's coalescing interval trades
+  // durability lag against fsync count (and, on slow disks, throughput).
+  // Runs at max threads; tasks/fsync is the group-commit win.
+  struct BatchSweepResult {
+    int64_t interval_us = 0;
+    int64_t tasks = 0;
+    double rate = 0.0;
+    int64_t syncs = 0;
+  };
+  std::vector<BatchSweepResult> batch_sweep;
+  if (!journal_batch_us_sweep.empty()) {
+    INCENTAG_CHECK(!journal_dir.empty());
+    std::printf("\ngroup-commit sweep (%lld threads):\n",
+                static_cast<long long>(threads));
+    std::printf("%10s  %12s  %10s  %12s\n", "batch_us", "tasks/sec",
+                "fsyncs", "tasks/fsync");
+    for (std::string_view part : util::Split(journal_batch_us_sweep, ',')) {
+      part = util::StripAsciiWhitespace(part);
+      if (part.empty()) continue;
+      auto parsed = util::ParseInt64(part);
+      INCENTAG_CHECK(parsed.ok());
+      const int64_t interval_us = parsed.value();
+      SweepResult result =
+          RunOnce(*bench_ds, static_cast<int>(threads), campaigns, budget,
+                  batch, taggers, latency_us, journal_dir, interval_us);
+      BatchSweepResult entry;
+      entry.interval_us = interval_us;
+      entry.tasks = result.tasks;
+      entry.rate = result.seconds > 0.0
+                       ? static_cast<double>(result.tasks) / result.seconds
+                       : 0.0;
+      entry.syncs = result.journal_syncs;
+      batch_sweep.push_back(entry);
+      std::printf("%10lld  %12.0f  %10lld  %12.1f\n",
+                  static_cast<long long>(interval_us), entry.rate,
+                  static_cast<long long>(entry.syncs),
+                  entry.syncs > 0 ? static_cast<double>(entry.tasks) /
+                                        static_cast<double>(entry.syncs)
+                                  : 0.0);
+    }
   }
 
   if (!json_path.empty()) {
@@ -188,13 +247,30 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < results.size(); ++i) {
       std::fprintf(out,
                    "%s{\"threads\":%d,\"tasks\":%lld,\"seconds\":%.6f,"
-                   "\"tasks_per_sec\":%.1f,\"speedup\":%.3f}",
+                   "\"tasks_per_sec\":%.1f,\"speedup\":%.3f,"
+                   "\"journal_syncs\":%lld}",
                    i == 0 ? "" : ",", results[i].threads,
                    static_cast<long long>(results[i].tasks),
                    results[i].seconds, rates[i],
-                   base_rate > 0.0 ? rates[i] / base_rate : 0.0);
+                   base_rate > 0.0 ? rates[i] / base_rate : 0.0,
+                   static_cast<long long>(results[i].journal_syncs));
     }
-    std::fprintf(out, "]}\n");
+    std::fprintf(out, "]");
+    if (!batch_sweep.empty()) {
+      std::fprintf(out, ",\"batch_sweep\":[");
+      for (size_t i = 0; i < batch_sweep.size(); ++i) {
+        std::fprintf(out,
+                     "%s{\"interval_us\":%lld,\"tasks\":%lld,"
+                     "\"tasks_per_sec\":%.1f,\"journal_syncs\":%lld}",
+                     i == 0 ? "" : ",",
+                     static_cast<long long>(batch_sweep[i].interval_us),
+                     static_cast<long long>(batch_sweep[i].tasks),
+                     batch_sweep[i].rate,
+                     static_cast<long long>(batch_sweep[i].syncs));
+      }
+      std::fprintf(out, "]");
+    }
+    std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
   }

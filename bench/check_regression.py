@@ -59,6 +59,17 @@ GATES = {
     "service_throughput": [
         ("max_tasks_per_sec", "higher", "absolute"),
     ],
+    # bench_scheduler gates on the *relative* separation between EDF and
+    # round-robin under an identical, self-calibrated fleet (deadlines
+    # are a fraction of the machine's own round-robin wall time), so the
+    # metrics are machine-portable ratios, not wall-clock. p50 is gated
+    # rather than p99: the critical tier is small, so its p99 is a
+    # single-sample max and too jitter-prone for shared runners (p99
+    # still ships in the JSON for the trajectory).
+    "scheduler": [
+        ("miss_rate_advantage", "higher", "ratio"),
+        ("critical_p50_speedup", "higher", "ratio"),
+    ],
 }
 
 TOLERANCE_SCALE = {"deterministic": 0.5, "ratio": 1.0, "absolute": 2.0}

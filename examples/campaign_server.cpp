@@ -36,6 +36,14 @@
 #include <thread>
 #include <vector>
 
+// Scheduling demo (mixed fleet): --scheduler=rr|priority|edf picks the
+// stepping policy; every 4th campaign becomes "critical" — it gets
+// --priority and, with --deadline_ms, a completion deadline. The final
+// rollup prints per-class quanta, deadline slack and miss counts, so the
+// policies are directly comparable:
+//
+//   ./build/examples/campaign_server --scheduler=edf --priority=8
+//       --deadline_ms=500 --threads=2
 #include "src/core/strategy_fc.h"
 #include "src/core/strategy_fp.h"
 #include "src/core/strategy_fpmu.h"
@@ -83,6 +91,11 @@ int main(int argc, char** argv) {
   bool recover = false;
   int64_t kill_after_polls = 0;
   int64_t compact_every = 0;
+  int64_t compact_bytes = 0;
+  int64_t max_compactions = 0;
+  std::string scheduler = "rr";
+  int64_t priority = 4;
+  double deadline_ms = 0.0;
   util::FlagSet flags;
   flags.AddInt("n", &n, "resources in the shared catalogue");
   flags.AddInt("campaigns", &campaigns, "campaigns to run");
@@ -101,6 +114,21 @@ int main(int argc, char** argv) {
   flags.AddInt("compact_every", &compact_every,
                "checkpoint-compact each journal every N applied "
                "completions (0 = never; needs --journal_dir)");
+  flags.AddInt("compact_bytes", &compact_bytes,
+               "checkpoint-compact each journal once it grows this many "
+               "bytes past its last snapshot (0 = off; needs "
+               "--journal_dir)");
+  flags.AddInt("max_compactions", &max_compactions,
+               "fleet-wide compaction budget: at most this many journal "
+               "rewrites in flight at once (0 = unlimited)");
+  flags.AddString("scheduler", &scheduler,
+                  "cross-campaign stepping policy: rr|priority|edf");
+  flags.AddInt("priority", &priority,
+               "priority weight of the critical tier (every 4th "
+               "campaign; the rest run at priority 1)");
+  flags.AddDouble("deadline_ms", &deadline_ms,
+                  "completion deadline for the critical tier, "
+                  "milliseconds (0 = none)");
   util::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\nusage:\n%s", parsed.ToString().c_str(),
@@ -125,14 +153,25 @@ int main(int argc, char** argv) {
   load_options.seed = static_cast<uint64_t>(seed) + 1;
   sim::CrowdLoadGenerator crowd(load_options);
 
+  auto policy = service::ParseSchedulerPolicy(scheduler);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
   service::ManagerOptions manager_options;
   manager_options.num_threads = static_cast<int>(threads);
   manager_options.completions = &crowd;
   manager_options.journal_dir = journal_dir;
   manager_options.compact_every_n_completions = compact_every;
+  manager_options.compact_journal_bytes = compact_bytes;
+  manager_options.scheduler.policy = policy.value();
+  manager_options.scheduler.max_concurrent_compactions =
+      static_cast<int>(max_compactions);
   service::CampaignManager manager(manager_options);
-  std::printf("manager: %d worker threads, %lld tagger threads%s\n",
+  std::printf("manager: %d worker threads, %lld tagger threads, %s "
+              "scheduler%s\n",
               manager.num_threads(), static_cast<long long>(taggers),
+              service::SchedulerPolicyName(policy.value()),
               journal_dir.empty() ? ""
                                   : (" (journaling to " + journal_dir + ")")
                                         .c_str());
@@ -210,7 +249,17 @@ int main(int argc, char** argv) {
       config.strategy =
           sim::MakeStrategyByName(sim::StrategyNameForKind(i), ds.popularity,
                                   config.seed, &config.context);
-      config.name = "community-" + std::to_string(i);
+      // Mixed fleet: every 4th campaign is the "critical" tier — higher
+      // priority (weighted quanta under --scheduler=priority) and, with
+      // --deadline_ms, an EDF deadline. Both travel with the campaign
+      // through the journal, so a recovered fleet keeps its classes.
+      const bool critical = i % 4 == 0;
+      if (critical) {
+        config.options.priority = static_cast<int32_t>(priority);
+        config.options.deadline_seconds = deadline_ms / 1000.0;
+      }
+      config.name = (critical ? "critical-" : "community-") +
+                    std::to_string(i);
       auto id = manager.Submit(std::move(config));
       INCENTAG_CHECK(id.ok());
       ids.push_back(id.value());
@@ -284,6 +333,50 @@ int main(int argc, char** argv) {
                 static_cast<long long>(agg.wasted),
                 agg.seconds / static_cast<double>(agg.campaigns));
   }
+
+  // Scheduling rollup: quanta and deadline outcomes per class, so
+  // --scheduler=rr vs priority vs edf is directly comparable.
+  struct ClassAgg {
+    int64_t campaigns = 0;
+    int64_t quanta = 0;
+    int64_t misses = 0;
+    double worst_slack = 0.0;
+    bool any_deadline = false;
+  };
+  ClassAgg critical_agg;
+  ClassAgg background_agg;
+  for (service::CampaignId id : ids) {
+    auto status = manager.Status(id);
+    if (!status.ok()) continue;
+    const service::CampaignStatus& s = status.value();
+    const bool is_critical =
+        s.priority > 1 || s.name.rfind("critical-", 0) == 0;
+    ClassAgg& agg = is_critical ? critical_agg : background_agg;
+    ++agg.campaigns;
+    agg.quanta += s.quanta_run;
+    if (is_critical && deadline_ms > 0.0) {
+      if (s.deadline_slack_seconds < 0.0) ++agg.misses;
+      if (!agg.any_deadline ||
+          s.deadline_slack_seconds < agg.worst_slack) {
+        agg.worst_slack = s.deadline_slack_seconds;
+      }
+      agg.any_deadline = true;
+    }
+  }
+  std::printf("\nscheduler rollup (%s):\n",
+              service::SchedulerPolicyName(policy.value()));
+  auto print_class = [](const char* label, const ClassAgg& agg) {
+    std::printf("  %-10s %3lld campaigns, %6lld quanta", label,
+                static_cast<long long>(agg.campaigns),
+                static_cast<long long>(agg.quanta));
+    if (agg.any_deadline) {
+      std::printf(", %lld deadline misses, worst slack %.3fs",
+                  static_cast<long long>(agg.misses), agg.worst_slack);
+    }
+    std::printf("\n");
+  };
+  print_class("critical", critical_agg);
+  print_class("background", background_agg);
 
   crowd.Stop();
   manager.Shutdown();

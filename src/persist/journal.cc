@@ -10,6 +10,7 @@ namespace persist {
 
 namespace {
 
+using util::wire::PutDouble;
 using util::wire::PutI64;
 using util::wire::PutString;
 using util::wire::PutU32;
@@ -37,6 +38,14 @@ std::string EncodeSubmitRecord(const SubmitRecord& record) {
   PutU32(&out, static_cast<uint32_t>(record.options.checkpoints.size()));
   for (int64_t checkpoint : record.options.checkpoints) {
     PutI64(&out, checkpoint);
+  }
+  // Format v3: the scheduling class. Honor the record's own version —
+  // compaction re-encodes a recovered journal's SubmitRecord verbatim,
+  // and a v2 record must stay a v2 body (no trailing bytes) or the
+  // rewritten journal would no longer decode.
+  if (record.format_version >= 3) {
+    PutU32(&out, static_cast<uint32_t>(record.options.priority));
+    PutDouble(&out, record.options.deadline_seconds);
   }
   return out;
 }
@@ -79,8 +88,8 @@ util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out) {
       !in.GetI64(&out->options.batch_size) || !in.GetU32(&num_checkpoints)) {
     return util::Status::Corruption("short submit record");
   }
-  // v1 and v2 submit bodies are identical; only future majors are
-  // unreadable.
+  // v1 and v2 submit bodies are identical; v3 appends the scheduling
+  // class. Only future majors are unreadable.
   if (out->format_version > kJournalFormatVersion) {
     return util::Status::Corruption(
         "unsupported journal format version " +
@@ -95,6 +104,18 @@ util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out) {
       return util::Status::Corruption("short submit record checkpoints");
     }
     out->options.checkpoints.push_back(checkpoint);
+  }
+  // Pre-scheduler journals (v1/v2) default to the baseline scheduling
+  // class: priority 1, no deadline.
+  out->options.priority = 1;
+  out->options.deadline_seconds = 0.0;
+  if (out->format_version >= 3) {
+    uint32_t priority = 0;
+    if (!in.GetU32(&priority) ||
+        !in.GetDouble(&out->options.deadline_seconds)) {
+      return util::Status::Corruption("short submit record scheduling class");
+    }
+    out->options.priority = static_cast<int32_t>(priority);
   }
   if (!in.exhausted()) {
     return util::Status::Corruption("trailing bytes in submit record");

@@ -50,9 +50,12 @@
 namespace incentag {
 namespace persist {
 
-// Format 2 adds checkpoint snapshots (kSnapshot) and compaction; format-1
-// journals (no snapshots, completions from seq 0) still read fine.
-inline constexpr uint32_t kJournalFormatVersion = 2;
+// Format 2 added checkpoint snapshots (kSnapshot) and compaction; format
+// 3 appends the scheduling class (EngineOptions::priority /
+// deadline_seconds) to the SubmitRecord body. Both older formats still
+// read fine: v1/v2 journals have no snapshots / no scheduling fields and
+// decode with the defaults (priority 1, no deadline).
+inline constexpr uint32_t kJournalFormatVersion = 3;
 
 enum class RecordType : uint8_t {
   kSubmit = 1,

@@ -88,6 +88,13 @@ struct CampaignManager::Campaign {
   // Cached at submit time: pollers must not call name() on a strategy a
   // stepper thread is concurrently mutating.
   const std::string strategy_name;
+  // Scheduling class, clamped/validated once (pollers read these while
+  // steppers run, and the scheduler got the same values at Register).
+  const int32_t priority =
+      config.options.priority < 1 ? 1 : config.options.priority;
+  const double deadline_seconds =
+      config.options.deadline_seconds > 0.0 ? config.options.deadline_seconds
+                                            : 0.0;
 
   // ---- stepper-owned (guarded by the `scheduled` token) ----
   core::CampaignRuntime runtime;
@@ -110,6 +117,12 @@ struct CampaignManager::Campaign {
   // next_apply_seq as of the last snapshot handed to the compactor; the
   // compact_every_n_completions policy measures from here.
   uint64_t last_compact_seq = 0;
+  // Journal size when the last compaction rewrite finished; the
+  // compact_journal_bytes policy measures from here. Atomic because the
+  // compactor thread's done-callback stores it while the stepper reads.
+  std::atomic<int64_t> bytes_at_last_compact{0};
+  // Scheduler quanta this campaign has run (each Step dispatch is one).
+  std::atomic<int64_t> quanta_run{0};
   // Ticks from Submit; measures scheduler queueing until the first step.
   util::Stopwatch submitted;
   // Restarted by the first step, so elapsed_seconds measures campaign
@@ -151,8 +164,17 @@ struct CampaignManager::Campaign {
   size_t checkpoints_recorded = 0;
   double queue_delay_seconds = 0.0;
   double elapsed_seconds = 0.0;
+  // Deadline slack frozen at the moment the campaign went terminal;
+  // while it runs, Status computes the live value instead.
+  double final_deadline_slack_seconds = 0.0;
   std::string error;
   core::RunReport report;
+
+  double DeadlineSlackNow() const {
+    return deadline_seconds > 0.0
+               ? deadline_seconds - submitted.ElapsedSeconds()
+               : 0.0;
+  }
 };
 
 // One registry shard: a mutex plus the campaigns hashed to it. Campaigns
@@ -167,6 +189,8 @@ CampaignManager::CampaignManager(ManagerOptions options)
     : options_(options) {
   if (options_.num_shards <= 0) options_.num_shards = 1;
   if (options_.tasks_per_step <= 0) options_.tasks_per_step = 1;
+  options_.scheduler.base_quantum = options_.tasks_per_step;
+  scheduler_ = MakeScheduler(options_.scheduler);
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -286,6 +310,8 @@ util::Result<CampaignId> CampaignManager::Submit(CampaignConfig config) {
   if (options_.deterministic) {
     RunDeterministic(raw);
   } else {
+    scheduler_->Register(
+        id, ScheduleParams{raw->priority, raw->deadline_seconds});
     ScheduleStep(raw);
   }
   return id;
@@ -314,6 +340,8 @@ void CampaignManager::RunDeterministic(Campaign* c) {
 // applied completion. Shared by deterministic Submit and deterministic
 // recovery (which arrives here with a partially-applied pending deque).
 void CampaignManager::DriveDeterministic(Campaign* c) {
+  // The whole synchronous drive counts as a single scheduler quantum.
+  c->quanta_run.fetch_add(1, std::memory_order_relaxed);
   util::Status status;
   for (;;) {
     while (!c->pending.empty()) {
@@ -348,13 +376,32 @@ void CampaignManager::DriveDeterministic(Campaign* c) {
 }
 
 void CampaignManager::ScheduleStep(Campaign* c) {
-  if (!c->scheduled.exchange(true)) {
-    if (!pool_->Submit([this, c] { Step(c); })) {
-      // Pool already shut down (late completion during teardown); the
-      // campaign was or will be finalized by Shutdown's cancel sweep.
-      c->scheduled.store(false);
-    }
+  if (!c->scheduled.exchange(true)) EnqueueDispatch(c);
+}
+
+// Marks the campaign runnable and pairs the ready-queue entry with one
+// generic dispatch task on the pool. Called with the campaign's
+// scheduled token held; the entry is popped by whichever dispatch the
+// scheduler ranks it first for.
+void CampaignManager::EnqueueDispatch(Campaign* c) {
+  scheduler_->Enqueue(c->id);
+  if (!pool_->Submit([this] { DispatchStep(); })) {
+    // Pool already shut down (late completion during teardown). Submit
+    // only fails after Shutdown's sweep has finalized every campaign, so
+    // the orphaned ready-queue entry can never be popped into a live
+    // step; drop the token so nothing looks permanently scheduled.
+    c->scheduled.store(false);
   }
+}
+
+// One worker trip through the scheduler: step whichever runnable
+// campaign the policy ranks first right now (which need not be the one
+// whose enqueue created this task).
+void CampaignManager::DispatchStep() {
+  const CampaignId id = scheduler_->PopNext();
+  if (id == 0) return;  // entry removed by a concurrent Unregister
+  Campaign* c = Find(id);
+  if (c != nullptr) Step(c);
 }
 
 void CampaignManager::OnCompletion(Campaign* c, uint64_t seq) {
@@ -383,17 +430,32 @@ void CampaignManager::FlushJournal(Campaign* c) {
 // the journal uncompacted but valid, so it is logged, not fatal.
 void CampaignManager::MaybeCompact(Campaign* c) {
   if (c->journal == nullptr || !c->begun) return;
+  // The primary trigger is journal bytes accumulated since the last
+  // rewrite — what recovery has to replay and the rewrite has to copy —
+  // with the PR 3 completion-count policy as a fallback trigger.
+  const int64_t bytes_since =
+      c->journal->size() - c->bytes_at_last_compact.load();
   const bool due =
       c->compact_requested.load() ||
+      (options_.compact_journal_bytes > 0 &&
+       bytes_since >= options_.compact_journal_bytes) ||
       (options_.compact_every_n_completions > 0 &&
        c->next_apply_seq - c->last_compact_seq >=
            static_cast<uint64_t>(options_.compact_every_n_completions));
   if (!due) return;
   // One rewrite at a time per campaign: the tail offset below is only
   // meaningful against the file layout the job will find. A skipped
-  // round leaves compact_requested / the policy counter untouched, so
+  // round leaves compact_requested / the policy counters untouched, so
   // the next step boundary retries.
   if (c->compact_in_flight.exchange(true)) return;
+  // Fleet-wide budget: at most max_concurrent_compactions rewrites in
+  // flight across all campaigns, the neediest journal (most bytes since
+  // its snapshot) first. A refusal is cheap — the due-state stays set
+  // and the next step boundary asks again.
+  if (!scheduler_->compaction_budget().Request(c->id, bytes_since)) {
+    c->compact_in_flight.store(false);
+    return;
+  }
   c->compact_requested.store(false);
 
   persist::CompactionJob job;
@@ -408,19 +470,26 @@ void CampaignManager::MaybeCompact(Campaign* c) {
     INCENTAG_LOG_ERROR("campaign %llu snapshot failed: %s",
                        static_cast<unsigned long long>(c->id),
                        serialized.ToString().c_str());
+    scheduler_->compaction_budget().Release(c->id);
     c->compact_in_flight.store(false);
     return;
   }
   job.tail_offset = c->journal->size();
   c->last_compact_seq = c->next_apply_seq;
-  // The campaign outlives the job: Shutdown stops the compactor before
-  // any campaign is destroyed.
-  job.done = [c](const util::Status& status) {
-    if (!status.ok()) {
+  // The campaign and manager outlive the job: Shutdown stops the
+  // compactor before any campaign is destroyed.
+  job.done = [this, c](const util::Status& status) {
+    if (status.ok()) {
+      // Re-base the bytes trigger on the rewritten file: its size is the
+      // snapshot prefix plus whatever tail accumulated meanwhile, so the
+      // delta to the next trigger measures fresh post-snapshot bytes.
+      c->bytes_at_last_compact.store(c->journal->size());
+    } else {
       INCENTAG_LOG_ERROR("campaign %llu compaction failed: %s",
                          static_cast<unsigned long long>(c->id),
                          status.ToString().c_str());
     }
+    scheduler_->compaction_budget().Release(c->id);
     c->compact_in_flight.store(false);
   };
   if (compactor_ != nullptr) {
@@ -435,9 +504,14 @@ void CampaignManager::MaybeCompact(Campaign* c) {
 
 // One scheduling quantum of a campaign. Exactly one thread runs Step for
 // a given campaign at a time (the `scheduled` token); all stepper-owned
-// state is therefore lock-free to touch.
+// state is therefore lock-free to touch. The quantum size — how many
+// completions may be applied before the campaign must go back through
+// the ready queue — comes from the scheduler, so a priority policy can
+// hand high-priority campaigns proportionally more work per dispatch.
 void CampaignManager::Step(Campaign* c) {
   if (c->finalized.load()) return;
+  const int64_t quantum = scheduler_->Quantum(c->id);
+  c->quanta_run.fetch_add(1, std::memory_order_relaxed);
 
   if (!c->begun) {
     // Cancelled before the first step: skip Begin entirely — the report
@@ -473,7 +547,7 @@ void CampaignManager::Step(Campaign* c) {
       drained.swap(c->inbox);
     }
     for (uint64_t seq : drained) c->reorder.push(seq);
-    while (applied < options_.tasks_per_step && !c->reorder.empty() &&
+    while (applied < quantum && !c->reorder.empty() &&
            c->reorder.top() == c->next_apply_seq) {
       c->reorder.pop();
       const core::ResourceId resource = c->pending.front();
@@ -497,14 +571,13 @@ void CampaignManager::Step(Campaign* c) {
       return;
     }
 
-    if (applied >= options_.tasks_per_step) {
-      // Quantum exhausted: yield the worker so other campaigns run, but
-      // keep the token — we know there is more to do right now.
+    if (applied >= quantum) {
+      // Quantum exhausted: yield the worker and go back through the
+      // scheduler's ready queue so other campaigns run, but keep the
+      // token — we know there is more to do right now.
       PublishStatus(c);
       FlushJournal(c);
-      if (!pool_->Submit([this, c] { Step(c); })) {
-        c->scheduled.store(false);  // teardown; cancel sweep finalizes
-      }
+      EnqueueDispatch(c);
       return;
     }
 
@@ -555,9 +628,7 @@ void CampaignManager::Step(Campaign* c) {
     }
     if ((inbox_nonempty || c->cancel_requested.load()) &&
         !c->scheduled.exchange(true)) {
-      if (!pool_->Submit([this, c] { Step(c); })) {
-        c->scheduled.store(false);
-      }
+      EnqueueDispatch(c);
     }
     return;
   }
@@ -620,7 +691,12 @@ void CampaignManager::Finalize(Campaign* c, CampaignState state,
     c->tasks_in_flight = static_cast<int64_t>(c->pending.size());
     c->queue_delay_seconds = c->queue_delay_s;
     c->elapsed_seconds = c->begun ? c->started.ElapsedSeconds() : 0.0;
+    c->final_deadline_slack_seconds = c->DeadlineSlackNow();
   }
+  // Out of the fleet: drop any ready-queue entry and pending compaction
+  // request so a terminal campaign cannot outrank live ones.
+  scheduler_->Unregister(c->id);
+  scheduler_->compaction_budget().Forget(c->id);
   c->finalized.store(true);
   c->terminal_cv.notify_all();
 }
@@ -659,8 +735,14 @@ util::Result<CampaignStatus> CampaignManager::Status(CampaignId id) const {
   out.name = c->config.name;
   out.strategy = c->strategy_name;
   out.budget = c->config.options.budget;
+  out.priority = c->priority;
+  out.quanta_run = c->quanta_run.load(std::memory_order_relaxed);
+  out.journal_syncs = sink_ == nullptr ? 0 : sink_->syncs();
   std::lock_guard<std::mutex> lock(c->status_mu);
   out.state = c->state;
+  out.deadline_slack_seconds = c->state == CampaignState::kRunning
+                                   ? c->DeadlineSlackNow()
+                                   : c->final_deadline_slack_seconds;
   out.budget_spent = c->budget_spent;
   out.tasks_completed = c->tasks_completed;
   out.tasks_in_flight = c->tasks_in_flight;
@@ -815,6 +897,12 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
   if (!writer.ok()) return writer.status();
   c->journal = std::move(writer).value();
   c->submit_record = contents.submit;
+  // Bytes-trigger baseline: a snapshot-bearing journal counts as freshly
+  // compacted (only post-recovery growth should re-trigger); a legacy
+  // uncompacted journal starts at 0 so the policy compacts it soon.
+  if (contents.has_snapshot) {
+    c->bytes_at_last_compact.store(contents.valid_bytes);
+  }
   // Journaling may be off for new submits; recovered campaigns still
   // need the fsync batcher (and compactor). Recover runs single-threaded
   // before the recovered campaigns step, so this lazy init is
@@ -948,6 +1036,9 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
     Finalize(c, CampaignState::kDone, "");
     return id;
   }
+  // Rejoin the fleet under the recovered scheduling class (journaled in
+  // the SubmitRecord); a deadline restarts from the recovery clock.
+  scheduler_->Register(id, ScheduleParams{c->priority, c->deadline_seconds});
   if (!c->pending.empty()) {
     // The tail of the last recorded batch never completed before the
     // crash; hand it to the live completion source now.
@@ -967,11 +1058,10 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
     }
   }
   PublishStatus(c);
-  // Keep the token and hand the campaign to the pool; Step picks up from
-  // the replayed state (drains whatever the source completed inline).
-  if (!pool_->Submit([this, c] { Step(c); })) {
-    c->scheduled.store(false);  // teardown; cancel sweep finalizes
-  }
+  // Keep the token and hand the campaign to the scheduler; the dispatch
+  // steps it from the replayed state (draining whatever the source
+  // completed inline).
+  EnqueueDispatch(c);
   return id;
 }
 

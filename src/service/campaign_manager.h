@@ -25,6 +25,14 @@
 //   * Completions land in a per-campaign MPSC inbox (mutex + swap-drain)
 //     and are re-ordered into assignment order before application, so a
 //     campaign's result is independent of tagger timing.
+//   * Which campaign a free worker steps next — and how many completions
+//     it may apply before yielding — is policy, delegated to a pluggable
+//     Scheduler (src/service/scheduler/): round-robin (default,
+//     pre-scheduler behavior), priority (weighted quanta), or EDF over
+//     per-campaign deadlines. Each enqueue of a runnable campaign pairs
+//     with one generic dispatch task on the pool; the dispatch pops the
+//     scheduler's top-ranked campaign. The scheduler also owns the
+//     fleet-wide compaction budget (max_concurrent_compactions).
 //
 // Deterministic mode (ManagerOptions::deterministic) runs each campaign
 // synchronously inside Submit on the calling thread, byte-identical to
@@ -60,6 +68,7 @@
 #include "src/persist/journal.h"
 #include "src/persist/journal_sink.h"
 #include "src/service/completion_source.h"
+#include "src/service/scheduler/scheduler.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
 
@@ -114,6 +123,23 @@ struct CampaignStatus {
   // resurrected by Recover — the tail after the latest snapshot for a
   // compacted journal, the whole trace otherwise. 0 for fresh campaigns.
   int64_t records_replayed = 0;
+  // Scheduling class (see src/service/scheduler/): the campaign's
+  // priority weight and, when it has a deadline, the seconds remaining
+  // until it (negative = already missed). Slack freezes at the value it
+  // had when the campaign went terminal; 0 when the campaign has no
+  // deadline.
+  int32_t priority = 1;
+  double deadline_slack_seconds = 0.0;
+  // Scheduler quanta this campaign has run (1 per Step dispatch;
+  // deterministic mode runs a campaign as a single quantum).
+  int64_t quanta_run = 0;
+  // Journal fsyncs performed by the manager's group-commit JournalSink
+  // so far — a manager-wide counter, identical on every campaign's
+  // status; 0 when journaling is off. Each batching window costs one
+  // fsync per dirty journal regardless of how many records it coalesced,
+  // so syncs << completions is the group-commit win
+  // (JournalSink::syncs()).
+  int64_t journal_syncs = 0;
   // Time from Submit until the first step ran — scheduler queueing, not
   // campaign work. Zero until the first step.
   double queue_delay_seconds = 0.0;
@@ -146,7 +172,16 @@ struct ManagerOptions {
   bool deterministic = false;
   // Completions applied per scheduling quantum before a campaign yields
   // its worker — the fairness knob between campaign count and latency.
+  // This is the scheduler's base quantum; PriorityScheduler scales it
+  // per campaign (see SchedulerOptions::max_quantum_weight).
   int64_t tasks_per_step = 256;
+  // Cross-campaign stepping policy and its knobs (dispatch order,
+  // weighted quanta, aging, the fleet-wide compaction budget). The
+  // policy defaults to round-robin — byte-identical behavior to the
+  // pre-scheduler manager. `scheduler.base_quantum` is overwritten with
+  // tasks_per_step. Campaigns carry their own class in
+  // core::EngineOptions::priority / deadline_seconds.
+  SchedulerOptions scheduler;
   // Tagger crowd; null means an internal InlineCompletionSource. An
   // external source must outlive the manager AND be stopped/quiesced
   // before the manager is destroyed (its callbacks touch manager state).
@@ -162,13 +197,22 @@ struct ManagerOptions {
   // Coalescing window of the background fsync batcher (see
   // persist::JournalSinkOptions).
   int64_t journal_batch_interval_us = 500;
-  // Journal compaction policy (format v2): every n applied completions
-  // the stepper serializes a checkpoint snapshot of the campaign's
-  // resumable state and hands the journal to the persist::Compactor,
-  // which rewrites it as `submit + snapshot + tail`. Recovery then seeks
-  // to the snapshot and replays only the tail — bounded-time restarts
-  // for long campaigns. 0 disables automatic compaction (explicit
-  // Compact(id) still works). Deterministic mode compacts inline.
+  // Journal compaction triggers. When a campaign is due, the stepper
+  // serializes a checkpoint snapshot of its resumable state at a step
+  // boundary and (after admission by the scheduler's fleet-wide
+  // CompactionBudget) hands the journal to the persist::Compactor, which
+  // rewrites it as `submit + snapshot + tail`; recovery then seeks to
+  // the snapshot and replays only the tail — bounded-time restarts for
+  // long campaigns. Deterministic mode compacts inline.
+  //
+  // The primary trigger is journal *bytes* accumulated since the last
+  // snapshot — bytes are what recovery has to read and replay, and what
+  // the rewrite has to copy, so they track the real cost better than a
+  // record count. 0 disables the bytes trigger.
+  int64_t compact_journal_bytes = 0;
+  // Fallback/legacy trigger: every n applied completions. Both triggers
+  // may be set; whichever fires first wins. 0 disables it. With both 0,
+  // only explicit Compact(id) rewrites journals.
   int64_t compact_every_n_completions = 0;
 };
 
@@ -264,6 +308,11 @@ class CampaignManager {
   int num_threads() const;
   size_t num_campaigns() const;
 
+  // The stepping policy in force (read-only; owned by the manager).
+  // Exposes the fleet-wide CompactionBudget counters for tests and
+  // operator dashboards.
+  const Scheduler& scheduler() const { return *scheduler_; }
+
  private:
   struct Campaign;
   struct Shard;
@@ -272,6 +321,8 @@ class CampaignManager {
   util::Status TryRegister(CampaignId id,
                            std::unique_ptr<Campaign> campaign);
   void ScheduleStep(Campaign* campaign);
+  void EnqueueDispatch(Campaign* campaign);
+  void DispatchStep();
   void Step(Campaign* campaign);
   void RunDeterministic(Campaign* campaign);
   void DriveDeterministic(Campaign* campaign);
@@ -288,6 +339,10 @@ class CampaignManager {
   ManagerOptions options_;
   std::unique_ptr<InlineCompletionSource> inline_source_;
   CompletionSource* source_ = nullptr;  // options_.completions or inline
+  // The stepping policy: ready queue, per-campaign quanta and the
+  // fleet-wide compaction budget. Never null; deterministic mode only
+  // uses its compaction budget (campaigns run inline, no ready queue).
+  std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<util::ThreadPool> pool_;  // null in deterministic mode
   std::unique_ptr<persist::JournalSink> sink_;  // null unless journaling
   // Background journal rewriter; null in deterministic mode (compaction

@@ -1,0 +1,70 @@
+#include "src/service/scheduler/compaction_budget.h"
+
+#include <algorithm>
+
+namespace incentag {
+namespace service {
+
+bool CompactionBudget::Request(CampaignId id, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_concurrent_ <= 0) {
+    ++in_flight_;
+    max_in_flight_ = std::max(max_in_flight_, in_flight_);
+    ++admitted_;
+    pending_.erase(id);
+    return true;
+  }
+  pending_[id] = bytes;
+  if (in_flight_ >= static_cast<int64_t>(max_concurrent_)) {
+    ++deferred_;
+    return false;
+  }
+  // A slot is free: admit only the neediest pending journal. A loser
+  // stays pending and retries at its next step boundary; its bytes only
+  // grow, so it cannot lose forever.
+  for (const auto& [other, other_bytes] : pending_) {
+    if (other != id && other_bytes > bytes) {
+      ++deferred_;
+      return false;
+    }
+  }
+  pending_.erase(id);
+  ++in_flight_;
+  max_in_flight_ = std::max(max_in_flight_, in_flight_);
+  ++admitted_;
+  return true;
+}
+
+void CompactionBudget::Release(CampaignId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.erase(id);  // defensive; an admitted request was erased already
+  if (in_flight_ > 0) --in_flight_;
+}
+
+void CompactionBudget::Forget(CampaignId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.erase(id);
+}
+
+int64_t CompactionBudget::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int64_t CompactionBudget::max_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_in_flight_;
+}
+
+int64_t CompactionBudget::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t CompactionBudget::deferred() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deferred_;
+}
+
+}  // namespace service
+}  // namespace incentag

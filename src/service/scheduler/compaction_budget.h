@@ -1,0 +1,79 @@
+// CompactionBudget: the fleet-wide cap on concurrent journal rewrites.
+//
+// PR 3's per-campaign rule ("at most one rewrite in flight per campaign")
+// still let N campaigns rewrite N journals simultaneously — N bulk file
+// copies and N fsyncs competing with the journal sink for the same disk.
+// The budget admits at most max_concurrent rewrites across the whole
+// fleet, and when slots are contended it admits the neediest campaign
+// first: the one with the most journal bytes accumulated since its last
+// snapshot, i.e. the one whose recovery story is deteriorating fastest.
+//
+// Admission is pull-based. A campaign's stepper calls Request(id, bytes)
+// at a step boundary when its journal is due; a refusal is cheap — the
+// trigger state stays set, so the next step boundary simply asks again
+// (steppers run continuously, so deferral is a short delay, not a lost
+// compaction). A pending request is remembered so that when a slot frees,
+// smaller journals keep losing the comparison to the biggest pending one
+// until it is admitted or forgotten. A campaign that goes quiet while
+// pending does not starve the others forever: its competitors' journals
+// keep growing, so their `bytes` eventually win the comparison.
+//
+// Thread-safe; Release may run on the persist::Compactor thread while
+// steppers request admission concurrently.
+#ifndef INCENTAG_SERVICE_SCHEDULER_COMPACTION_BUDGET_H_
+#define INCENTAG_SERVICE_SCHEDULER_COMPACTION_BUDGET_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/service/completion_source.h"
+
+namespace incentag {
+namespace service {
+
+class CompactionBudget {
+ public:
+  // <= 0 means unlimited: every request is admitted immediately.
+  explicit CompactionBudget(int max_concurrent)
+      : max_concurrent_(max_concurrent) {}
+
+  CompactionBudget(const CompactionBudget&) = delete;
+  CompactionBudget& operator=(const CompactionBudget&) = delete;
+
+  // Records (or refreshes) `id`'s desire to compact `bytes` journal bytes
+  // accumulated since its last snapshot and tries to admit it. Admitted —
+  // true, a slot is held until Release(id) — iff a slot is free and no
+  // other pending request has more bytes (ties admit, so equal-size
+  // journals cannot deadlock each other).
+  bool Request(CampaignId id, int64_t bytes);
+
+  // Frees the slot held by an admitted request.
+  void Release(CampaignId id);
+
+  // Drops a pending (not admitted) request — called when the campaign
+  // goes terminal so a stale request cannot outrank live ones.
+  void Forget(CampaignId id);
+
+  int max_concurrent() const { return max_concurrent_; }
+  int64_t in_flight() const;
+  // High-water mark of concurrent admissions, for tests: with
+  // max_concurrent=1 this must never exceed 1 across a whole fleet.
+  int64_t max_in_flight() const;
+  int64_t admitted() const;
+  int64_t deferred() const;
+
+ private:
+  const int max_concurrent_;
+  mutable std::mutex mu_;
+  std::unordered_map<CampaignId, int64_t> pending_;
+  int64_t in_flight_ = 0;
+  int64_t max_in_flight_ = 0;
+  int64_t admitted_ = 0;
+  int64_t deferred_ = 0;
+};
+
+}  // namespace service
+}  // namespace incentag
+
+#endif  // INCENTAG_SERVICE_SCHEDULER_COMPACTION_BUDGET_H_

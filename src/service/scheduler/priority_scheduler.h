@@ -1,0 +1,49 @@
+// PriorityScheduler: weighted quanta + highest-priority-first dispatch.
+//
+// A campaign's priority (>= 1) buys it two things: PopNext ranks it above
+// lower-priority ready campaigns, and its quantum is base_quantum *
+// priority (capped at base_quantum * max_quantum_weight), so a
+// priority-8 campaign applies ~8x the completions per trip through the
+// ready queue. Ties and equal ranks dispatch FIFO.
+//
+// Starvation control: every entry PopNext passes over gains
+// priority_aging_per_skip effective priority points, so a long-waiting
+// background campaign eventually outranks fresh high-priority arrivals;
+// independently, an entry skipped starvation_limit times is popped next
+// unconditionally (RankedScheduler). Aging state resets when the
+// campaign is popped.
+#ifndef INCENTAG_SERVICE_SCHEDULER_PRIORITY_SCHEDULER_H_
+#define INCENTAG_SERVICE_SCHEDULER_PRIORITY_SCHEDULER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/service/scheduler/ranked_scheduler.h"
+
+namespace incentag {
+namespace service {
+
+class PriorityScheduler : public RankedScheduler {
+ public:
+  explicit PriorityScheduler(const SchedulerOptions& options)
+      : RankedScheduler(options) {}
+
+  const char* name() const override { return "priority"; }
+
+  void Register(CampaignId id, const ScheduleParams& params) override;
+  int64_t Quantum(CampaignId id) override;
+
+ protected:
+  double RankKey(const Entry& entry) const override;
+  void ForgetParamsLocked(CampaignId id) override;
+
+ private:
+  int32_t PriorityOf(CampaignId id) const;  // callers hold mu_
+
+  std::unordered_map<CampaignId, int32_t> priorities_;
+};
+
+}  // namespace service
+}  // namespace incentag
+
+#endif  // INCENTAG_SERVICE_SCHEDULER_PRIORITY_SCHEDULER_H_

@@ -1,0 +1,47 @@
+#include "src/service/scheduler/ranked_scheduler.h"
+
+#include <algorithm>
+
+namespace incentag {
+namespace service {
+
+void RankedScheduler::Enqueue(CampaignId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_.push_back(Entry{id, next_tick_++, 0});
+}
+
+CampaignId RankedScheduler::PopNext() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ready_.empty()) return 0;
+  const int64_t limit = options_.starvation_limit;
+  auto pops_before = [&](const Entry& a, const Entry& b) {
+    // Hard starvation bound dominates rank; among starving, oldest wins.
+    const bool a_starving = limit > 0 && a.skips >= limit;
+    const bool b_starving = limit > 0 && b.skips >= limit;
+    if (a_starving != b_starving) return a_starving;
+    if (a_starving) return a.tick < b.tick;
+    const double a_key = RankKey(a);
+    const double b_key = RankKey(b);
+    if (a_key != b_key) return a_key < b_key;
+    return a.tick < b.tick;
+  };
+  size_t best = 0;
+  for (size_t i = 1; i < ready_.size(); ++i) {
+    if (pops_before(ready_[i], ready_[best])) best = i;
+  }
+  const CampaignId id = ready_[best].id;
+  ready_.erase(ready_.begin() + static_cast<ptrdiff_t>(best));
+  for (Entry& e : ready_) ++e.skips;
+  return id;
+}
+
+void RankedScheduler::Unregister(CampaignId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
+                              [id](const Entry& e) { return e.id == id; }),
+               ready_.end());
+  ForgetParamsLocked(id);
+}
+
+}  // namespace service
+}  // namespace incentag

@@ -1,0 +1,60 @@
+// RankedScheduler: the shared ready-queue machinery of the ranked
+// policies (priority, deadline).
+//
+// Both policies pop by a per-entry rank that changes as the entry waits
+// (aging) and both enforce the same hard starvation bound, so the Entry
+// bookkeeping, the pop scan and Unregister live here once; a concrete
+// policy supplies only its rank key (and its per-campaign parameters).
+// The linear pop scan is deliberate: ready size is bounded by the
+// campaign count, and ranks move on every pop — a heap's keys would be
+// stale the moment they were inserted.
+#ifndef INCENTAG_SERVICE_SCHEDULER_RANKED_SCHEDULER_H_
+#define INCENTAG_SERVICE_SCHEDULER_RANKED_SCHEDULER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/service/scheduler/scheduler.h"
+
+namespace incentag {
+namespace service {
+
+class RankedScheduler : public Scheduler {
+ public:
+  explicit RankedScheduler(const SchedulerOptions& options)
+      : Scheduler(options) {}
+
+  void Enqueue(CampaignId id) final;
+  // Pops the smallest rank key; among entries past starvation_limit, the
+  // oldest wins regardless of rank. Every passed-over entry gains a
+  // skip, which the policies turn into aging via their rank keys.
+  CampaignId PopNext() final;
+  // Drops the campaign's ready entries, then its policy parameters
+  // (ForgetParamsLocked).
+  void Unregister(CampaignId id) final;
+
+ protected:
+  struct Entry {
+    CampaignId id = 0;
+    uint64_t tick = 0;  // FIFO tie-break: lower = enqueued earlier
+    int64_t skips = 0;  // times PopNext passed this entry over
+  };
+
+  // Rank key of a ready entry; SMALLER pops first. Called with mu_ held.
+  virtual double RankKey(const Entry& entry) const = 0;
+  // Erase the campaign's policy parameters. Called with mu_ held.
+  virtual void ForgetParamsLocked(CampaignId id) = 0;
+
+  // Guards the ready queue and the policies' parameter maps.
+  mutable std::mutex mu_;
+
+ private:
+  std::vector<Entry> ready_;
+  uint64_t next_tick_ = 0;
+};
+
+}  // namespace service
+}  // namespace incentag
+
+#endif  // INCENTAG_SERVICE_SCHEDULER_RANKED_SCHEDULER_H_

@@ -1,0 +1,45 @@
+#include "src/service/scheduler/scheduler.h"
+
+#include "src/service/scheduler/deadline_scheduler.h"
+#include "src/service/scheduler/priority_scheduler.h"
+#include "src/service/scheduler/round_robin_scheduler.h"
+
+namespace incentag {
+namespace service {
+
+std::unique_ptr<Scheduler> MakeScheduler(const SchedulerOptions& options) {
+  switch (options.policy) {
+    case SchedulerPolicy::kPriority:
+      return std::make_unique<PriorityScheduler>(options);
+    case SchedulerPolicy::kDeadline:
+      return std::make_unique<DeadlineScheduler>(options);
+    case SchedulerPolicy::kRoundRobin:
+      break;
+  }
+  return std::make_unique<RoundRobinScheduler>(options);
+}
+
+util::Result<SchedulerPolicy> ParseSchedulerPolicy(const std::string& name) {
+  if (name == "rr" || name == "round_robin") {
+    return SchedulerPolicy::kRoundRobin;
+  }
+  if (name == "priority") return SchedulerPolicy::kPriority;
+  if (name == "edf" || name == "deadline") return SchedulerPolicy::kDeadline;
+  return util::Status::InvalidArgument(
+      "unknown scheduler policy '" + name + "' (want rr|priority|edf)");
+}
+
+const char* SchedulerPolicyName(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kRoundRobin:
+      return "rr";
+    case SchedulerPolicy::kPriority:
+      return "priority";
+    case SchedulerPolicy::kDeadline:
+      return "edf";
+  }
+  return "?";
+}
+
+}  // namespace service
+}  // namespace incentag

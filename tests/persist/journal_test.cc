@@ -11,6 +11,7 @@
 #include "src/persist/journal_sink.h"
 #include "src/persist/replay_source.h"
 #include "src/util/file_io.h"
+#include "src/util/wire.h"
 
 namespace incentag {
 namespace persist {
@@ -45,6 +46,8 @@ class JournalTest : public ::testing::Test {
     record.options.under_tagged_threshold = 11;
     record.options.batch_size = 16;
     record.options.checkpoints = {100, 500, 1234};
+    record.options.priority = 9;
+    record.options.deadline_seconds = 321.125;
     return record;
   }
 
@@ -59,6 +62,8 @@ class JournalTest : public ::testing::Test {
               got.options.under_tagged_threshold);
     EXPECT_EQ(want.options.batch_size, got.options.batch_size);
     EXPECT_EQ(want.options.checkpoints, got.options.checkpoints);
+    EXPECT_EQ(want.options.priority, got.options.priority);
+    EXPECT_EQ(want.options.deadline_seconds, got.options.deadline_seconds);
   }
 
   // Writes a journal with `n` completions and returns its path.
@@ -85,6 +90,40 @@ TEST_F(JournalTest, SubmitRecordRoundtrip) {
   SubmitRecord got;
   ASSERT_TRUE(DecodeSubmitRecord(EncodeSubmitRecord(want), &got).ok());
   ExpectSubmitEqual(want, got);
+}
+
+// A pre-scheduler (format v2) submit body — checkpoints are its last
+// field — must decode with the baseline scheduling class, and a v2
+// record must re-encode as a byte-identical v2 body (compaction rewrites
+// a recovered journal's SubmitRecord verbatim).
+TEST_F(JournalTest, V2SubmitBodyDecodesWithDefaultSchedulingClass) {
+  const SubmitRecord want = MakeSubmit();
+  std::string body;
+  util::wire::PutU8(&body, static_cast<uint8_t>(RecordType::kSubmit));
+  util::wire::PutU32(&body, 2);  // format_version: pre-scheduler
+  util::wire::PutString(&body, want.name);
+  util::wire::PutString(&body, want.strategy_name);
+  util::wire::PutU64(&body, want.seed);
+  util::wire::PutI64(&body, want.options.budget);
+  util::wire::PutU32(&body, static_cast<uint32_t>(want.options.omega));
+  util::wire::PutI64(&body, want.options.under_tagged_threshold);
+  util::wire::PutI64(&body, want.options.batch_size);
+  util::wire::PutU32(&body,
+                     static_cast<uint32_t>(want.options.checkpoints.size()));
+  for (int64_t checkpoint : want.options.checkpoints) {
+    util::wire::PutI64(&body, checkpoint);
+  }
+
+  SubmitRecord got;
+  ASSERT_TRUE(DecodeSubmitRecord(body, &got).ok());
+  EXPECT_EQ(got.format_version, 2u);
+  EXPECT_EQ(got.options.priority, 1);
+  EXPECT_EQ(got.options.deadline_seconds, 0.0);
+  EXPECT_EQ(want.options.checkpoints, got.options.checkpoints);
+
+  // Re-encoding the decoded v2 record reproduces the v2 body exactly —
+  // no v3 scheduling fields sneak in.
+  EXPECT_EQ(EncodeSubmitRecord(got), body);
 }
 
 TEST_F(JournalTest, CompletionRecordRoundtrip) {

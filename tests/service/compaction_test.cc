@@ -495,6 +495,99 @@ TEST_F(CompactionTest, CompactRejectsUnjournaledAndTerminalCampaigns) {
   }
 }
 
+// The fleet-wide compaction budget: a 16-campaign fleet compacting
+// aggressively under max_concurrent_compactions=1 must never have more
+// than one rewrite in flight, while every campaign still completes to
+// ground truth and every journal stays recoverable. (The TSan job runs
+// this file, so the budget's cross-thread admission is race-checked.)
+TEST_F(CompactionTest, FleetWideBudgetCapsInFlightRewrites) {
+  sim::LoadGeneratorOptions load_options;
+  load_options.num_taggers = 4;
+  load_options.mean_latency_us = 20.0;
+  load_options.seed = 13;
+  sim::CrowdLoadGenerator crowd(load_options);
+  ManagerOptions options;
+  options.num_threads = 4;
+  options.tasks_per_step = 8;
+  options.completions = &crowd;
+  options.journal_dir = dir_.string();
+  options.compact_every_n_completions = 10;  // every campaign compacts often
+  options.scheduler.max_concurrent_compactions = 1;
+  CampaignManager manager(options);
+
+  const int kCampaigns = 16;
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto id = manager.Submit(MakeConfig(i % 5, 150 + 10 * (i % 4), 7));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (int i = 0; i < kCampaigns; ++i) {
+    auto result = manager.WaitFor(ids[i], milliseconds(20000));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value().state, CampaignState::kDone);
+    ExpectReportsEqual(RunSequential(i % 5, 150 + 10 * (i % 4), 7),
+                       result.value().report,
+                       "campaign " + std::to_string(i));
+  }
+  crowd.Stop();
+  manager.Shutdown();
+
+  const CompactionBudget& budget = manager.scheduler().compaction_budget();
+  EXPECT_LE(budget.max_in_flight(), 1);
+  EXPECT_GE(budget.admitted(), 1);  // the cap throttles, it does not stall
+
+  ManagerOptions det;
+  det.deterministic = true;
+  CampaignManager recovered(det);
+  auto recovered_ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(recovered_ids.ok()) << recovered_ids.status().ToString();
+  ASSERT_EQ(recovered_ids.value().size(), static_cast<size_t>(kCampaigns));
+  for (CampaignId id : recovered_ids.value()) {
+    auto report = recovered.Wait(id);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+}
+
+// The journal-bytes trigger: with compact_journal_bytes set (and the
+// completion-count knob off), journals get checkpoint-compacted as they
+// grow past the threshold.
+TEST_F(CompactionTest, JournalBytesTriggerCompacts) {
+  ManagerOptions options;
+  options.num_threads = 2;
+  options.tasks_per_step = 8;
+  options.journal_dir = dir_.string();
+  options.compact_journal_bytes = 1024;
+  CampaignManager manager(options);
+  auto id = manager.Submit(MakeConfig(1, 300, 9));
+  ASSERT_TRUE(id.ok());
+  auto result = manager.WaitFor(id.value(), milliseconds(20000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().state, CampaignState::kDone);
+  manager.Shutdown();
+
+  EXPECT_GE(manager.scheduler().compaction_budget().admitted(), 1);
+  const std::string journal =
+      (dir_ / ("campaign-" + std::to_string(id.value()) + ".journal"))
+          .string();
+  auto contents = persist::ReadJournal(journal);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents.value().has_snapshot);
+  EXPECT_GT(contents.value().snapshot.num_completions, 0u);
+
+  // And it recovers to ground truth like any compacted journal.
+  ManagerOptions det;
+  det.deterministic = true;
+  CampaignManager recovered(det);
+  auto ids = recovered.Recover(dir_.string(), Factory);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), 1u);
+  auto report = recovered.Wait(ids.value()[0]);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectReportsEqual(RunSequential(1, 300, 9), report.value(),
+                     "bytes-trigger recovery");
+}
+
 // Compaction racing live application: a crowd completes tasks out of
 // order on tagger threads while the compactor rewrites the journal
 // every few completions. Reports must equal the sequential ground truth
