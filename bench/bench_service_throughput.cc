@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
   double latency_us = 0.0;
   int64_t journal_batch_us = 500;
   std::string journal_batch_us_sweep;
+  std::string batch_sweep_list;
   std::string journal_dir;
   std::string json_path;
   util::FlagSet flags;
@@ -147,6 +148,10 @@ int main(int argc, char** argv) {
                   "comma-separated journal_batch_interval_us values to "
                   "sweep at max threads (needs --journal_dir); reports "
                   "tasks/sec and group-commit fsync counts per window");
+  flags.AddString("batch_sweep", &batch_sweep_list,
+                  "comma-separated assignment batch sizes to sweep at max "
+                  "threads — how burst-shaped the completion pipeline is "
+                  "per campaign step; reports tasks/sec per size");
   flags.AddString("json", &json_path,
                   "also write the sweep results as JSON to this file "
                   "(the CI perf-trajectory artifact)");
@@ -188,45 +193,76 @@ int main(int argc, char** argv) {
     rates.push_back(rate);
   }
 
-  // Group-commit window sweep: the sink's coalescing interval trades
-  // durability lag against fsync count (and, on slow disks, throughput).
-  // Runs at max threads; tasks/fsync is the group-commit win.
-  struct BatchSweepResult {
-    int64_t interval_us = 0;
+  // One-parameter sweeps at max threads, sharing the parse/run/print
+  // machinery: the group-commit window sweep (the sink's coalescing
+  // interval trades durability lag against fsync count) and the
+  // assignment-batch sweep (how much the batched completion pipeline —
+  // span delivery, single-lock inbox, vectorized apply, batched journal
+  // appends — gains as the per-step burst grows).
+  struct SweepEntry {
+    int64_t value = 0;  // the swept parameter (interval_us / batch)
     int64_t tasks = 0;
     double rate = 0.0;
     int64_t syncs = 0;
   };
-  std::vector<BatchSweepResult> batch_sweep;
+  // Parses the comma list and runs one configuration per value;
+  // `run` maps a swept value to its SweepResult.
+  auto run_sweep = [](const std::string& list, const auto& run) {
+    std::vector<SweepEntry> entries;
+    for (std::string_view part : util::Split(list, ',')) {
+      part = util::StripAsciiWhitespace(part);
+      if (part.empty()) continue;
+      auto parsed = util::ParseInt64(part);
+      INCENTAG_CHECK(parsed.ok());
+      SweepResult result = run(parsed.value());
+      SweepEntry entry;
+      entry.value = parsed.value();
+      entry.tasks = result.tasks;
+      entry.rate = result.seconds > 0.0
+                       ? static_cast<double>(result.tasks) / result.seconds
+                       : 0.0;
+      entry.syncs = result.journal_syncs;
+      entries.push_back(entry);
+    }
+    return entries;
+  };
+
+  std::vector<SweepEntry> journal_sweep;
   if (!journal_batch_us_sweep.empty()) {
     INCENTAG_CHECK(!journal_dir.empty());
     std::printf("\ngroup-commit sweep (%lld threads):\n",
                 static_cast<long long>(threads));
     std::printf("%10s  %12s  %10s  %12s\n", "batch_us", "tasks/sec",
                 "fsyncs", "tasks/fsync");
-    for (std::string_view part : util::Split(journal_batch_us_sweep, ',')) {
-      part = util::StripAsciiWhitespace(part);
-      if (part.empty()) continue;
-      auto parsed = util::ParseInt64(part);
-      INCENTAG_CHECK(parsed.ok());
-      const int64_t interval_us = parsed.value();
-      SweepResult result =
-          RunOnce(*bench_ds, static_cast<int>(threads), campaigns, budget,
-                  batch, taggers, latency_us, journal_dir, interval_us);
-      BatchSweepResult entry;
-      entry.interval_us = interval_us;
-      entry.tasks = result.tasks;
-      entry.rate = result.seconds > 0.0
-                       ? static_cast<double>(result.tasks) / result.seconds
-                       : 0.0;
-      entry.syncs = result.journal_syncs;
-      batch_sweep.push_back(entry);
+    journal_sweep = run_sweep(journal_batch_us_sweep, [&](int64_t us) {
+      return RunOnce(*bench_ds, static_cast<int>(threads), campaigns,
+                     budget, batch, taggers, latency_us, journal_dir, us);
+    });
+    for (const SweepEntry& entry : journal_sweep) {
       std::printf("%10lld  %12.0f  %10lld  %12.1f\n",
-                  static_cast<long long>(interval_us), entry.rate,
+                  static_cast<long long>(entry.value), entry.rate,
                   static_cast<long long>(entry.syncs),
                   entry.syncs > 0 ? static_cast<double>(entry.tasks) /
                                         static_cast<double>(entry.syncs)
                                   : 0.0);
+    }
+  }
+
+  std::vector<SweepEntry> assign_sweep;
+  if (!batch_sweep_list.empty()) {
+    std::printf("\nassignment batch sweep (%lld threads):\n",
+                static_cast<long long>(threads));
+    std::printf("%10s  %12s  %12s\n", "batch", "tasks/sec", "fsyncs");
+    assign_sweep = run_sweep(batch_sweep_list, [&](int64_t sweep_batch) {
+      INCENTAG_CHECK(sweep_batch > 0);
+      return RunOnce(*bench_ds, static_cast<int>(threads), campaigns,
+                     budget, sweep_batch, taggers, latency_us, journal_dir,
+                     journal_batch_us);
+    });
+    for (const SweepEntry& entry : assign_sweep) {
+      std::printf("%10lld  %12.0f  %12lld\n",
+                  static_cast<long long>(entry.value), entry.rate,
+                  static_cast<long long>(entry.syncs));
     }
   }
 
@@ -256,20 +292,26 @@ int main(int argc, char** argv) {
                    static_cast<long long>(results[i].journal_syncs));
     }
     std::fprintf(out, "]");
-    if (!batch_sweep.empty()) {
-      std::fprintf(out, ",\"batch_sweep\":[");
-      for (size_t i = 0; i < batch_sweep.size(); ++i) {
+    // One emitter for both sweeps; only the array key and the swept
+    // parameter's key differ.
+    auto emit_sweep = [out](const char* array_key, const char* value_key,
+                            const std::vector<SweepEntry>& entries) {
+      if (entries.empty()) return;
+      std::fprintf(out, ",\"%s\":[", array_key);
+      for (size_t i = 0; i < entries.size(); ++i) {
         std::fprintf(out,
-                     "%s{\"interval_us\":%lld,\"tasks\":%lld,"
+                     "%s{\"%s\":%lld,\"tasks\":%lld,"
                      "\"tasks_per_sec\":%.1f,\"journal_syncs\":%lld}",
-                     i == 0 ? "" : ",",
-                     static_cast<long long>(batch_sweep[i].interval_us),
-                     static_cast<long long>(batch_sweep[i].tasks),
-                     batch_sweep[i].rate,
-                     static_cast<long long>(batch_sweep[i].syncs));
+                     i == 0 ? "" : ",", value_key,
+                     static_cast<long long>(entries[i].value),
+                     static_cast<long long>(entries[i].tasks),
+                     entries[i].rate,
+                     static_cast<long long>(entries[i].syncs));
       }
       std::fprintf(out, "]");
-    }
+    };
+    emit_sweep("journal_batch_sweep", "interval_us", journal_sweep);
+    emit_sweep("batch_sweep", "batch", assign_sweep);
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());

@@ -58,6 +58,10 @@ GATES = {
     ],
     "service_throughput": [
         ("max_tasks_per_sec", "higher", "absolute"),
+        # Best rate across the --batch_sweep assignment-batch sizes
+        # (absent from pre-ISSUE-5 runs; the gate skips what the
+        # baseline lacks).
+        ("best_batch_tasks_per_sec", "higher", "absolute"),
     ],
     # bench_scheduler gates on the *relative* separation between EDF and
     # round-robin under an identical, self-calibrated fleet (deadlines
@@ -70,16 +74,41 @@ GATES = {
         ("miss_rate_advantage", "higher", "ratio"),
         ("critical_p50_speedup", "higher", "ratio"),
     ],
+    # bench_micro_journal (a Google Benchmark binary; its JSON is
+    # normalized by derive_metrics). batch_append_speedup is the batched
+    # append's records/sec over the per-record path's — the ISSUE 5 win,
+    # machine-portable; the absolute rate catches an order-of-magnitude
+    # cliff in the encode/CRC path itself.
+    "micro_journal": [
+        ("batch_append_speedup", "higher", "ratio"),
+        ("batch_append_records_per_sec", "higher", "absolute"),
+    ],
 }
 
 TOLERANCE_SCALE = {"deterministic": 0.5, "ratio": 1.0, "absolute": 2.0}
 
 
 def derive_metrics(doc):
-    """Adds computed metrics the gates reference."""
+    """Adds computed metrics the gates reference; normalizes Google
+    Benchmark output (bench_micro_journal) into the same flat shape."""
+    if "benchmarks" in doc and "bench" not in doc:
+        rates = {
+            b.get("name"): b.get("items_per_second", 0.0)
+            for b in doc["benchmarks"]
+        }
+        doc["bench"] = "micro_journal"
+        doc["batch_append_records_per_sec"] = rates.get(
+            "BM_AppendCompletionBatch/256", 0.0)
+        single = rates.get("BM_AppendCompletionSingle", 0.0)
+        doc["batch_append_speedup"] = (
+            doc["batch_append_records_per_sec"] / single if single else 0.0)
     if doc.get("bench") == "service_throughput":
         rates = [r.get("tasks_per_sec", 0.0) for r in doc.get("results", [])]
         doc["max_tasks_per_sec"] = max(rates) if rates else 0.0
+        sweep = [r.get("tasks_per_sec", 0.0)
+                 for r in doc.get("batch_sweep", [])]
+        if sweep:
+            doc["best_batch_tasks_per_sec"] = max(sweep)
     return doc
 
 

@@ -233,25 +233,35 @@ util::Status CampaignRuntime::DrawBatch(std::vector<ResourceId>* batch) {
   return util::Status::OK();
 }
 
-void CampaignRuntime::ApplyCompletion(ResourceId chosen) {
-  // A task whose resource ran dry mid-batch is unfilled; its reserved
-  // budget is released.
-  if (!stream_->HasNext(chosen)) {
-    if (!exhausted_[chosen]) {
-      exhausted_[chosen] = true;
-      strategy_->OnExhausted(chosen);
+void CampaignRuntime::ApplyCompletionBatch(const ResourceId* chosen,
+                                           size_t count) {
+  // Hoisted invariants: the cost model is fixed at Begin, and
+  // next_checkpoint_ only advances — once every checkpoint is recorded
+  // the whole RecordCheckpointsThrough call is dead weight per task.
+  const CostModel* costs = options_.costs;
+  const bool checkpoints_pending =
+      next_checkpoint_ < options_.checkpoints.size();
+  for (size_t k = 0; k < count; ++k) {
+    const ResourceId resource = chosen[k];
+    // A task whose resource ran dry mid-batch is unfilled; its reserved
+    // budget is released.
+    if (!stream_->HasNext(resource)) {
+      if (!exhausted_[resource]) {
+        exhausted_[resource] = true;
+        strategy_->OnExhausted(resource);
+      }
+      continue;
     }
-    return;
+    const Post& post = stream_->Next(resource);
+    states_[resource].AddPost(post);
+    eval_->OnPostTask(resource, post, states_[resource].posts(),
+                      states_[resource].counts().norm_squared());
+    strategy_->Update(resource);
+    ++allocation_[resource];
+    ++tasks_completed_;
+    spent_ += costs == nullptr ? 1 : costs->cost(resource);
+    if (checkpoints_pending) RecordCheckpointsThrough(spent_);
   }
-  const Post& post = stream_->Next(chosen);
-  states_[chosen].AddPost(post);
-  eval_->OnPostTask(chosen, post, states_[chosen].posts(),
-                    states_[chosen].counts().norm_squared());
-  strategy_->Update(chosen);
-  ++allocation_[chosen];
-  ++tasks_completed_;
-  spent_ += CostOf(chosen);
-  RecordCheckpointsThrough(spent_);
 }
 
 AllocationMetrics CampaignRuntime::Metrics() const {

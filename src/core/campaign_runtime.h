@@ -77,7 +77,14 @@ class CampaignRuntime {
   // and the evaluation, and notifies the strategy. Tasks of a batch may
   // be applied at any later time but must be applied in assignment order
   // and exactly once each.
-  void ApplyCompletion(ResourceId chosen);
+  void ApplyCompletion(ResourceId chosen) { ApplyCompletionBatch(&chosen, 1); }
+
+  // Applies `count` completions in order — exactly equivalent to calling
+  // ApplyCompletion on each, but the per-task branches that cannot
+  // change mid-run (unit costs, no checkpoints left to record) are
+  // hoisted out of the loop, so the service layer's batched step
+  // pipeline pays them once per quantum instead of once per task.
+  void ApplyCompletionBatch(const ResourceId* chosen, size_t count);
 
   // True once the budget is spent or the strategy stopped early; no
   // further DrawBatch calls are allowed.

@@ -7,10 +7,7 @@
 namespace incentag {
 namespace core {
 
-int64_t TagCounts::Count(TagId tag) const {
-  auto it = counts_.find(tag);
-  return it == counts_.end() ? 0 : it->second;
-}
+int64_t TagCounts::Count(TagId tag) const { return counts_.Count(tag); }
 
 double TagCounts::RelativeFrequency(TagId tag) const {
   if (total_tags_ == 0) return 0.0;  // Definition 4, k == 0 case.
@@ -27,10 +24,9 @@ double TagCounts::AddPost(const Post& post) {
   const double old_norm_sq = static_cast<double>(norm_sq_);
   int64_t overlap = 0;  // sum over post tags of the old h(t)
   for (TagId tag : post.tags) {
-    auto [it, inserted] = counts_.try_emplace(tag, 0);
-    overlap += it->second;
-    norm_sq_ += 2 * it->second + 1;
-    ++it->second;
+    const int64_t old_count = counts_.Increment(tag);
+    overlap += old_count;
+    norm_sq_ += 2 * old_count + 1;
   }
   total_tags_ += static_cast<int64_t>(post.tags.size());
   ++posts_;
@@ -60,13 +56,19 @@ bool TagCounts::Restore(util::wire::Reader* in) {
       !in->GetI64(&norm_sq_) || !in->GetU32(&num_tags)) {
     return false;
   }
+  // Each entry is 12 wire bytes; a count that cannot fit in the
+  // remaining buffer is corruption, and must be rejected BEFORE the
+  // reserve — a crafted/corrupt u32 would otherwise provoke a
+  // multi-GiB allocation (abort) instead of the documented graceful
+  // snapshot_status degradation.
+  if (in->remaining() / 12 < num_tags) return false;
   counts_.clear();
   counts_.reserve(num_tags);
   for (uint32_t i = 0; i < num_tags; ++i) {
     TagId tag = 0;
     int64_t count = 0;
-    if (!in->GetU32(&tag) || !in->GetI64(&count)) return false;
-    counts_[tag] = count;
+    if (!in->GetU32(&tag) || !in->GetI64(&count) || count <= 0) return false;
+    counts_.Set(tag, count);
   }
   return true;
 }
@@ -103,16 +105,22 @@ RfdVector RfdVector::FromWeights(
     const double inv = 1.0 / std::sqrt(norm_sq);
     for (auto& [tag, w] : weights) w *= inv;
     v.entries_ = std::move(weights);
+    // Flat hash index for O(1) Weight probes (same scheme as
+    // TagCountMap — see FlatHashBucket/FlatHashCapacityFor).
+    const size_t capacity = FlatHashCapacityFor(v.entries_.size());
+    v.lookup_.assign(capacity, {0, 0.0});
+    const size_t mask = capacity - 1;
+    for (const auto& entry : v.entries_) {
+      for (size_t i = FlatHashBucket(entry.first, mask);;
+           i = (i + 1) & mask) {
+        if (v.lookup_[i].second == 0.0) {
+          v.lookup_[i] = entry;
+          break;
+        }
+      }
+    }
   }
   return v;
-}
-
-double RfdVector::Weight(TagId tag) const {
-  auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), tag,
-      [](const std::pair<TagId, double>& e, TagId t) { return e.first < t; });
-  if (it == entries_.end() || it->first != tag) return 0.0;
-  return it->second;
 }
 
 double Cosine(const TagCounts& a, const TagCounts& b) {

@@ -20,10 +20,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/core/tag_count_map.h"
 #include "src/core/types.h"
 #include "src/util/wire.h"
 
@@ -61,7 +61,7 @@ class TagCounts {
 
   // Read-only access to the underlying counts (iteration order is
   // unspecified; use Snapshot() when determinism matters).
-  const std::unordered_map<TagId, int64_t>& counts() const { return counts_; }
+  const TagCountMap& counts() const { return counts_; }
 
   // Resumable-state round trip (campaign snapshots, journal format v2).
   // Counts are written sorted by tag so the encoding is deterministic;
@@ -71,7 +71,10 @@ class TagCounts {
   bool Restore(util::wire::Reader* in);
 
  private:
-  std::unordered_map<TagId, int64_t> counts_;
+  // Flat open-addressing map (src/core/tag_count_map.h): AddPost is the
+  // hottest function of a campaign run, and node-based hashing dominated
+  // its profile.
+  TagCountMap counts_;
   int64_t posts_ = 0;
   int64_t total_tags_ = 0;
   int64_t norm_sq_ = 0;
@@ -93,11 +96,25 @@ class RfdVector {
     return entries_;
   }
 
-  // Unit-norm weight of `tag` (0 if absent). O(log size).
-  double Weight(TagId tag) const;
+  // Unit-norm weight of `tag` (0 if absent). O(1): references are built
+  // once per dataset but probed per applied tag by every campaign's
+  // QualityTracker, so lookups go through a flat hash index built at
+  // construction (weights are never 0 for present entries — FromWeights
+  // drops them — so 0 marks an empty slot).
+  double Weight(TagId tag) const {
+    if (lookup_.empty()) return 0.0;
+    const size_t mask = lookup_.size() - 1;
+    for (size_t i = FlatHashBucket(tag, mask);; i = (i + 1) & mask) {
+      const auto& [slot_tag, weight] = lookup_[i];
+      if (weight == 0.0) return 0.0;
+      if (slot_tag == tag) return weight;
+    }
+  }
 
  private:
   std::vector<std::pair<TagId, double>> entries_;  // sorted by TagId
+  // Open-addressing (tag, weight) index over entries_; power-of-two size.
+  std::vector<std::pair<TagId, double>> lookup_;
 };
 
 // Cosine similarity (Appendix A, Eq. 16). All overloads return a value in

@@ -52,10 +52,15 @@ std::string EncodeSubmitRecord(const SubmitRecord& record) {
 
 std::string EncodeCompletionRecord(const CompletionRecord& record) {
   std::string out;
-  PutU8(&out, static_cast<uint8_t>(RecordType::kCompletion));
-  PutU64(&out, record.seq);
-  PutU32(&out, record.resource);
+  EncodeCompletionRecordTo(record, &out);
   return out;
+}
+
+void EncodeCompletionRecordTo(const CompletionRecord& record,
+                              std::string* out) {
+  PutU8(out, static_cast<uint8_t>(RecordType::kCompletion));
+  PutU64(out, record.seq);
+  PutU32(out, record.resource);
 }
 
 std::string EncodeSnapshotRecord(const SnapshotRecord& record) {
@@ -184,6 +189,32 @@ std::string FrameRecord(std::string_view body) {
   return frame;
 }
 
+namespace {
+
+// Patches a little-endian u32 over already-appended bytes.
+void PatchU32(std::string* out, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*out)[pos + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+}  // namespace
+
+void AppendFramedCompletionRecord(const CompletionRecord& record,
+                                  std::string* out) {
+  const size_t frame_start = out->size();
+  out->append(kFrameHeaderBytes, '\0');  // length + crc, backfilled below
+  EncodeCompletionRecordTo(record, out);
+  const uint32_t length =
+      static_cast<uint32_t>(out->size() - frame_start - kFrameHeaderBytes);
+  PatchU32(out, frame_start, length);
+  uint32_t crc = util::Crc32(out->data() + frame_start, 4);
+  crc = util::Crc32(out->data() + frame_start + kFrameHeaderBytes, length,
+                    crc);
+  PatchU32(out, frame_start + 4, crc);
+}
+
 // ---- writer ------------------------------------------------------------
 
 util::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
@@ -205,6 +236,21 @@ util::Status JournalWriter::AppendSubmit(const SubmitRecord& record) {
 
 util::Status JournalWriter::AppendCompletion(const CompletionRecord& record) {
   return AppendFramed(EncodeCompletionRecord(record));
+}
+
+util::Status JournalWriter::AppendCompletionBatch(
+    const CompletionRecord* records, size_t count) {
+  if (count == 0) return util::Status::OK();
+  // Reused per thread: each campaign's stepper encodes its quantum here,
+  // so steady-state appends touch no allocator at all (the arena keeps
+  // its high-water capacity).
+  thread_local std::string arena;
+  arena.clear();
+  for (size_t i = 0; i < count; ++i) {
+    AppendFramedCompletionRecord(records[i], &arena);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_.Append(arena);
 }
 
 util::Status JournalWriter::AppendCancel() {

@@ -114,6 +114,11 @@ struct SnapshotRecord {
 // Record body encoding (used by the writer; exposed for tests).
 std::string EncodeSubmitRecord(const SubmitRecord& record);
 std::string EncodeCompletionRecord(const CompletionRecord& record);
+// Appends the completion record body to `out` without allocating a
+// fresh string — the batched append path encodes a whole quantum of
+// records into one reused arena buffer.
+void EncodeCompletionRecordTo(const CompletionRecord& record,
+                              std::string* out);
 std::string EncodeSnapshotRecord(const SnapshotRecord& record);
 util::Status DecodeSubmitRecord(std::string_view body, SubmitRecord* out);
 util::Status DecodeCompletionRecord(std::string_view body,
@@ -123,6 +128,13 @@ util::Status DecodeSnapshotRecord(std::string_view body, SnapshotRecord* out);
 // Wraps a record body in the on-disk framing ([len][crc][payload]); the
 // writer appends these, and tests hand-construct journal files with it.
 std::string FrameRecord(std::string_view body);
+
+// Appends one framed completion record to `out` — byte-identical to
+// `out += FrameRecord(EncodeCompletionRecord(record))` but with zero
+// intermediate allocations: the body is encoded in place after a
+// reserved 8-byte header, then the length and CRC are backfilled.
+void AppendFramedCompletionRecord(const CompletionRecord& record,
+                                  std::string* out);
 
 // Suffix of the temporary file a compaction writes next to the journal
 // before the atomic rename. A crash mid-compaction leaves it behind; it
@@ -143,6 +155,14 @@ class JournalWriter {
 
   util::Status AppendSubmit(const SubmitRecord& record);
   util::Status AppendCompletion(const CompletionRecord& record);
+  // Appends a whole quantum of completion records with one writer-lock
+  // acquisition and one buffered append: the records are framed (one CRC
+  // pass each, same on-disk bytes as `count` AppendCompletion calls —
+  // v1–v3 readers need no format bump) into a thread-reused arena
+  // buffer, so steady-state batches allocate nothing. All-or-nothing at
+  // the buffer level: on error none of the batch was accepted.
+  util::Status AppendCompletionBatch(const CompletionRecord* records,
+                                     size_t count);
   util::Status AppendCancel();
 
   util::Status Flush();

@@ -61,9 +61,12 @@ bool ReplayCompletionSource::SubmitTasks(
       }
     }
   }
-  // Callbacks run outside the lock: they re-enter the manager (inbox push
-  // and possibly a whole inline step).
-  for (const service::TaskHandle& task : to_complete) done(task);
+  // The callback runs outside the lock: it re-enters the manager (inbox
+  // push and possibly a whole inline step). One span for the whole
+  // completed prefix — the trace is single-campaign by construction.
+  if (!to_complete.empty()) {
+    done(std::span<const service::TaskHandle>(to_complete));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   return !halted && error_.ok();
 }

@@ -109,6 +109,17 @@ struct CampaignManager::Campaign {
   uint64_t next_apply_seq = 0;
   std::vector<core::ResourceId> batch;
   std::vector<TaskHandle> tasks;
+  // Step-scratch buffers, reused across quanta so the steady-state step
+  // path performs no allocations: the inbox drain target, the in-order
+  // run handed to ApplyCompletionBatch, and the completion records of
+  // that run for the journal's batched append.
+  std::vector<uint64_t> drained;
+  std::vector<core::ResourceId> apply_run;
+  std::vector<persist::CompletionRecord> journal_batch;
+  // Built once at Submit/Recover and reused for every SubmitTasks call,
+  // so the assignment path does not allocate a fresh std::function per
+  // drawn batch.
+  CompletionSource::CompletionFn completion_fn;
   // Write-ahead journal; null when the manager journals nothing.
   std::unique_ptr<persist::JournalWriter> journal;
   // The journaled deterministic inputs, kept so a compaction can rewrite
@@ -149,6 +160,9 @@ struct CampaignManager::Campaign {
   std::atomic<bool> finalized{false};
 
   // ---- completion inbox (MPSC: taggers produce, the stepper drains) ----
+  // Completion spans land here under one lock per span; the stepper
+  // swap-drains into `drained`, so the two vectors ping-pong their
+  // capacity and neither side reallocates in steady state.
   std::mutex inbox_mu;
   std::vector<uint64_t> inbox;
 
@@ -190,6 +204,22 @@ CampaignManager::CampaignManager(ManagerOptions options)
   if (options_.num_shards <= 0) options_.num_shards = 1;
   if (options_.tasks_per_step <= 0) options_.tasks_per_step = 1;
   options_.scheduler.base_quantum = options_.tasks_per_step;
+  const int threads = options_.num_threads > 0 ? options_.num_threads
+                                               : util::DefaultThreadCount();
+  // Ready-queue shards default to the worker count FOR ROUND-ROBIN
+  // only: RR promises nothing beyond per-shard FIFO, so sharding it is
+  // pure contention relief (the post-PR-4 bottleneck). The ranked
+  // policies' cross-campaign order is their product — EDF's miss rate
+  // rests on popping the globally earliest deadline — and the
+  // first-non-empty-shard steal scan trades that order away, so sharding
+  // them stays opt-in via SchedulerOptions::num_shards. (Deterministic
+  // mode never touches the ready queue; one shard suffices.)
+  if (options_.scheduler.num_shards <= 0) {
+    const bool shard_by_default =
+        !options_.deterministic &&
+        options_.scheduler.policy == SchedulerPolicy::kRoundRobin;
+    options_.scheduler.num_shards = shard_by_default ? threads : 1;
+  }
   scheduler_ = MakeScheduler(options_.scheduler);
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
@@ -207,9 +237,6 @@ CampaignManager::CampaignManager(ManagerOptions options)
     EnsureJournalWorkers();
   }
   if (!options_.deterministic) {
-    const int threads = options_.num_threads > 0
-                            ? options_.num_threads
-                            : util::DefaultThreadCount();
     pool_ = std::make_unique<util::ThreadPool>(threads);
   }
 }
@@ -273,6 +300,9 @@ util::Result<CampaignId> CampaignManager::Submit(CampaignConfig config) {
   const CampaignId id = next_id_.fetch_add(1);
   auto campaign = std::make_unique<Campaign>(id, std::move(config));
   Campaign* raw = campaign.get();
+  raw->completion_fn = [this, raw](std::span<const TaskHandle> tasks) {
+    OnCompletionBatch(raw, tasks);
+  };
 
   if (!options_.journal_dir.empty()) {
     // The SubmitRecord must be durable before any work happens: a crash
@@ -334,29 +364,48 @@ void CampaignManager::RunDeterministic(Campaign* c) {
   DriveDeterministic(c);
 }
 
+// Applies the completions collected in c->apply_run to the runtime and
+// journals them as one batched append. Runs on the stepper. Returns
+// false when the journal rejected the batch — the campaign is then
+// finalized kFailed (the runtime did apply the run, but its journaled
+// prefix is still a prefix of the applied state, so recovery stays
+// consistent).
+bool CampaignManager::ApplyRun(Campaign* c) {
+  if (c->apply_run.empty()) return true;
+  c->runtime.ApplyCompletionBatch(c->apply_run.data(), c->apply_run.size());
+  if (c->journal != nullptr) {
+    c->journal_batch.clear();
+    uint64_t seq = c->next_apply_seq;
+    for (core::ResourceId resource : c->apply_run) {
+      c->journal_batch.push_back(persist::CompletionRecord{seq++, resource});
+    }
+    util::Status journaled = c->journal->AppendCompletionBatch(
+        c->journal_batch.data(), c->journal_batch.size());
+    if (!journaled.ok()) {
+      c->next_apply_seq += c->apply_run.size();
+      Finalize(c, CampaignState::kFailed, journaled.ToString());
+      return false;
+    }
+  }
+  c->next_apply_seq += c->apply_run.size();
+  return true;
+}
+
 // Drives a begun campaign to completion on the calling thread: applies
 // whatever is pending, then draws/applies batches until the budget is
 // spent — the same order AllocationEngine::Run uses. Journals each
-// applied completion. Shared by deterministic Submit and deterministic
-// recovery (which arrives here with a partially-applied pending deque).
+// applied run as one batched append. Shared by deterministic Submit and
+// deterministic recovery (which arrives here with a partially-applied
+// pending deque).
 void CampaignManager::DriveDeterministic(Campaign* c) {
   // The whole synchronous drive counts as a single scheduler quantum.
   c->quanta_run.fetch_add(1, std::memory_order_relaxed);
   util::Status status;
   for (;;) {
-    while (!c->pending.empty()) {
-      const core::ResourceId resource = c->pending.front();
-      c->pending.pop_front();
-      c->runtime.ApplyCompletion(resource);
-      if (c->journal != nullptr) {
-        status = c->journal->AppendCompletion(
-            persist::CompletionRecord{c->next_apply_seq, resource});
-        if (!status.ok()) {
-          Finalize(c, CampaignState::kFailed, status.ToString());
-          return;
-        }
-      }
-      ++c->next_apply_seq;
+    if (!c->pending.empty()) {
+      c->apply_run.assign(c->pending.begin(), c->pending.end());
+      c->pending.clear();
+      if (!ApplyRun(c)) return;
     }
     FlushJournal(c);
     MaybeCompact(c);
@@ -404,10 +453,24 @@ void CampaignManager::DispatchStep() {
   if (c != nullptr) Step(c);
 }
 
-void CampaignManager::OnCompletion(Campaign* c, uint64_t seq) {
+// A span of finished tasks from the completion source: one inbox lock
+// and one (usually no-op) schedule for the whole burst, however many
+// tasks it carries.
+void CampaignManager::OnCompletionBatch(Campaign* c,
+                                        std::span<const TaskHandle> tasks) {
   {
     std::lock_guard<std::mutex> lock(c->inbox_mu);
-    c->inbox.push_back(seq);
+    if (c->inbox.capacity() == 0) {
+      // First push: size for a whole assignment batch up front instead
+      // of growing through the doubling ladder (ISSUE 5 satellite).
+      // Clamped: batch_size is caller/journal-supplied and unvalidated,
+      // and an absurd value must not turn into a giant allocation on
+      // the completion path — past the clamp the vector just grows
+      // normally.
+      c->inbox.reserve(static_cast<size_t>(
+          std::clamp<int64_t>(c->config.options.batch_size, 64, 4096)));
+    }
+    for (const TaskHandle& task : tasks) c->inbox.push_back(task.seq);
   }
   if (!c->finalized.load()) ScheduleStep(c);
 }
@@ -531,7 +594,6 @@ void CampaignManager::Step(Campaign* c) {
     c->begun = true;
   }
 
-  std::vector<uint64_t> drained;
   int64_t applied = 0;
   for (;;) {
     if (c->cancel_requested.load()) {
@@ -539,31 +601,43 @@ void CampaignManager::Step(Campaign* c) {
       return;
     }
 
-    // Drain the inbox into the reorder buffer, then apply every
-    // completion that is next in assignment order.
-    drained.clear();
+    // Drain the inbox into the reusable scratch buffer (one lock, no
+    // allocation: the swap ping-pongs the warmed-up capacities), then
+    // collect the in-order run to apply.
+    c->drained.clear();
     {
       std::lock_guard<std::mutex> lock(c->inbox_mu);
-      drained.swap(c->inbox);
+      c->drained.swap(c->inbox);
     }
-    for (uint64_t seq : drained) c->reorder.push(seq);
-    while (applied < quantum && !c->reorder.empty() &&
-           c->reorder.top() == c->next_apply_seq) {
-      c->reorder.pop();
-      const core::ResourceId resource = c->pending.front();
+    const int64_t want = quantum - applied;
+    c->apply_run.clear();
+    // Fast path: arrivals that are exactly the next seqs to apply (the
+    // overwhelmingly common case — sources complete in assignment order
+    // unless tagger latencies interleave) go straight into the run,
+    // bypassing the reorder heap entirely. Seqs are unique, so if the
+    // heap held the next seq the drained span could not also carry it;
+    // the first out-of-order seq breaks the run and falls through.
+    size_t di = 0;
+    while (di < c->drained.size() &&
+           static_cast<int64_t>(c->apply_run.size()) < want &&
+           c->drained[di] ==
+               c->next_apply_seq + c->apply_run.size()) {
+      c->apply_run.push_back(c->pending.front());
       c->pending.pop_front();
-      c->runtime.ApplyCompletion(resource);
-      if (c->journal != nullptr) {
-        util::Status journaled = c->journal->AppendCompletion(
-            persist::CompletionRecord{c->next_apply_seq, resource});
-        if (!journaled.ok()) {
-          Finalize(c, CampaignState::kFailed, journaled.ToString());
-          return;
-        }
-      }
-      ++c->next_apply_seq;
-      ++applied;
+      ++di;
     }
+    // Stragglers (and anything past the quantum) wait in the heap.
+    for (; di < c->drained.size(); ++di) c->reorder.push(c->drained[di]);
+    while (static_cast<int64_t>(c->apply_run.size()) < want &&
+           !c->reorder.empty() &&
+           c->reorder.top() == c->next_apply_seq + c->apply_run.size()) {
+      c->reorder.pop();
+      c->apply_run.push_back(c->pending.front());
+      c->pending.pop_front();
+    }
+    applied += static_cast<int64_t>(c->apply_run.size());
+    // Vectorized apply + one batched journal append for the whole run.
+    if (!ApplyRun(c)) return;
     MaybeCompact(c);
 
     if (c->runtime.done() && c->pending.empty()) {
@@ -599,13 +673,10 @@ void CampaignManager::Step(Campaign* c) {
       }
       PublishStatus(c);
       // May complete some tasks synchronously (inline source): their
-      // callbacks land in the inbox and the next loop iteration applies
-      // them. The token stays with us, so re-schedule attempts by those
-      // callbacks are cheap no-ops.
-      if (!source_->SubmitTasks(
-              c->tasks, [this, c](const TaskHandle& task) {
-                OnCompletion(c, task.seq);
-              })) {
+      // completion spans land in the inbox and the next loop iteration
+      // applies them. The token stays with us, so re-schedule attempts
+      // by those callbacks are cheap no-ops.
+      if (!source_->SubmitTasks(c->tasks, c->completion_fn)) {
         // The source dropped part of the batch (it was stopped): those
         // completions can never arrive, so fail fast instead of leaving
         // the campaign kRunning forever (ISSUE 2).
@@ -885,6 +956,9 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
   }
   auto campaign = std::make_unique<Campaign>(id, std::move(config));
   Campaign* c = campaign.get();
+  c->completion_fn = [this, c](std::span<const TaskHandle> tasks) {
+    OnCompletionBatch(c, tasks);
+  };
 
   // A crash mid-compaction can leave a temp rewrite next to the journal;
   // it was never renamed, so it is dead weight — the journal itself is
@@ -1049,10 +1123,7 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
       c->tasks.push_back(TaskHandle{c->id, resource, seq++});
     }
     PublishStatus(c);
-    if (!source_->SubmitTasks(c->tasks,
-                              [this, c](const TaskHandle& task) {
-                                OnCompletion(c, task.seq);
-                              })) {
+    if (!source_->SubmitTasks(c->tasks, c->completion_fn)) {
       Finalize(c, CampaignState::kFailed, kSourceClosedError);
       return id;
     }

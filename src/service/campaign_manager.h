@@ -12,9 +12,18 @@
 //   step: drain completion inbox         -> apply in assignment order
 //         batch done?                    -> Strategy::Choose/OnAssigned,
 //                                           tasks to the CompletionSource
-//   completion callback (any thread)     -> per-campaign MPSC inbox,
-//                                           campaign re-scheduled
+//   completion span (any thread)         -> per-campaign MPSC inbox (one
+//                                           lock per span), campaign
+//                                           re-scheduled once
 //   budget spent / strategy stopped      -> RunReport, waiters notified
+//
+// The completion path is batch-shaped end to end (ISSUE 5): sources
+// deliver spans of finished tasks, the inbox absorbs a span under one
+// lock, the step drains into reusable scratch buffers, applies a whole
+// in-order run through CampaignRuntime::ApplyCompletionBatch, and
+// journals the run with one JournalWriter::AppendCompletionBatch call
+// (arena-encoded, one writer-lock acquisition). See the "hot path"
+// section of src/service/README.md.
 //
 // Threading model (see src/service/README.md for the full picture):
 //   * Campaign state is sharded: the registry is split over S shards with
@@ -57,6 +66,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -331,7 +341,12 @@ class CampaignManager {
                                       CampaignConfig config);
   void Finalize(Campaign* campaign, CampaignState state, std::string error);
   void PublishStatus(Campaign* campaign);
-  void OnCompletion(Campaign* campaign, uint64_t seq);
+  void OnCompletionBatch(Campaign* campaign,
+                         std::span<const TaskHandle> tasks);
+  // Applies the collected apply_run to the runtime and journals it as
+  // one batch; returns false (campaign finalized kFailed) on a journal
+  // error. Caller advances nothing on failure.
+  bool ApplyRun(Campaign* campaign);
   void FlushJournal(Campaign* campaign);
   void MaybeCompact(Campaign* campaign);
   void EnsureJournalWorkers();

@@ -8,16 +8,27 @@
 // manager's per-campaign reorder buffer restores assignment order before
 // the completion is applied, so results stay independent of tagger timing.
 //
-// Two implementations ship:
+// Completion delivery is batch-shaped (ISSUE 5): real folksonomy
+// workloads arrive in bursts per resource/community (cf.
+// arXiv:2104.01028), so the callback takes a span of completed tasks —
+// the receiving campaign pays one inbox lock per burst, not per task. A
+// source that completes tasks one at a time simply delivers spans of
+// length 1; nothing about ordering or timing changes.
+//
+// Implementations that ship:
 //   * InlineCompletionSource (here): taggers finish instantly, inside
-//     SubmitTasks — the synchronous world of Algorithm 1.
+//     SubmitTasks, the whole batch as one span — the synchronous world
+//     of Algorithm 1.
 //   * sim::CrowdLoadGenerator (src/sim/load_generator.h): a pool of
-//     simulated tagger threads with configurable per-task latency.
+//     simulated tagger threads with configurable per-task latency and
+//     per-tagger completion buffers.
+//   * persist::ReplayCompletionSource: re-drives a recorded trace.
 #ifndef INCENTAG_SERVICE_COMPLETION_SOURCE_H_
 #define INCENTAG_SERVICE_COMPLETION_SOURCE_H_
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "src/core/types.h"
@@ -41,9 +52,13 @@ class CompletionSource {
  public:
   virtual ~CompletionSource() = default;
 
-  // Invoked by the source exactly once per task when a tagger finishes
-  // it. Must be cheap and non-blocking; may run on any thread.
-  using CompletionFn = std::function<void(const TaskHandle&)>;
+  // Invoked by the source with one or more finished tasks — every task
+  // exactly once across all invocations, in any grouping, from any
+  // thread. A single invocation must only carry tasks that were
+  // submitted with this callback (callbacks are per-campaign; the span
+  // lands in one campaign's inbox). The span is only valid for the
+  // duration of the call. Must be cheap and non-blocking.
+  using CompletionFn = std::function<void(std::span<const TaskHandle>)>;
 
   // Accepts a batch of assigned tasks. May block (backpressure), may
   // complete some or all tasks synchronously before returning. The
@@ -58,13 +73,14 @@ class CompletionSource {
                            const CompletionFn& done) = 0;
 };
 
-// Instant taggers: every task completes synchronously inside SubmitTasks,
-// on the submitting thread. The default source of CampaignManager.
+// Instant taggers: the whole batch completes synchronously inside
+// SubmitTasks, on the submitting thread, as a single completion span.
+// The default source of CampaignManager.
 class InlineCompletionSource : public CompletionSource {
  public:
   bool SubmitTasks(const std::vector<TaskHandle>& tasks,
                    const CompletionFn& done) override {
-    for (const TaskHandle& task : tasks) done(task);
+    if (!tasks.empty()) done(std::span<const TaskHandle>(tasks));
     return true;
   }
 };

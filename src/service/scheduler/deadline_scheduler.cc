@@ -3,31 +3,15 @@
 namespace incentag {
 namespace service {
 
-double DeadlineScheduler::DeadlineOf(CampaignId id) const {
-  auto it = deadlines_.find(id);
-  return it == deadlines_.end() ? kNoDeadline : it->second;
-}
-
-void DeadlineScheduler::Register(CampaignId id,
-                                 const ScheduleParams& params) {
-  std::lock_guard<std::mutex> lock(mu_);
-  deadlines_[id] = params.deadline_seconds > 0.0
-                       ? clock_.ElapsedSeconds() + params.deadline_seconds
-                       : kNoDeadline;
-}
-
-void DeadlineScheduler::ForgetParamsLocked(CampaignId id) {
-  deadlines_.erase(id);
-}
-
 // Earliest (aged) deadline pops first.
-double DeadlineScheduler::RankKey(const Entry& entry) const {
-  return DeadlineOf(entry.id) -
+double DeadlineScheduler::RankKey(const Entry& entry,
+                                  const CampaignParams& params) const {
+  return params.deadline -
          options_.deadline_aging_seconds_per_skip *
              static_cast<double>(entry.skips);
 }
 
-int64_t DeadlineScheduler::Quantum(CampaignId) {
+int64_t DeadlineScheduler::QuantumFor(const CampaignParams&) const {
   return options_.base_quantum;
 }
 

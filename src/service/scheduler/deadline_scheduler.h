@@ -2,25 +2,24 @@
 // starvation-proof aging.
 //
 // Each campaign's deadline is absolute — fixed at registration as
-// (now + deadline_seconds) — so EDF ordering is a plain comparison of
-// absolute deadlines; campaigns without a deadline rank behind every
-// dated one. Quanta are uniform (base_quantum): EDF reorders *which*
-// campaign a free worker steps, not how long it runs.
+// (now + deadline_seconds) on the RankedScheduler's clock — so EDF
+// ordering is a plain comparison of absolute deadlines; campaigns
+// without a deadline rank behind every dated one. Quanta are uniform
+// (base_quantum): EDF reorders *which* campaign a free worker steps, not
+// how long it runs.
 //
 // Aging: every entry PopNext passes over moves its effective deadline
 // deadline_aging_seconds_per_skip earlier; that breaks convoys among
 // close deadlines but cannot rescue a no-deadline campaign from an
 // endless stream of dated ones, so the hard starvation_limit bound
-// (RankedScheduler) does. Skip counts reset when the campaign is
-// popped.
+// (RankedScheduler, which also owns the sharded ready-queue/steal
+// layout) does. Skip counts reset when the campaign is popped.
 #ifndef INCENTAG_SERVICE_SCHEDULER_DEADLINE_SCHEDULER_H_
 #define INCENTAG_SERVICE_SCHEDULER_DEADLINE_SCHEDULER_H_
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "src/service/scheduler/ranked_scheduler.h"
-#include "src/util/stopwatch.h"
 
 namespace incentag {
 namespace service {
@@ -32,22 +31,10 @@ class DeadlineScheduler : public RankedScheduler {
 
   const char* name() const override { return "edf"; }
 
-  void Register(CampaignId id, const ScheduleParams& params) override;
-  int64_t Quantum(CampaignId id) override;
-
  protected:
-  double RankKey(const Entry& entry) const override;
-  void ForgetParamsLocked(CampaignId id) override;
-
- private:
-  // Absolute deadlines as seconds on the scheduler's own clock (seconds
-  // since construction), so comparisons never involve "now".
-  static constexpr double kNoDeadline = 1e18;
-
-  double DeadlineOf(CampaignId id) const;  // callers hold mu_
-
-  util::Stopwatch clock_;
-  std::unordered_map<CampaignId, double> deadlines_;
+  double RankKey(const Entry& entry,
+                 const CampaignParams& params) const override;
+  int64_t QuantumFor(const CampaignParams& params) const override;
 };
 
 }  // namespace service

@@ -5,32 +5,17 @@
 namespace incentag {
 namespace service {
 
-int32_t PriorityScheduler::PriorityOf(CampaignId id) const {
-  auto it = priorities_.find(id);
-  return it == priorities_.end() ? 1 : it->second;
-}
-
-void PriorityScheduler::Register(CampaignId id,
-                                 const ScheduleParams& params) {
-  std::lock_guard<std::mutex> lock(mu_);
-  priorities_[id] = std::max<int32_t>(1, params.priority);
-}
-
-void PriorityScheduler::ForgetParamsLocked(CampaignId id) {
-  priorities_.erase(id);
-}
-
 // Smaller pops first, so the rank is the negated effective priority.
-double PriorityScheduler::RankKey(const Entry& entry) const {
-  return -(PriorityOf(entry.id) +
+double PriorityScheduler::RankKey(const Entry& entry,
+                                  const CampaignParams& params) const {
+  return -(params.priority +
            options_.priority_aging_per_skip *
                static_cast<double>(entry.skips));
 }
 
-int64_t PriorityScheduler::Quantum(CampaignId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+int64_t PriorityScheduler::QuantumFor(const CampaignParams& params) const {
   const int64_t weight = std::min<int64_t>(
-      std::max<int64_t>(1, options_.max_quantum_weight), PriorityOf(id));
+      std::max<int64_t>(1, options_.max_quantum_weight), params.priority);
   return options_.base_quantum * weight;
 }
 

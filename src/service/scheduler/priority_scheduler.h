@@ -10,13 +10,13 @@
 // priority_aging_per_skip effective priority points, so a long-waiting
 // background campaign eventually outranks fresh high-priority arrivals;
 // independently, an entry skipped starvation_limit times is popped next
-// unconditionally (RankedScheduler). Aging state resets when the
-// campaign is popped.
+// unconditionally (RankedScheduler, which also owns the sharded
+// ready-queue/steal layout). Aging state resets when the campaign is
+// popped.
 #ifndef INCENTAG_SERVICE_SCHEDULER_PRIORITY_SCHEDULER_H_
 #define INCENTAG_SERVICE_SCHEDULER_PRIORITY_SCHEDULER_H_
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "src/service/scheduler/ranked_scheduler.h"
 
@@ -30,17 +30,10 @@ class PriorityScheduler : public RankedScheduler {
 
   const char* name() const override { return "priority"; }
 
-  void Register(CampaignId id, const ScheduleParams& params) override;
-  int64_t Quantum(CampaignId id) override;
-
  protected:
-  double RankKey(const Entry& entry) const override;
-  void ForgetParamsLocked(CampaignId id) override;
-
- private:
-  int32_t PriorityOf(CampaignId id) const;  // callers hold mu_
-
-  std::unordered_map<CampaignId, int32_t> priorities_;
+  double RankKey(const Entry& entry,
+                 const CampaignParams& params) const override;
+  int64_t QuantumFor(const CampaignParams& params) const override;
 };
 
 }  // namespace service

@@ -5,42 +5,80 @@
 namespace incentag {
 namespace service {
 
+RankedScheduler::CampaignParams RankedScheduler::ParamsOfLocked(
+    const Shard& shard, CampaignId id) const {
+  auto it = shard.params.find(id);
+  return it == shard.params.end() ? CampaignParams{} : it->second;
+}
+
+void RankedScheduler::Register(CampaignId id, const ScheduleParams& params) {
+  CampaignParams normalized;
+  normalized.priority = std::max<int32_t>(1, params.priority);
+  normalized.deadline = params.deadline_seconds > 0.0
+                            ? clock_.ElapsedSeconds() + params.deadline_seconds
+                            : kNoDeadline;
+  Shard& shard = shards_.ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.params[id] = normalized;
+}
+
 void RankedScheduler::Enqueue(CampaignId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ready_.push_back(Entry{id, next_tick_++, 0});
+  // Count-then-insert: see ShardRing's liveness contract.
+  shards_.NoteEnqueued();
+  Shard& shard = shards_.ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.ready.push_back(Entry{id, shard.next_tick++, 0});
 }
 
 CampaignId RankedScheduler::PopNext() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ready_.empty()) return 0;
   const int64_t limit = options_.starvation_limit;
-  auto pops_before = [&](const Entry& a, const Entry& b) {
-    // Hard starvation bound dominates rank; among starving, oldest wins.
-    const bool a_starving = limit > 0 && a.skips >= limit;
-    const bool b_starving = limit > 0 && b.skips >= limit;
-    if (a_starving != b_starving) return a_starving;
-    if (a_starving) return a.tick < b.tick;
-    const double a_key = RankKey(a);
-    const double b_key = RankKey(b);
-    if (a_key != b_key) return a_key < b_key;
-    return a.tick < b.tick;
-  };
-  size_t best = 0;
-  for (size_t i = 1; i < ready_.size(); ++i) {
-    if (pops_before(ready_[i], ready_[best])) best = i;
-  }
-  const CampaignId id = ready_[best].id;
-  ready_.erase(ready_.begin() + static_cast<ptrdiff_t>(best));
-  for (Entry& e : ready_) ++e.skips;
-  return id;
+  CampaignId popped = 0;
+  shards_.PopScan([&](Shard& shard) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.ready.empty()) return false;
+    auto pops_before = [&](const Entry& a, const Entry& b) {
+      // Hard starvation bound dominates rank; among starving, oldest
+      // wins.
+      const bool a_starving = limit > 0 && a.skips >= limit;
+      const bool b_starving = limit > 0 && b.skips >= limit;
+      if (a_starving != b_starving) return a_starving;
+      if (a_starving) return a.tick < b.tick;
+      const double a_key = RankKey(a, ParamsOfLocked(shard, a.id));
+      const double b_key = RankKey(b, ParamsOfLocked(shard, b.id));
+      if (a_key != b_key) return a_key < b_key;
+      return a.tick < b.tick;
+    };
+    size_t best = 0;
+    for (size_t i = 1; i < shard.ready.size(); ++i) {
+      if (pops_before(shard.ready[i], shard.ready[best])) best = i;
+    }
+    popped = shard.ready[best].id;
+    shard.ready.erase(shard.ready.begin() + static_cast<ptrdiff_t>(best));
+    for (Entry& e : shard.ready) ++e.skips;
+    return true;
+  });
+  return popped;
 }
 
 void RankedScheduler::Unregister(CampaignId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
-                              [id](const Entry& e) { return e.id == id; }),
-               ready_.end());
-  ForgetParamsLocked(id);
+  Shard& shard = shards_.ShardOf(id);
+  int64_t erased = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto end =
+        std::remove_if(shard.ready.begin(), shard.ready.end(),
+                       [id](const Entry& e) { return e.id == id; });
+    erased = shard.ready.end() - end;
+    shard.ready.erase(end, shard.ready.end());
+    shard.params.erase(id);
+  }
+  shards_.NoteRemoved(erased);
+}
+
+int64_t RankedScheduler::Quantum(CampaignId id) {
+  Shard& shard = shards_.ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return QuantumFor(ParamsOfLocked(shard, id));
 }
 
 }  // namespace service

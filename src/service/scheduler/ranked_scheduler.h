@@ -1,21 +1,38 @@
-// RankedScheduler: the shared ready-queue machinery of the ranked
-// policies (priority, deadline).
+// RankedScheduler: the shared sharded ready-queue machinery of the
+// ranked policies (priority, deadline).
 //
 // Both policies pop by a per-entry rank that changes as the entry waits
 // (aging) and both enforce the same hard starvation bound, so the Entry
-// bookkeeping, the pop scan and Unregister live here once; a concrete
-// policy supplies only its rank key (and its per-campaign parameters).
-// The linear pop scan is deliberate: ready size is bounded by the
-// campaign count, and ranks move on every pop — a heap's keys would be
-// stale the moment they were inserted.
+// bookkeeping, the pop scan, the shard/steal layout and Unregister live
+// here once; a concrete policy supplies only its rank key and quantum
+// rule over the registered CampaignParams. The linear pop scan per shard
+// is deliberate: ready size is bounded by the campaign count, and ranks
+// move on every pop — a heap's keys would be stale the moment they were
+// inserted.
+//
+// Sharding (ISSUE 5; see shard_ring.h): entries and the campaign's
+// registered parameters live on shard (id % num_shards), one mutex
+// each. PopNext starts at a rotating shard and steals from the next
+// non-empty one; within the shard it scans, steal order = rank order
+// (starving-oldest first, then best rank), and every passed-over entry
+// of that shard gains a skip — aging and the starvation bound keep
+// their semantics per shard. One shard (the default: the
+// CampaignManager only auto-shards round-robin, because a ranked
+// policy's cross-campaign order is its product and first-non-empty
+// stealing weakens it to per-shard order) reproduces the old global
+// ordering exactly; num_shards > 1 is the explicit throughput-over-
+// strict-order trade for fleets whose dispatch rate outruns one mutex.
 #ifndef INCENTAG_SERVICE_SCHEDULER_RANKED_SCHEDULER_H_
 #define INCENTAG_SERVICE_SCHEDULER_RANKED_SCHEDULER_H_
 
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/service/scheduler/scheduler.h"
+#include "src/service/scheduler/shard_ring.h"
+#include "src/util/stopwatch.h"
 
 namespace incentag {
 namespace service {
@@ -23,16 +40,22 @@ namespace service {
 class RankedScheduler : public Scheduler {
  public:
   explicit RankedScheduler(const SchedulerOptions& options)
-      : Scheduler(options) {}
+      : Scheduler(options), shards_(options.num_shards) {}
 
+  // Stores the campaign's parameters (priority clamped to >= 1; a
+  // positive relative deadline becomes absolute on the scheduler's own
+  // clock) on its shard.
+  void Register(CampaignId id, const ScheduleParams& params) final;
   void Enqueue(CampaignId id) final;
-  // Pops the smallest rank key; among entries past starvation_limit, the
-  // oldest wins regardless of rank. Every passed-over entry gains a
-  // skip, which the policies turn into aging via their rank keys.
+  // Pops the best entry of the first non-empty shard, starting from a
+  // rotating shard: within that shard, the smallest rank key wins, but
+  // among entries past starvation_limit the oldest wins regardless of
+  // rank. Every passed-over entry of the scanned shard gains a skip,
+  // which the policies turn into aging via their rank keys.
   CampaignId PopNext() final;
-  // Drops the campaign's ready entries, then its policy parameters
-  // (ForgetParamsLocked).
+  // Drops the campaign's ready entries and parameters from its shard.
   void Unregister(CampaignId id) final;
+  int64_t Quantum(CampaignId id) final;
 
  protected:
   struct Entry {
@@ -41,17 +64,40 @@ class RankedScheduler : public Scheduler {
     int64_t skips = 0;  // times PopNext passed this entry over
   };
 
-  // Rank key of a ready entry; SMALLER pops first. Called with mu_ held.
-  virtual double RankKey(const Entry& entry) const = 0;
-  // Erase the campaign's policy parameters. Called with mu_ held.
-  virtual void ForgetParamsLocked(CampaignId id) = 0;
+  // Registered scheduling class of one campaign, normalized once: both
+  // ranked policies draw their keys from these two fields.
+  struct CampaignParams {
+    int32_t priority = 1;
+    // Absolute deadline in seconds on the scheduler's clock;
+    // kNoDeadline when the campaign has none.
+    double deadline = kNoDeadline;
+  };
 
-  // Guards the ready queue and the policies' parameter maps.
-  mutable std::mutex mu_;
+  static constexpr double kNoDeadline = 1e18;
+
+  // Rank key of a ready entry; SMALLER pops first. Called with the
+  // entry's shard lock held.
+  virtual double RankKey(const Entry& entry,
+                         const CampaignParams& params) const = 0;
+  // Completions one quantum of this campaign may apply.
+  virtual int64_t QuantumFor(const CampaignParams& params) const = 0;
 
  private:
-  std::vector<Entry> ready_;
-  uint64_t next_tick_ = 0;
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<Entry> ready;
+    std::unordered_map<CampaignId, CampaignParams> params;
+    uint64_t next_tick = 0;  // ticks are only ever compared shard-locally
+  };
+
+  // Params of `id` with its shard lock held; defaults for unregistered
+  // campaigns (priority 1, no deadline).
+  CampaignParams ParamsOfLocked(const Shard& shard, CampaignId id) const;
+
+  ShardRing<Shard> shards_;
+  // Base of the absolute-deadline clock, so comparisons never involve
+  // "now".
+  util::Stopwatch clock_;
 };
 
 }  // namespace service

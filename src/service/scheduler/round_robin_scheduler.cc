@@ -8,21 +8,40 @@ namespace service {
 void RoundRobinScheduler::Register(CampaignId, const ScheduleParams&) {}
 
 void RoundRobinScheduler::Unregister(CampaignId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ready_.erase(std::remove(ready_.begin(), ready_.end(), id), ready_.end());
+  Shard& shard = shards_.ShardOf(id);
+  int64_t erased = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto end =
+        std::remove(shard.ready.begin(), shard.ready.end(), id);
+    erased = shard.ready.end() - end;
+    shard.ready.erase(end, shard.ready.end());
+  }
+  shards_.NoteRemoved(erased);
 }
 
 void RoundRobinScheduler::Enqueue(CampaignId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ready_.push_back(id);
+  // Count-then-insert: see ShardRing's liveness contract.
+  shards_.NoteEnqueued();
+  Shard& shard = shards_.ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.ready.push_back(id);
 }
 
 CampaignId RoundRobinScheduler::PopNext() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ready_.empty()) return 0;
-  const CampaignId id = ready_.front();
-  ready_.pop_front();
-  return id;
+  // The manager pairs every Enqueue with exactly one dispatch; PopScan
+  // guarantees this dispatch pops SOMETHING whenever an entry exists
+  // anywhere, so 0 only means "queue empty" (the entry was stolen by a
+  // concurrent dispatch or unregistered) and nothing can be stranded.
+  CampaignId popped = 0;
+  shards_.PopScan([&popped](Shard& shard) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.ready.empty()) return false;
+    popped = shard.ready.front();
+    shard.ready.pop_front();
+    return true;
+  });
+  return popped;
 }
 
 int64_t RoundRobinScheduler::Quantum(CampaignId) {

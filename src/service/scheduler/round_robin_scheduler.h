@@ -1,8 +1,18 @@
-// RoundRobinScheduler: FIFO dispatch, uniform quanta — the exact policy
-// the CampaignManager hard-coded before the scheduler subsystem existed.
+// RoundRobinScheduler: FIFO dispatch, uniform quanta — the policy the
+// CampaignManager hard-coded before the scheduler subsystem existed.
 // Every runnable campaign waits its turn in submission-of-work order and
 // applies at most base_quantum completions per turn; priority and
 // deadline parameters are accepted and ignored.
+//
+// The ready queue is sharded (SchedulerOptions::num_shards; see
+// shard_ring.h): a campaign always enqueues to shard (id % N), and
+// PopNext starts at a rotating shard, stealing from the next ones when
+// its first pick is empty. With one shard (the default for directly
+// constructed schedulers) this is exactly the old single-mutex FIFO;
+// with N shards FIFO order holds per shard, which is all the
+// round-robin guarantee ever promised once pops race on a pool anyway —
+// that is why the CampaignManager shards THIS policy by default but
+// leaves the ranked ones global.
 #ifndef INCENTAG_SERVICE_SCHEDULER_ROUND_ROBIN_SCHEDULER_H_
 #define INCENTAG_SERVICE_SCHEDULER_ROUND_ROBIN_SCHEDULER_H_
 
@@ -10,6 +20,7 @@
 #include <mutex>
 
 #include "src/service/scheduler/scheduler.h"
+#include "src/service/scheduler/shard_ring.h"
 
 namespace incentag {
 namespace service {
@@ -17,7 +28,7 @@ namespace service {
 class RoundRobinScheduler : public Scheduler {
  public:
   explicit RoundRobinScheduler(const SchedulerOptions& options)
-      : Scheduler(options) {}
+      : Scheduler(options), shards_(options.num_shards) {}
 
   const char* name() const override { return "rr"; }
 
@@ -28,8 +39,12 @@ class RoundRobinScheduler : public Scheduler {
   int64_t Quantum(CampaignId id) override;
 
  private:
-  std::mutex mu_;
-  std::deque<CampaignId> ready_;
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::deque<CampaignId> ready;
+  };
+
+  ShardRing<Shard> shards_;
 };
 
 }  // namespace service

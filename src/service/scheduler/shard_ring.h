@@ -1,0 +1,98 @@
+// ShardRing<Shard>: the shared shard layout of the sharded ready queues
+// (ISSUE 5).
+//
+// Both RoundRobinScheduler and RankedScheduler split their ready state
+// over N shards — a campaign pinned to shard (id % N), pops starting at
+// a rotating shard and stealing clockwise — and only differ in what a
+// shard holds and how an entry is picked from it. The storage, the
+// pin-by-id lookup, the rotating steal scan and the emptiness
+// accounting live here once, so a future change to the layout (say
+// NUMA-aware shard pinning, a ROADMAP follow-on) lands in one place.
+//
+// Liveness: the manager pairs every Enqueue with exactly one dispatch
+// and relies on "a dispatch pops SOMETHING whenever an entry exists".
+// A single non-atomic pass over the shards cannot promise that — the
+// scan can visit shard B before an entry lands there while a concurrent
+// dispatch steals the scanner's own entry from shard A, and the entry
+// in B would be stranded with its campaign's scheduled token still
+// held. PopScan therefore retries the pass until it pops or the queued
+// counter proves the ring empty. The counter is maintained so that
+// queued() >= (entries actually present) at every instant — callers
+// increment BEFORE inserting (NoteEnqueued) and decrement only AFTER
+// removing (PopScan itself on a successful pop; NoteRemoved for bulk
+// erase) — so reading 0 is proof that nothing is stranded, and the
+// retry loop terminates as soon as the last removal's decrement lands.
+//
+// Locking stays with the caller: a Shard carries its own mutex and the
+// visitor decides what to do under it.
+#ifndef INCENTAG_SERVICE_SCHEDULER_SHARD_RING_H_
+#define INCENTAG_SERVICE_SCHEDULER_SHARD_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/service/completion_source.h"
+
+namespace incentag {
+namespace service {
+
+template <typename Shard>
+class ShardRing {
+ public:
+  explicit ShardRing(int num_shards) {
+    const int n = num_shards < 1 ? 1 : num_shards;
+    shards_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  }
+
+  size_t size() const { return shards_.size(); }
+
+  // The shard campaign `id` is pinned to — Enqueue/Unregister/params
+  // lookups always land here, so per-campaign state never straddles
+  // shards.
+  Shard& ShardOf(CampaignId id) { return *shards_[id % shards_.size()]; }
+
+  // Call BEFORE inserting a ready entry into a shard (the ordering is
+  // what makes queued() an upper bound; see the header comment).
+  void NoteEnqueued() { queued_.fetch_add(1, std::memory_order_release); }
+
+  // Call AFTER bulk-removing `n` ready entries (Unregister). Successful
+  // PopScan visits are accounted automatically.
+  void NoteRemoved(int64_t n) {
+    if (n > 0) queued_.fetch_sub(n, std::memory_order_release);
+  }
+
+  // Work-stealing pop: visits shards starting at a rotating cursor
+  // (spreading concurrent pops across the shard mutexes) until `visit`
+  // returns true — it must then have removed exactly one entry under
+  // the shard's lock. A fruitless pass retries while entries remain
+  // anywhere, so a pop that raced with a steal can never strand a
+  // queued entry. Returns false only when the ring is provably empty.
+  template <typename Visitor>
+  bool PopScan(Visitor&& visit) {
+    const size_t n = shards_.size();
+    for (;;) {
+      const uint64_t start =
+          cursor_.fetch_add(1, std::memory_order_relaxed);
+      for (size_t i = 0; i < n; ++i) {
+        if (visit(*shards_[(start + i) % n])) {
+          queued_.fetch_sub(1, std::memory_order_release);
+          return true;
+        }
+      }
+      if (queued_.load(std::memory_order_acquire) == 0) return false;
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<int64_t> queued_{0};
+};
+
+}  // namespace service
+}  // namespace incentag
+
+#endif  // INCENTAG_SERVICE_SCHEDULER_SHARD_RING_H_

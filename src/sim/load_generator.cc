@@ -50,18 +50,58 @@ void CrowdLoadGenerator::TaggerLoop(int tagger_index) {
   util::Rng rng(util::MixSeeds(options_.seed,
                                static_cast<uint64_t>(tagger_index) + 1));
   const double speed = speed_factor_[static_cast<size_t>(tagger_index)];
+  const size_t flush_at = std::max<size_t>(1, options_.completion_batch);
+
+  // This tagger's local completion buffer: finished tasks for one
+  // campaign, delivered as a single span. `pending_done` is the
+  // callback of the buffered tasks (all buffered tasks target the same
+  // campaign, so any of their callbacks is equivalent — the manager
+  // hands every batch of a campaign the same completion target).
+  std::vector<service::TaskHandle> buffer;
+  buffer.reserve(flush_at);
+  CompletionFn pending_done;
+  auto flush = [&] {
+    if (buffer.empty()) return;
+    pending_done(std::span<const service::TaskHandle>(buffer));
+    completed_.fetch_add(static_cast<int64_t>(buffer.size()));
+    buffer.clear();
+  };
+
   for (;;) {
-    std::optional<Item> item = queue_.Pop();
-    if (!item.has_value()) return;  // closed and drained
+    // Blocking pop only with an empty buffer: buffered completions are
+    // flushed before the tagger would sleep on an idle queue, so batch
+    // delivery never delays a completion behind future crowd activity.
+    std::optional<Item> item;
+    if (buffer.empty()) {
+      item = queue_.Pop();
+      if (!item.has_value()) return;  // closed and drained
+    } else {
+      item = queue_.TryPop();
+      if (!item.has_value()) {
+        flush();
+        continue;
+      }
+    }
     if (options_.mean_latency_us > 0.0) {
+      // Already-finished completions must not wait out this task's think
+      // time — flush them before sleeping, so batching only ever groups
+      // back-to-back fast completions.
+      flush();
       // Exponential think time scaled by this tagger's speed factor.
       const double u = std::max(1e-12, 1.0 - rng.NextDouble());
       const double micros = -options_.mean_latency_us * speed * std::log(u);
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::micro>(micros));
     }
-    item->done(item->task);
-    completed_.fetch_add(1);
+    // A task for a different campaign closes the current buffer first
+    // (spans must be single-campaign so one inbox receives them).
+    if (!buffer.empty() &&
+        buffer.front().campaign != item->task.campaign) {
+      flush();
+    }
+    pending_done = std::move(item->done);
+    buffer.push_back(item->task);
+    if (buffer.size() >= flush_at) flush();
   }
 }
 

@@ -10,6 +10,17 @@
 // of assignment order across taggers; the CampaignManager's reorder buffer
 // makes campaign results independent of that timing.
 //
+// Completion delivery is batched (ISSUE 5): each tagger accumulates
+// finished tasks in a thread-local buffer and flushes them as one
+// completion span when the buffer fills (completion_batch), when the
+// next task belongs to a different campaign, or when the queue goes
+// momentarily idle — so a burst of same-campaign completions costs the
+// campaign one inbox lock, while an idle crowd still delivers promptly.
+// Nothing ever waits in a buffer across a sleep: the buffer is flushed
+// both before the tagger blocks on an empty queue and before each
+// simulated think time, so batching only groups back-to-back fast
+// completions and never adds delivery latency.
+//
 // The bounded queue is the backpressure point: campaign steps block in
 // SubmitTasks when the crowd is saturated instead of queueing unboundedly.
 #ifndef INCENTAG_SIM_LOAD_GENERATOR_H_
@@ -36,6 +47,9 @@ struct LoadGeneratorOptions {
   uint64_t seed = 1;
   // Task queue capacity; producers block beyond this.
   size_t queue_capacity = 4096;
+  // Most completed tasks a tagger buffers before flushing them as one
+  // completion span. 1 restores per-task delivery.
+  size_t completion_batch = 32;
 };
 
 class CrowdLoadGenerator : public service::CompletionSource {
@@ -51,6 +65,14 @@ class CrowdLoadGenerator : public service::CompletionSource {
   // Stop(), the remainder of the batch is dropped (those callbacks never
   // fire) and false is returned so the campaign can be finalized instead
   // of wedging in kRunning forever.
+  //
+  // Callback contract: all SubmitTasks calls for one campaign must pass
+  // EQUIVALENT callbacks (the CampaignManager passes the same per-
+  // campaign completion_fn every time). A tagger's buffer may span two
+  // SubmitTasks calls of the same campaign, and the flush delivers the
+  // whole buffer through the latest call's callback — with per-call
+  // closures, tasks of an earlier call would reach a later call's
+  // closure.
   bool SubmitTasks(const std::vector<service::TaskHandle>& tasks,
                    const CompletionFn& done) override;
 

@@ -152,6 +152,61 @@ TEST_F(JournalTest, WriteThenReadBack) {
             static_cast<int64_t>(fs::file_size(path)));
 }
 
+TEST_F(JournalTest, EncodeCompletionRecordToMatchesAllocatingEncode) {
+  const CompletionRecord record{123456789, 42};
+  std::string appended = "prefix-";
+  EncodeCompletionRecordTo(record, &appended);
+  EXPECT_EQ(appended.substr(7), EncodeCompletionRecord(record));
+
+  std::string framed = "prefix-";
+  AppendFramedCompletionRecord(record, &framed);
+  EXPECT_EQ(framed.substr(7), FrameRecord(EncodeCompletionRecord(record)));
+}
+
+// The batched append is a pure fast path: the on-disk bytes must match a
+// per-record append stream exactly, so v1–v3 readers (and compaction's
+// tail copies) never notice which API produced a journal.
+TEST_F(JournalTest, BatchAppendIsByteIdenticalToPerRecordAppends) {
+  const std::string single_path = PathFor("single.journal");
+  const std::string batch_path = PathFor("batch.journal");
+  std::vector<CompletionRecord> records;
+  for (uint64_t i = 0; i < 100; ++i) {
+    records.push_back(CompletionRecord{i, static_cast<core::ResourceId>(i % 7)});
+  }
+  {
+    auto writer = JournalWriter::Open(single_path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->AppendSubmit(MakeSubmit()).ok());
+    for (const CompletionRecord& record : records) {
+      ASSERT_TRUE(writer.value()->AppendCompletion(record).ok());
+    }
+    ASSERT_TRUE(writer.value()->Sync().ok());
+  }
+  {
+    auto writer = JournalWriter::Open(batch_path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->AppendSubmit(MakeSubmit()).ok());
+    // Uneven batch sizes, including an empty one (a legal no-op).
+    ASSERT_TRUE(writer.value()->AppendCompletionBatch(records.data(), 1).ok());
+    ASSERT_TRUE(writer.value()->AppendCompletionBatch(records.data() + 1, 0).ok());
+    ASSERT_TRUE(
+        writer.value()->AppendCompletionBatch(records.data() + 1, 63).ok());
+    ASSERT_TRUE(
+        writer.value()->AppendCompletionBatch(records.data() + 64, 36).ok());
+    ASSERT_TRUE(writer.value()->Sync().ok());
+  }
+  auto single_bytes = util::ReadFileToString(single_path);
+  auto batch_bytes = util::ReadFileToString(batch_path);
+  ASSERT_TRUE(single_bytes.ok());
+  ASSERT_TRUE(batch_bytes.ok());
+  EXPECT_EQ(single_bytes.value(), batch_bytes.value());
+
+  auto contents = ReadJournal(batch_path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  ASSERT_EQ(contents.value().completions.size(), records.size());
+  EXPECT_TRUE(contents.value().tail_status.ok());
+}
+
 TEST_F(JournalTest, TruncatedTailRecordIsDropped) {
   const std::string path = WriteJournal("truncated.journal", 10);
   const auto full_size = fs::file_size(path);
@@ -174,6 +229,71 @@ TEST_F(JournalTest, TruncatedTailRecordIsDropped) {
   ASSERT_TRUE(reread.ok());
   EXPECT_EQ(reread.value().completions.size(), 10u);
   EXPECT_TRUE(reread.value().tail_status.ok());
+}
+
+// Satellite (ISSUE 5): a crash during AppendCompletionBatch tears the
+// batch at an arbitrary byte. The reader must keep every whole record of
+// the batch that reached the disk, truncate the torn remainder as a
+// benign tail, and let a resumed writer replay the lost suffix
+// byte-identically to an uninterrupted journal.
+TEST_F(JournalTest, KillDuringBatchAppendTruncatesToLastWholeRecord) {
+  constexpr size_t kFrameBytes = 21;  // 8 header + 13 completion payload
+  constexpr uint64_t kBatch = 16;
+  std::vector<CompletionRecord> records;
+  for (uint64_t i = 0; i < kBatch; ++i) {
+    records.push_back(CompletionRecord{i, static_cast<core::ResourceId>(i)});
+  }
+
+  // The uninterrupted journal, for the byte-identity check at the end.
+  const std::string want_path = PathFor("whole.journal");
+  {
+    auto writer = JournalWriter::Open(want_path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->AppendSubmit(MakeSubmit()).ok());
+    ASSERT_TRUE(
+        writer.value()->AppendCompletionBatch(records.data(), kBatch).ok());
+    ASSERT_TRUE(writer.value()->Sync().ok());
+  }
+  auto want_bytes = util::ReadFileToString(want_path);
+  ASSERT_TRUE(want_bytes.ok());
+  const size_t full_size = want_bytes.value().size();
+  const size_t batch_start = full_size - kBatch * kFrameBytes;
+
+  // Kill at every byte offset inside the batch's bytes (a torn write is
+  // a prefix of the batch).
+  for (size_t cut = batch_start + 1; cut < full_size; ++cut) {
+    const std::string path = PathFor("torn.journal");
+    fs::remove(path);
+    fs::copy_file(want_path, path);
+    fs::resize_file(path, cut);
+
+    auto contents = ReadJournal(path);
+    ASSERT_TRUE(contents.ok())
+        << "cut " << cut << ": " << contents.status().ToString();
+    const size_t whole = (cut - batch_start) / kFrameBytes;
+    ASSERT_EQ(contents.value().completions.size(), whole) << "cut " << cut;
+    EXPECT_EQ(contents.value().valid_bytes,
+              static_cast<int64_t>(batch_start + whole * kFrameBytes));
+    if (cut % kFrameBytes == batch_start % kFrameBytes) {
+      // Cut exactly on a record boundary: a clean (if short) journal.
+      EXPECT_TRUE(contents.value().tail_status.ok()) << "cut " << cut;
+    } else {
+      EXPECT_FALSE(contents.value().tail_status.ok()) << "cut " << cut;
+    }
+
+    // Resume at the last whole record and re-append the lost suffix: the
+    // recovered journal must equal the uninterrupted one byte for byte.
+    auto writer = JournalWriter::Open(path, contents.value().valid_bytes);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->AppendCompletionBatch(records.data() + whole,
+                                            kBatch - whole)
+                    .ok());
+    ASSERT_TRUE(writer.value()->Sync().ok());
+    auto recovered = util::ReadFileToString(path);
+    ASSERT_TRUE(recovered.ok());
+    ASSERT_EQ(recovered.value(), want_bytes.value()) << "cut " << cut;
+  }
 }
 
 TEST_F(JournalTest, CorruptCrcTailRecordIsDropped) {
@@ -298,8 +418,8 @@ TEST_F(JournalTest, ReplaySourceCompletesInRecordedOrder) {
   std::vector<CompletionRecord> trace{{0, 5}, {1, 3}, {2, 5}};
   ReplayCompletionSource source(trace);
   std::vector<uint64_t> completed;
-  auto done = [&completed](const service::TaskHandle& task) {
-    completed.push_back(task.seq);
+  auto done = [&completed](std::span<const service::TaskHandle> tasks) {
+    for (const service::TaskHandle& task : tasks) completed.push_back(task.seq);
   };
   std::vector<service::TaskHandle> batch{{1, 5, 0}, {1, 3, 1}, {1, 5, 2}};
   EXPECT_TRUE(source.SubmitTasks(batch, done));
@@ -316,8 +436,8 @@ TEST_F(JournalTest, ReplaySourceHaltsAtEndWhenAsked) {
   ReplayCompletionSource source(trace,
                                 ReplayCompletionSource::TailPolicy::kHaltAtEnd);
   std::vector<uint64_t> completed;
-  auto done = [&completed](const service::TaskHandle& task) {
-    completed.push_back(task.seq);
+  auto done = [&completed](std::span<const service::TaskHandle> tasks) {
+    for (const service::TaskHandle& task : tasks) completed.push_back(task.seq);
   };
   std::vector<service::TaskHandle> batch{{1, 5, 0}, {1, 6, 1}};
   EXPECT_FALSE(source.SubmitTasks(batch, done));
@@ -330,7 +450,8 @@ TEST_F(JournalTest, ReplaySourceRejectsForeignTrace) {
   std::vector<CompletionRecord> trace{{0, 5}};
   ReplayCompletionSource source(trace);
   std::vector<service::TaskHandle> batch{{1, 6, 0}};  // wrong resource
-  EXPECT_FALSE(source.SubmitTasks(batch, [](const service::TaskHandle&) {}));
+  EXPECT_FALSE(source.SubmitTasks(
+      batch, [](std::span<const service::TaskHandle>) {}));
   EXPECT_FALSE(source.error().ok());
   EXPECT_EQ(source.error().code(), util::StatusCode::kCorruption);
 }

@@ -44,7 +44,7 @@ class LimitedCompletionSource : public CompletionSource {
     for (const TaskHandle& task : tasks) {
       if (remaining_ > 0) {
         --remaining_;
-        done(task);
+        done(std::span<const TaskHandle>(&task, 1));
       }
     }
     return true;

@@ -47,7 +47,7 @@ class LimitedCompletionSource : public CompletionSource {
     for (const TaskHandle& task : tasks) {
       if (remaining_ > 0) {
         --remaining_;
-        done(task);
+        done(std::span<const TaskHandle>(&task, 1));
       }
     }
     return true;
@@ -67,7 +67,7 @@ class BlockingCompletionSource : public CompletionSource {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return released_; });
     }
-    for (const TaskHandle& task : tasks) done(task);
+    if (!tasks.empty()) done(std::span<const TaskHandle>(tasks));
     return true;
   }
 
@@ -389,6 +389,50 @@ TEST_F(RecoveryTest, RecoveryToleratesTornJournalTail) {
   auto ids2 = again.Recover(dir_.string(), Factory);
   ASSERT_TRUE(ids2.ok()) << ids2.status().ToString();
   EXPECT_EQ(ids2.value().size(), 1u);
+}
+
+// Kill during JournalWriter::AppendCompletionBatch (ISSUE 5): the
+// batched append makes a torn write land mid-quantum, tearing the file
+// at an arbitrary byte inside a run of completion records. Recovery must
+// truncate to the last whole record, replay the surviving prefix, and
+// re-run the lost completions to a report byte-identical to the
+// uninterrupted run — for cuts at every position inside a frame: header,
+// payload, and across a record boundary.
+TEST_F(RecoveryTest, KillDuringBatchAppendRecoversByteIdentically) {
+  constexpr int64_t kFrameBytes = 21;  // 8 header + 13 completion payload
+  const int kind = 0;
+  const int64_t budget = 300;
+  const uint64_t seed = 9;
+  const core::RunReport want = RunSequential(kind, budget, seed);
+  KillMidRun(kind, budget, seed, /*kill_after=*/100);
+
+  auto files = util::ListDirFiles(dir_.string(), ".journal");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files.value().size(), 1u);
+  const std::string journal = files.value()[0];
+  auto pristine = util::ReadFileToString(journal);
+  ASSERT_TRUE(pristine.ok());
+  const int64_t full = static_cast<int64_t>(pristine.value().size());
+
+  // Cut back 1..2 whole frames plus every intra-frame offset.
+  for (int64_t back = 1; back <= 2 * kFrameBytes - 1; back += 5) {
+    {
+      std::ofstream f(journal, std::ios::binary | std::ios::trunc);
+      f.write(pristine.value().data(),
+              static_cast<std::streamsize>(full - back));
+    }
+    ManagerOptions options;
+    options.deterministic = true;
+    CampaignManager recovered(options);
+    auto ids = recovered.Recover(dir_.string(), Factory);
+    ASSERT_TRUE(ids.ok())
+        << "cut " << back << ": " << ids.status().ToString();
+    ASSERT_EQ(ids.value().size(), 1u);
+    auto report = recovered.Wait(ids.value()[0]);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ExpectReportsEqual(want, report.value(),
+                       "torn batch, cut " + std::to_string(back));
+  }
 }
 
 // A journal replayed against the wrong inputs (different seed => the
