@@ -171,7 +171,13 @@ int main(int argc, char** argv) {
   flags.AddString("json", &json_path,
                   "also write the results as JSON to this file "
                   "(the CI perf-gate artifact)");
+  std::string log_level = "warn";
+  flags.AddString("log_level", &log_level,
+                  "stderr verbosity: debug|info|warn|error|none");
   INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+  util::LogLevel level;
+  INCENTAG_CHECK(util::ParseLogLevel(log_level, &level));
+  util::SetLogLevel(level);
 
   if (work_dir.empty()) {
     work_dir = (fs::temp_directory_path() / "incentag-bench-recovery")

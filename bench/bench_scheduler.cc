@@ -192,7 +192,13 @@ int main(int argc, char** argv) {
   flags.AddString("json", &json_path,
                   "also write results as JSON to this file (the CI "
                   "perf-trajectory artifact)");
+  std::string log_level = "warn";
+  flags.AddString("log_level", &log_level,
+                  "stderr verbosity: debug|info|warn|error|none");
   INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+  util::LogLevel level;
+  INCENTAG_CHECK(util::ParseLogLevel(log_level, &level));
+  util::SetLogLevel(level);
   if (threads < 1) threads = 1;
 
   auto bench_ds = bench::MakeDataset(n, static_cast<uint64_t>(seed));

@@ -24,6 +24,8 @@
 
 #include "bench/common/bench_common.h"
 #include "src/core/strategy_fp.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/core/strategy_fpmu.h"
 #include "src/core/strategy_mu.h"
 #include "src/core/strategy_rr.h"
@@ -127,6 +129,8 @@ int main(int argc, char** argv) {
   std::string batch_sweep_list;
   std::string journal_dir;
   std::string json_path;
+  std::string metrics_json;
+  std::string log_level = "warn";
   util::FlagSet flags;
   flags.AddInt("n", &n, "resources to generate");
   flags.AddInt("seed", &seed, "corpus seed");
@@ -155,7 +159,15 @@ int main(int argc, char** argv) {
   flags.AddString("json", &json_path,
                   "also write the sweep results as JSON to this file "
                   "(the CI perf-trajectory artifact)");
+  flags.AddString("metrics_json", &metrics_json,
+                  "write the fleet obs metrics snapshot (plus the "
+                  "fsync_p99_ms gate value) as JSON to this file");
+  flags.AddString("log_level", &log_level,
+                  "stderr verbosity: debug|info|warn|error|none");
   INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+  util::LogLevel level;
+  INCENTAG_CHECK(util::ParseLogLevel(log_level, &level));
+  util::SetLogLevel(level);
   if (threads < 1) threads = 1;
 
   auto bench_ds = bench::MakeDataset(n, static_cast<uint64_t>(seed));
@@ -315,6 +327,27 @@ int main(int argc, char** argv) {
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!metrics_json.empty()) {
+    // The obs snapshot covers the whole process (all sweep points); the
+    // fsync p99 is hoisted to the top level for check_regression.py's
+    // "metrics" gate. 0 when the run was unjournaled.
+    const obs::MetricsSnapshot snapshot =
+        obs::Registry::Default().Snapshot();
+    const obs::HistogramSample* fsync =
+        snapshot.FindHistogram("incentag_persist_fsync_seconds");
+    std::FILE* out = std::fopen(metrics_json.c_str(), "w");
+    INCENTAG_CHECK(out != nullptr);
+    std::fprintf(out,
+                 "{\"bench\":\"metrics\",\"fsync_p99_ms\":%.6f,"
+                 "\"fsync_count\":%llu,\"metrics\":%s}\n",
+                 fsync == nullptr ? 0.0 : fsync->Quantile(0.99) * 1000.0,
+                 static_cast<unsigned long long>(
+                     fsync == nullptr ? 0 : fsync->count),
+                 snapshot.RenderJson().c_str());
+    std::fclose(out);
+    std::printf("wrote %s\n", metrics_json.c_str());
   }
   return 0;
 }

@@ -49,6 +49,9 @@
 #include "src/core/strategy_fpmu.h"
 #include "src/core/strategy_mu.h"
 #include "src/core/strategy_rr.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/persist/journal.h"
 #include "src/service/campaign_manager.h"
 #include "src/sim/crowd.h"
@@ -96,6 +99,9 @@ int main(int argc, char** argv) {
   std::string scheduler = "rr";
   int64_t priority = 4;
   double deadline_ms = 0.0;
+  std::string metrics_json;
+  std::string trace_json;
+  std::string log_level = "info";
   util::FlagSet flags;
   flags.AddInt("n", &n, "resources in the shared catalogue");
   flags.AddInt("campaigns", &campaigns, "campaigns to run");
@@ -129,12 +135,28 @@ int main(int argc, char** argv) {
   flags.AddDouble("deadline_ms", &deadline_ms,
                   "completion deadline for the critical tier, "
                   "milliseconds (0 = none)");
+  flags.AddString("metrics_json", &metrics_json,
+                  "write the fleet metrics snapshot (JSON) here, rewritten "
+                  "each dashboard poll and once after drain ('' = off)");
+  flags.AddString("trace_json", &trace_json,
+                  "record quantum lifecycle spans and write Chrome "
+                  "trace_event JSON here at exit ('' = off)");
+  flags.AddString("log_level", &log_level,
+                  "stderr verbosity: debug|info|warn|error|none");
   util::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\nusage:\n%s", parsed.ToString().c_str(),
                  flags.Usage().c_str());
     return 1;
   }
+  util::LogLevel level;
+  if (!util::ParseLogLevel(log_level, &level)) {
+    std::fprintf(stderr, "bad --log_level=%s (want debug|info|warn|error|"
+                 "none)\n", log_level.c_str());
+    return 1;
+  }
+  util::SetLogLevel(level);
+  if (!trace_json.empty()) obs::Trace::Enable(65536);
 
   // Shared catalogue: one corpus, one prepared dataset for all campaigns.
   sim::CorpusConfig corpus_config;
@@ -283,6 +305,16 @@ int main(int argc, char** argv) {
         poll, static_cast<long long>(running),
         static_cast<long long>(spent), static_cast<long long>(tasks),
         static_cast<long long>(in_flight));
+    if (!metrics_json.empty()) {
+      // Periodic dump: rewritten in place so an operator (or a crash
+      // autopsy) always finds the latest snapshot.
+      util::Status written = obs::WriteSnapshotJson(
+          obs::Registry::Default().Snapshot(), metrics_json);
+      if (!written.ok()) {
+        INCENTAG_LOG_WARN("metrics dump failed: %s",
+                          written.ToString().c_str());
+      }
+    }
     if (running == 0) break;
     if (kill_after_polls > 0 && poll + 1 >= kill_after_polls) {
       // Simulated crash: no destructors, no Shutdown, no final fsync —
@@ -380,6 +412,19 @@ int main(int argc, char** argv) {
 
   crowd.Stop();
   manager.Shutdown();
+  // Final dumps after the drain, so the files cover the whole run.
+  if (!metrics_json.empty()) {
+    util::Status written = obs::WriteSnapshotJson(
+        obs::Registry::Default().Snapshot(), metrics_json);
+    INCENTAG_CHECK(written.ok());
+    std::printf("metrics snapshot written to %s\n", metrics_json.c_str());
+  }
+  if (!trace_json.empty()) {
+    util::Status written = obs::Trace::WriteChromeJson(trace_json);
+    INCENTAG_CHECK(written.ok());
+    std::printf("trace written to %s (chrome://tracing)\n",
+                trace_json.c_str());
+  }
   std::printf("\nall %zu campaigns drained; %lld tasks completed by the "
               "crowd\n",
               ids.size(), static_cast<long long>(crowd.completed()));

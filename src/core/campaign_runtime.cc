@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/core/quality.h"
+#include "src/obs/metrics.h"
 #include "src/util/wire.h"
 
 namespace incentag {
@@ -241,6 +242,8 @@ void CampaignRuntime::ApplyCompletionBatch(const ResourceId* chosen,
   const CostModel* costs = options_.costs;
   const bool checkpoints_pending =
       next_checkpoint_ < options_.checkpoints.size();
+  const int64_t tasks_before = tasks_completed_;
+  const int64_t spent_before = spent_;
   for (size_t k = 0; k < count; ++k) {
     const ResourceId resource = chosen[k];
     // A task whose resource ran dry mid-batch is unfilled; its reserved
@@ -262,6 +265,16 @@ void CampaignRuntime::ApplyCompletionBatch(const ResourceId* chosen,
     spent_ += costs == nullptr ? 1 : costs->cost(resource);
     if (checkpoints_pending) RecordCheckpointsThrough(spent_);
   }
+  // Batch-level, not per-task: one striped add per quantum keeps the
+  // per-task loop free of shared-line traffic.
+  static obs::Counter* tasks_applied = obs::Registry::Default().GetCounter(
+      "incentag_core_tasks_applied_total",
+      "Completed tasks applied to campaign state");
+  static obs::Counter* budget_spent = obs::Registry::Default().GetCounter(
+      "incentag_core_budget_spent_total",
+      "Budget units spent across all campaigns");
+  tasks_applied->Add(tasks_completed_ - tasks_before);
+  budget_spent->Add(spent_ - spent_before);
 }
 
 AllocationMetrics CampaignRuntime::Metrics() const {

@@ -1,0 +1,280 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace incentag {
+namespace obs {
+
+namespace {
+
+// %.9g round-trips every value these metrics produce (ns-scale latencies
+// to multi-hour sums) without trailing-zero noise in the goldens.
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+void AppendInt(std::string* out, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  *out += buf;
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += buf;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          *out += buf;
+        } else {
+          *out += ch;
+        }
+    }
+  }
+  *out += '"';
+}
+
+// `name{labels}` or bare `name`; with `extra` ("le=...") merged in.
+void AppendSeries(std::string* out, std::string_view name,
+                  std::string_view labels, std::string_view extra = {}) {
+  *out += name;
+  if (labels.empty() && extra.empty()) return;
+  *out += '{';
+  *out += labels;
+  if (!labels.empty() && !extra.empty()) *out += ',';
+  *out += extra;
+  *out += '}';
+}
+
+// Emits the # HELP / # TYPE preamble once per metric family: consecutive
+// samples of the same name (labeled variants register adjacently) share
+// one preamble, matching the exposition-format requirement.
+void AppendFamilyHeader(std::string* out, std::string_view name,
+                        std::string_view help, std::string_view type,
+                        std::string* last_family) {
+  if (*last_family == name) return;
+  *last_family = std::string(name);
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+double HistogramSample::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket >= rank) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no upper edge to interpolate toward; report
+        // the largest finite bound (0 if the histogram has none).
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double hi = bounds[i];
+      const double lo = i == 0 ? std::min(0.0, hi) : bounds[i - 1];
+      const double frac =
+          std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+const CounterSample* MetricsSnapshot::FindCounter(
+    std::string_view name, std::string_view labels) const {
+  for (const CounterSample& sample : counters) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(std::string_view name,
+                                              std::string_view labels) const {
+  for (const GaugeSample& sample : gauges) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name, std::string_view labels) const {
+  for (const HistogramSample& sample : histograms) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::RenderPrometheus() const {
+  std::string out;
+  std::string last_family;
+  for (const CounterSample& sample : counters) {
+    AppendFamilyHeader(&out, sample.name, sample.help, "counter",
+                       &last_family);
+    AppendSeries(&out, sample.name, sample.labels);
+    out += ' ';
+    AppendInt(&out, sample.value);
+    out += '\n';
+  }
+  for (const GaugeSample& sample : gauges) {
+    AppendFamilyHeader(&out, sample.name, sample.help, "gauge",
+                       &last_family);
+    AppendSeries(&out, sample.name, sample.labels);
+    out += ' ';
+    AppendInt(&out, sample.value);
+    out += '\n';
+  }
+  for (const HistogramSample& sample : histograms) {
+    AppendFamilyHeader(&out, sample.name, sample.help, "histogram",
+                       &last_family);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < sample.counts.size(); ++i) {
+      cumulative += sample.counts[i];
+      std::string le = "le=\"";
+      if (i < sample.bounds.size()) {
+        AppendDouble(&le, sample.bounds[i]);
+      } else {
+        le += "+Inf";
+      }
+      le += '"';
+      AppendSeries(&out, sample.name + "_bucket", sample.labels, le);
+      out += ' ';
+      AppendUint(&out, cumulative);
+      out += '\n';
+    }
+    AppendSeries(&out, sample.name + "_sum", sample.labels);
+    out += ' ';
+    AppendDouble(&out, sample.sum);
+    out += '\n';
+    AppendSeries(&out, sample.name + "_count", sample.labels);
+    out += ' ';
+    AppendUint(&out, sample.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::RenderJson() const {
+  std::string out = "{\"counters\":[";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    const CounterSample& sample = counters[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    AppendJsonString(&out, sample.name);
+    if (!sample.labels.empty()) {
+      out += ",\"labels\":";
+      AppendJsonString(&out, sample.labels);
+    }
+    out += ",\"value\":";
+    AppendInt(&out, sample.value);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    const GaugeSample& sample = gauges[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    AppendJsonString(&out, sample.name);
+    if (!sample.labels.empty()) {
+      out += ",\"labels\":";
+      AppendJsonString(&out, sample.labels);
+    }
+    out += ",\"value\":";
+    AppendInt(&out, sample.value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& sample = histograms[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    AppendJsonString(&out, sample.name);
+    if (!sample.labels.empty()) {
+      out += ",\"labels\":";
+      AppendJsonString(&out, sample.labels);
+    }
+    out += ",\"count\":";
+    AppendUint(&out, sample.count);
+    out += ",\"sum\":";
+    AppendDouble(&out, sample.sum);
+    out += ",\"p50\":";
+    AppendDouble(&out, sample.Quantile(0.50));
+    out += ",\"p90\":";
+    AppendDouble(&out, sample.Quantile(0.90));
+    out += ",\"p99\":";
+    AppendDouble(&out, sample.Quantile(0.99));
+    out += ",\"buckets\":[";
+    bool first = true;
+    for (size_t b = 0; b < sample.counts.size(); ++b) {
+      if (sample.counts[b] == 0) continue;  // sparse: fleets have many
+      if (!first) out += ',';
+      first = false;
+      out += "{\"le\":";
+      if (b < sample.bounds.size()) {
+        AppendDouble(&out, sample.bounds[b]);
+      } else {
+        out += "\"+Inf\"";
+      }
+      out += ",\"count\":";
+      AppendUint(&out, sample.counts[b]);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+util::Status WriteSnapshotJson(const MetricsSnapshot& snapshot,
+                               const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  const std::string json = snapshot.RenderJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  if (std::fclose(file) != 0 || written != json.size() || !newline_ok) {
+    return util::Status::IoError("short write to " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace obs
+}  // namespace incentag

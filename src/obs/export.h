@@ -1,0 +1,92 @@
+// Metric snapshot + exporters: the read side of src/obs/metrics.h.
+//
+// A MetricsSnapshot is a point-in-time copy of every registered metric,
+// taken by Registry::Snapshot() (one relaxed load per stripe — scraping
+// never blocks the hot path). The snapshot renders two ways:
+//
+//   RenderPrometheus()  Prometheus text exposition format, ready to be
+//                       served verbatim from a future /metrics endpoint
+//                       (HELP/TYPE per metric family, cumulative
+//                       _bucket{le=...} histograms);
+//   RenderJson()        a stable JSON document for --metrics_json dumps,
+//                       the CI bench-metrics artifact and
+//                       bench/check_regression.py's fsync_p99_ms gate
+//                       (histograms carry p50/p90/p99 estimates).
+//
+// Quantiles are estimated from the fixed bucket boundaries by linear
+// interpolation inside the target bucket — the same scheme Prometheus's
+// histogram_quantile uses — so two exporters never disagree on a p99.
+#ifndef INCENTAG_OBS_EXPORT_H_
+#define INCENTAG_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace incentag {
+namespace obs {
+
+struct CounterSample {
+  std::string name;
+  // Pre-rendered Prometheus label pairs, e.g. `class="critical"`; empty
+  // for unlabeled metrics.
+  std::string labels;
+  std::string help;
+  int64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string labels;
+  std::string help;
+  int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string labels;
+  std::string help;
+  // Ascending finite upper bucket bounds; counts has one extra slot for
+  // the implicit +Inf overflow bucket. Counts are per-bucket (not
+  // cumulative); RenderPrometheus accumulates for the `le` series.
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  uint64_t count = 0;
+
+  // Estimated q-quantile (q in [0,1], clamped) by linear interpolation
+  // within the bucket holding the target rank. 0 for an empty histogram;
+  // ranks landing in the overflow bucket report the largest finite bound.
+  double Quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  // Registration order, stable across scrapes.
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // Lookup by name (+ labels); null when absent.
+  const CounterSample* FindCounter(std::string_view name,
+                                   std::string_view labels = {}) const;
+  const GaugeSample* FindGauge(std::string_view name,
+                               std::string_view labels = {}) const;
+  const HistogramSample* FindHistogram(std::string_view name,
+                                       std::string_view labels = {}) const;
+
+  std::string RenderPrometheus() const;
+  std::string RenderJson() const;
+};
+
+// Writes RenderJson() to `path` (truncating). The periodic --metrics_json
+// dump path of campaign_server and the benches.
+util::Status WriteSnapshotJson(const MetricsSnapshot& snapshot,
+                               const std::string& path);
+
+}  // namespace obs
+}  // namespace incentag
+
+#endif  // INCENTAG_OBS_EXPORT_H_

@@ -1,0 +1,187 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace incentag {
+namespace obs {
+
+namespace {
+
+// One thread's fixed-capacity span ring. The per-ring mutex is only ever
+// contended by the exporter; the owning thread's Record is effectively
+// an uncontended lock + store.
+struct TraceRing {
+  explicit TraceRing(size_t capacity, uint64_t tid)
+      : events(capacity), tid(tid) {}
+
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t next = 0;         // slot the next event lands in
+  uint64_t recorded = 0;   // total records (>= capacity once wrapped)
+  const uint64_t tid;      // registration ordinal, stable per export
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceRing>> rings;
+  // Rings from before the last Enable(): a thread racing that Enable may
+  // still hold a pointer into one, so they are kept allocated for the
+  // process lifetime but never exported again. Bounded by Enable calls.
+  std::vector<std::unique_ptr<TraceRing>> retired;
+  size_t capacity = 0;
+  std::atomic<uint64_t> epoch{0};
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // leaked like Registry
+  return *state;
+}
+
+TraceRing* RingForThisThread() {
+  struct Cache {
+    TraceRing* ring = nullptr;
+    uint64_t epoch = 0;
+  };
+  thread_local Cache cache;
+  TraceState& state = State();
+  const uint64_t epoch = state.epoch.load(std::memory_order_acquire);
+  if (cache.ring == nullptr || cache.epoch != epoch) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.capacity == 0) return nullptr;
+    state.rings.push_back(
+        std::make_unique<TraceRing>(state.capacity, state.rings.size()));
+    cache.ring = state.rings.back().get();
+    cache.epoch = state.epoch.load(std::memory_order_relaxed);
+  }
+  return cache.ring;
+}
+
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  *out += buf;
+}
+
+}  // namespace
+
+std::atomic<bool> Trace::enabled_{false};
+
+void Trace::Enable(size_t per_thread_capacity) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& ring : state.rings) {
+    state.retired.push_back(std::move(ring));
+  }
+  state.rings.clear();
+  state.capacity = per_thread_capacity == 0 ? 1 : per_thread_capacity;
+  state.epoch.fetch_add(1, std::memory_order_release);
+  enabled_.store(per_thread_capacity > 0, std::memory_order_relaxed);
+}
+
+void Trace::Disable() {
+  // Rings stay live so an export after Disable still sees the events.
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Trace::Record(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                   int64_t arg) {
+  if (!enabled()) return;
+  TraceRing* ring = RingForThisThread();
+  if (ring == nullptr) return;
+  std::lock_guard<std::mutex> lock(ring->mu);
+  ring->events[ring->next] = TraceEvent{name, start_ns, dur_ns, arg};
+  ring->next = (ring->next + 1) % ring->events.size();
+  ++ring->recorded;
+}
+
+std::string Trace::ExportChromeJson() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    const size_t capacity = ring->events.size();
+    const bool wrapped = ring->recorded >= capacity;
+    const size_t kept = wrapped ? capacity : ring->next;
+    const size_t oldest = wrapped ? ring->next : 0;
+    recorded += ring->recorded;
+    dropped += ring->recorded - kept;
+    for (size_t i = 0; i < kept; ++i) {
+      const TraceEvent& event = ring->events[(oldest + i) % capacity];
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      out += event.name;
+      out += "\",\"ph\":\"X\",\"ts\":";
+      AppendMicros(&out, event.start_ns);
+      out += ",\"dur\":";
+      AppendMicros(&out, event.dur_ns);
+      out += ",\"pid\":0,\"tid\":";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, ring->tid);
+      out += buf;
+      out += ",\"args\":{\"arg\":";
+      std::snprintf(buf, sizeof(buf), "%" PRId64, event.arg);
+      out += buf;
+      out += "}}";
+    }
+  }
+  out += "],\"metadata\":{\"recorded\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, recorded);
+  out += buf;
+  out += ",\"dropped\":";
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, dropped);
+  out += buf;
+  out += "}}";
+  return out;
+}
+
+util::Status Trace::WriteChromeJson(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  const std::string json = ExportChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  if (std::fclose(file) != 0 || written != json.size() || !newline_ok) {
+    return util::Status::IoError("short write to " + path);
+  }
+  return util::Status::OK();
+}
+
+void Trace::Reset() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->next = 0;
+    ring->recorded = 0;
+  }
+}
+
+TraceStats Trace::GetStats() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  TraceStats stats;
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    const size_t capacity = ring->events.size();
+    const size_t kept =
+        ring->recorded >= capacity ? capacity : ring->next;
+    stats.recorded += ring->recorded;
+    stats.dropped += ring->recorded - kept;
+  }
+  return stats;
+}
+
+}  // namespace obs
+}  // namespace incentag

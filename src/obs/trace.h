@@ -1,0 +1,105 @@
+// Per-thread trace-event ring buffers exporting Chrome trace_event JSON
+// (ISSUE 6). Records quantum lifecycle spans — queue_wait, quantum,
+// journal_append, fsync, compact — so a stall anywhere in the
+// enqueue → pop → step → append → fsync chain shows up on a timeline in
+// chrome://tracing / Perfetto instead of in printf archaeology.
+//
+// Design mirrors the metrics registry's write-side philosophy: tracing
+// is OFF by default and costs one relaxed atomic load per span when off.
+// When on, each thread owns a fixed-capacity ring (registered lazily on
+// first record); a record is a store into the owner's ring under a
+// per-ring mutex that only the exporter ever contends. The ring wraps:
+// the newest events win and the drop count is reported in the export.
+//
+// Span names are string literals (const char*) by contract — the ring
+// stores the pointer, not a copy.
+#ifndef INCENTAG_OBS_TRACE_H_
+#define INCENTAG_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"  // NowNs
+#include "src/util/status.h"
+
+namespace incentag {
+namespace obs {
+
+// One completed span. `arg` is a free slot for a small payload (batch
+// size, bytes, campaign id) surfaced under "args" in the export.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  int64_t arg = 0;
+};
+
+struct TraceStats {
+  uint64_t recorded = 0;  // total Record() calls since Enable/Reset
+  uint64_t dropped = 0;   // events overwritten by ring wraparound
+};
+
+// Static facade over the process-wide tracing state.
+class Trace {
+ public:
+  // Turns tracing on with the given per-thread ring capacity. Rings from
+  // a previous Enable() are retired (kept allocated — a racing thread
+  // may still hold a pointer — but excluded from future exports).
+  static void Enable(size_t per_thread_capacity);
+  static void Disable();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Appends a completed span to the calling thread's ring. No-op while
+  // disabled. `name` must be a string literal (stored by pointer).
+  static void Record(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                     int64_t arg = 0);
+
+  // Renders every live ring as a Chrome trace_event JSON document:
+  // {"traceEvents":[{"name","ph":"X","ts","dur","pid","tid","args"}...],
+  //  "metadata":{"recorded":N,"dropped":M}}. ts/dur are microseconds.
+  static std::string ExportChromeJson();
+  static util::Status WriteChromeJson(const std::string& path);
+
+  // Clears event data and counters but keeps tracing enabled.
+  static void Reset();
+
+  static TraceStats GetStats();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+// RAII span: captures the start time at construction and records on
+// destruction. Latched to the enabled state at construction so a span
+// straddling Enable/Disable stays consistent.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name),
+        armed_(Trace::enabled()),
+        start_ns_(armed_ ? NowNs() : 0) {}
+  ~TraceSpan() {
+    if (armed_) {
+      Trace::Record(name_, start_ns_, NowNs() - start_ns_, arg_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void set_arg(int64_t arg) { arg_ = arg; }
+
+ private:
+  const char* name_;
+  const bool armed_;
+  const uint64_t start_ns_;
+  int64_t arg_ = 0;
+};
+
+}  // namespace obs
+}  // namespace incentag
+
+#endif  // INCENTAG_OBS_TRACE_H_

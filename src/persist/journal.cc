@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/crc32.h"
 #include "src/util/wire.h"
 
@@ -224,8 +226,18 @@ util::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
   return writer;
 }
 
+namespace {
+obs::Counter* AppendBytesCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "incentag_persist_append_bytes_total",
+      "Framed bytes appended to campaign journals");
+  return counter;
+}
+}  // namespace
+
 util::Status JournalWriter::AppendFramed(std::string_view body) {
   const std::string frame = FrameRecord(body);
+  AppendBytesCounter()->Add(static_cast<int64_t>(frame.size()));
   std::lock_guard<std::mutex> lock(mu_);
   return file_.Append(frame);
 }
@@ -249,6 +261,7 @@ util::Status JournalWriter::AppendCompletionBatch(
   for (size_t i = 0; i < count; ++i) {
     AppendFramedCompletionRecord(records[i], &arena);
   }
+  AppendBytesCounter()->Add(static_cast<int64_t>(arena.size()));
   std::lock_guard<std::mutex> lock(mu_);
   return file_.Append(arena);
 }
@@ -277,6 +290,20 @@ int64_t JournalWriter::size() {
 util::Status JournalWriter::Compact(const SubmitRecord& submit,
                                     const SnapshotRecord& snapshot,
                                     int64_t tail_offset) {
+  static obs::Histogram* compact_seconds =
+      obs::Registry::Default().GetHistogram(
+          "incentag_persist_compaction_seconds",
+          "Wall time of a journal compaction rewrite",
+          obs::LatencyBoundsSeconds());
+  static obs::Counter* compactions = obs::Registry::Default().GetCounter(
+      "incentag_persist_compactions_total",
+      "Completed journal compaction rewrites");
+  static obs::Counter* bytes_reclaimed = obs::Registry::Default().GetCounter(
+      "incentag_persist_compaction_bytes_reclaimed_total",
+      "Journal bytes dropped by compaction (replayed prefix minus "
+      "snapshot)");
+  obs::TraceSpan span("compact");
+  obs::ScopedTimer timer(compact_seconds);
   const std::string tmp_path = path_ + kCompactionTmpSuffix;
   std::string prefix = FrameRecord(EncodeSubmitRecord(submit));
   prefix += FrameRecord(EncodeSnapshotRecord(snapshot));
@@ -331,6 +358,11 @@ util::Status JournalWriter::Compact(const SubmitRecord& submit,
   // failure could strand an otherwise healthy writer.
   file_ = std::move(tmp);
   file_.set_path(path_);
+  compactions->Increment();
+  const int64_t reclaimed =
+      tail_offset - static_cast<int64_t>(prefix.size());
+  if (reclaimed > 0) bytes_reclaimed->Add(reclaimed);
+  span.set_arg(reclaimed);
   return util::Status::OK();
 }
 

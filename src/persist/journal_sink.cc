@@ -3,6 +3,9 @@
 #include <chrono>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace incentag {
 namespace persist {
 
@@ -63,12 +66,27 @@ void JournalSink::Loop() {
       synced_cv_.notify_all();
       return;
     }
+    static obs::Histogram* fsync_seconds =
+        obs::Registry::Default().GetHistogram(
+            "incentag_persist_fsync_seconds", "Per-journal fsync latency",
+            obs::LatencyBoundsSeconds());
+    static obs::Histogram* commit_batch =
+        obs::Registry::Default().GetHistogram(
+            "incentag_persist_group_commit_batch_size",
+            "Journals synced per group-commit pass", obs::BatchSizeBounds());
+    static obs::Counter* syncs = obs::Registry::Default().GetCounter(
+        "incentag_persist_journal_syncs_total",
+        "Journal fsyncs performed by the group-commit sink");
     std::vector<JournalWriter*> batch(dirty_.begin(), dirty_.end());
     dirty_.clear();
     ++epoch_started_;
     lock.unlock();
+    commit_batch->Observe(static_cast<double>(batch.size()));
     for (JournalWriter* writer : batch) {
+      obs::TraceSpan span("fsync");
+      obs::ScopedTimer timer(fsync_seconds);
       writer->Sync();  // an IO error here is retried at terminal Sync
+      syncs->Increment();
     }
     lock.lock();
     // Release Drain()/Stop() waiters the moment durability is achieved —

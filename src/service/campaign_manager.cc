@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "src/core/campaign_runtime.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/file_io.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
@@ -65,6 +67,52 @@ CampaignId ParseJournalId(const std::string& path) {
 }
 
 constexpr char kSourceClosedError[] = "completion source closed";
+
+// Fleet-wide service instruments (src/obs/README.md). Grouped in one
+// lazily-built struct so each call site pays a single static-init guard.
+struct ServiceMetrics {
+  obs::Histogram* queue_wait_critical;
+  obs::Histogram* queue_wait_background;
+  obs::Histogram* quantum_seconds;
+  obs::Histogram* completion_batch;
+  obs::Counter* reorder_bypass;
+  obs::Counter* reorder_heap;
+  obs::Gauge* inbox_depth;
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      ServiceMetrics m;
+      m.queue_wait_critical = registry.GetHistogram(
+          "incentag_scheduler_queue_wait_seconds",
+          "Ready-queue wait from enqueue to pop, per scheduling class",
+          obs::LatencyBoundsSeconds(), "class=\"critical\"");
+      m.queue_wait_background = registry.GetHistogram(
+          "incentag_scheduler_queue_wait_seconds",
+          "Ready-queue wait from enqueue to pop, per scheduling class",
+          obs::LatencyBoundsSeconds(), "class=\"background\"");
+      m.quantum_seconds = registry.GetHistogram(
+          "incentag_scheduler_quantum_seconds",
+          "Wall time of one campaign scheduling quantum (Step)",
+          obs::LatencyBoundsSeconds());
+      m.completion_batch = registry.GetHistogram(
+          "incentag_service_completion_batch_size",
+          "In-order completions applied per batched ApplyRun",
+          obs::BatchSizeBounds());
+      m.reorder_bypass = registry.GetCounter(
+          "incentag_service_reorder_bypass_total",
+          "Completions applied via the in-order fast path");
+      m.reorder_heap = registry.GetCounter(
+          "incentag_service_reorder_heap_total",
+          "Completions that took the reorder heap");
+      m.inbox_depth = registry.GetGauge(
+          "incentag_service_inbox_depth",
+          "Completions delivered but not yet drained by a stepper");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -145,6 +193,10 @@ struct CampaignManager::Campaign {
   // True while a step is scheduled or running; whoever flips false->true
   // owns the right (and duty) to submit the next step.
   std::atomic<bool> scheduled{false};
+  // NowNs() when the campaign last entered the ready queue; exchanged to
+  // 0 by the popping step, which observes the delta into the per-class
+  // queue-wait histogram. 0 = not currently stamped.
+  std::atomic<uint64_t> enqueued_ns{0};
   std::atomic<bool> cancel_requested{false};
   // Set by an explicit Compact() call; consumed at a step boundary.
   std::atomic<bool> compact_requested{false};
@@ -372,6 +424,8 @@ void CampaignManager::RunDeterministic(Campaign* c) {
 // consistent).
 bool CampaignManager::ApplyRun(Campaign* c) {
   if (c->apply_run.empty()) return true;
+  ServiceMetrics::Get().completion_batch->Observe(
+      static_cast<double>(c->apply_run.size()));
   c->runtime.ApplyCompletionBatch(c->apply_run.data(), c->apply_run.size());
   if (c->journal != nullptr) {
     c->journal_batch.clear();
@@ -379,6 +433,8 @@ bool CampaignManager::ApplyRun(Campaign* c) {
     for (core::ResourceId resource : c->apply_run) {
       c->journal_batch.push_back(persist::CompletionRecord{seq++, resource});
     }
+    obs::TraceSpan append_span("journal_append");
+    append_span.set_arg(static_cast<int64_t>(c->journal_batch.size()));
     util::Status journaled = c->journal->AppendCompletionBatch(
         c->journal_batch.data(), c->journal_batch.size());
     if (!journaled.ok()) {
@@ -433,6 +489,7 @@ void CampaignManager::ScheduleStep(Campaign* c) {
 // scheduled token held; the entry is popped by whichever dispatch the
 // scheduler ranks it first for.
 void CampaignManager::EnqueueDispatch(Campaign* c) {
+  c->enqueued_ns.store(obs::NowNs(), std::memory_order_relaxed);
   scheduler_->Enqueue(c->id);
   if (!pool_->Submit([this] { DispatchStep(); })) {
     // Pool already shut down (late completion during teardown). Submit
@@ -472,7 +529,14 @@ void CampaignManager::OnCompletionBatch(Campaign* c,
     }
     for (const TaskHandle& task : tasks) c->inbox.push_back(task.seq);
   }
-  if (!c->finalized.load()) ScheduleStep(c);
+  // Finalized campaigns take no more steps, so their pushes are dropped
+  // from the gauge too (a push racing Finalize's drain can leak a few
+  // units of depth; bounded by one batch and acceptable for a gauge).
+  if (!c->finalized.load()) {
+    ServiceMetrics::Get().inbox_depth->Add(
+        static_cast<int64_t>(tasks.size()));
+    ScheduleStep(c);
+  }
 }
 
 void CampaignManager::FlushJournal(Campaign* c) {
@@ -573,6 +637,24 @@ void CampaignManager::MaybeCompact(Campaign* c) {
 // hand high-priority campaigns proportionally more work per dispatch.
 void CampaignManager::Step(Campaign* c) {
   if (c->finalized.load()) return;
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  // Queue wait: the delta from this campaign's last enqueue stamp.
+  // exchange(0) so a stamp is observed exactly once even if a spurious
+  // re-dispatch lands here twice.
+  if (const uint64_t enqueued =
+          c->enqueued_ns.exchange(0, std::memory_order_relaxed);
+      enqueued != 0) {
+    const uint64_t wait_ns = obs::NowNs() - enqueued;
+    obs::Histogram* queue_wait = c->priority > 1
+                                     ? metrics.queue_wait_critical
+                                     : metrics.queue_wait_background;
+    queue_wait->Observe(static_cast<double>(wait_ns) * 1e-9);
+    obs::Trace::Record("queue_wait", enqueued, wait_ns,
+                       static_cast<int64_t>(c->id));
+  }
+  obs::ScopedTimer quantum_timer(metrics.quantum_seconds);
+  obs::TraceSpan quantum_span("quantum");
+  quantum_span.set_arg(static_cast<int64_t>(c->id));
   const int64_t quantum = scheduler_->Quantum(c->id);
   c->quanta_run.fetch_add(1, std::memory_order_relaxed);
 
@@ -609,6 +691,9 @@ void CampaignManager::Step(Campaign* c) {
       std::lock_guard<std::mutex> lock(c->inbox_mu);
       c->drained.swap(c->inbox);
     }
+    if (!c->drained.empty()) {
+      metrics.inbox_depth->Add(-static_cast<int64_t>(c->drained.size()));
+    }
     const int64_t want = quantum - applied;
     c->apply_run.clear();
     // Fast path: arrivals that are exactly the next seqs to apply (the
@@ -626,6 +711,7 @@ void CampaignManager::Step(Campaign* c) {
       c->pending.pop_front();
       ++di;
     }
+    const size_t bypassed = di;
     // Stragglers (and anything past the quantum) wait in the heap.
     for (; di < c->drained.size(); ++di) c->reorder.push(c->drained[di]);
     while (static_cast<int64_t>(c->apply_run.size()) < want &&
@@ -634,6 +720,13 @@ void CampaignManager::Step(Campaign* c) {
       c->reorder.pop();
       c->apply_run.push_back(c->pending.front());
       c->pending.pop_front();
+    }
+    if (bypassed > 0) {
+      metrics.reorder_bypass->Add(static_cast<int64_t>(bypassed));
+    }
+    if (c->apply_run.size() > bypassed) {
+      metrics.reorder_heap->Add(
+          static_cast<int64_t>(c->apply_run.size() - bypassed));
     }
     applied += static_cast<int64_t>(c->apply_run.size());
     // Vectorized apply + one batched journal append for the whole run.
@@ -769,6 +862,17 @@ void CampaignManager::Finalize(Campaign* c, CampaignState state,
   scheduler_->Unregister(c->id);
   scheduler_->compaction_budget().Forget(c->id);
   c->finalized.store(true);
+  // Undelivered completions will never be drained by a stepper now, so
+  // retire them from the fleet inbox-depth gauge; pushes arriving after
+  // the finalized flag above skip the gauge entirely.
+  {
+    std::lock_guard<std::mutex> lock(c->inbox_mu);
+    if (!c->inbox.empty()) {
+      ServiceMetrics::Get().inbox_depth->Add(
+          -static_cast<int64_t>(c->inbox.size()));
+      c->inbox.clear();
+    }
+  }
   c->terminal_cv.notify_all();
 }
 

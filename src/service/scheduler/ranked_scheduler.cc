@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace incentag {
 namespace service {
 
@@ -51,6 +53,13 @@ CampaignId RankedScheduler::PopNext() {
     size_t best = 0;
     for (size_t i = 1; i < shard.ready.size(); ++i) {
       if (pops_before(shard.ready[i], shard.ready[best])) best = i;
+    }
+    if (limit > 0 && shard.ready[best].skips >= limit) {
+      static obs::Counter* starvation_pops =
+          obs::Registry::Default().GetCounter(
+              "incentag_scheduler_starvation_pops_total",
+              "Pops forced by the starvation backstop instead of rank");
+      starvation_pops->Increment();
     }
     popped = shard.ready[best].id;
     shard.ready.erase(shard.ready.begin() + static_cast<ptrdiff_t>(best));

@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/service/completion_source.h"
 
 namespace incentag {
@@ -72,12 +73,16 @@ class ShardRing {
   // queued entry. Returns false only when the ring is provably empty.
   template <typename Visitor>
   bool PopScan(Visitor&& visit) {
+    static obs::Counter* steals = obs::Registry::Default().GetCounter(
+        "incentag_scheduler_steals_total",
+        "Pops satisfied from a shard other than the scan's start shard");
     const size_t n = shards_.size();
     for (;;) {
       const uint64_t start =
           cursor_.fetch_add(1, std::memory_order_relaxed);
       for (size_t i = 0; i < n; ++i) {
         if (visit(*shards_[(start + i) % n])) {
+          if (i > 0) steals->Increment();
           queued_.fetch_sub(1, std::memory_order_release);
           return true;
         }

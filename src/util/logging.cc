@@ -28,6 +28,23 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warn" || name == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else if (name == "none") {
+    *out = LogLevel::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
                 ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;

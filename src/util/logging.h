@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 namespace incentag {
 namespace util {
@@ -26,6 +27,11 @@ enum class LogLevel : int {
 // before spawning workers.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a --log_level flag value: "debug", "info", "warn" (or
+// "warning"), "error", "none". Returns false (leaving *out untouched)
+// for anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
 
 // Internal: printf-style sink used by the macros below.
 void LogMessage(LogLevel level, const char* file, int line, const char* fmt,

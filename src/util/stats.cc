@@ -57,7 +57,9 @@ double PearsonCorrelation(const std::vector<double>& xs,
 
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
-  assert(p >= 0.0 && p <= 100.0);
+  // Clamp instead of assert-only: the assert vanishes in release builds,
+  // where an out-of-range p used to index past the sorted vector.
+  p = std::clamp(p, 0.0, 100.0);
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values[0];
   double rank = p / 100.0 * static_cast<double>(values.size() - 1);

@@ -41,8 +41,8 @@ class RunningStats {
 double PearsonCorrelation(const std::vector<double>& xs,
                           const std::vector<double>& ys);
 
-// p-th percentile (0 <= p <= 100) by linear interpolation on a copy of
-// `values`. Returns 0 for an empty vector.
+// p-th percentile by linear interpolation on a copy of `values`; p is
+// clamped to [0, 100]. Returns 0 for an empty vector.
 double Percentile(std::vector<double> values, double p);
 
 // Histogram with logarithmic (base-10) buckets starting at 1, mirroring the

@@ -1,0 +1,210 @@
+#include "src/obs/metrics.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace obs {
+namespace {
+
+// Every test builds its own Registry so runs are hermetic; the process
+// Default() registry (shared with the instrumented library) is only
+// touched where aliasing is the point.
+
+TEST(CounterTest, AddAndValue) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("test_total", "help");
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Increment();
+  counter->Add(41);
+  EXPECT_EQ(counter->Value(), 42);
+}
+
+TEST(CounterTest, GetOrCreateAliasesByNameAndLabels) {
+  Registry registry;
+  Counter* a = registry.GetCounter("dup_total", "help");
+  Counter* b = registry.GetCounter("dup_total", "other help ignored");
+  EXPECT_EQ(a, b);
+  Counter* labeled = registry.GetCounter("dup_total", "help", "k=\"v\"");
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(labeled, registry.GetCounter("dup_total", "help", "k=\"v\""));
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("conc_total", "help");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kPerThread);
+}
+
+// Scrapes racing writers (the TSan target): the snapshot must be torn-
+// free per stripe and the final quiesced value exact.
+TEST(CounterTest, ConcurrentScrapeIsCleanAndFinalValueExact) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("scraped_total", "help");
+  Histogram* histogram = registry.GetHistogram(
+      "scraped_seconds", "help", ExponentialBounds(1.0, 2.0, 8));
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      MetricsSnapshot snapshot = registry.Snapshot();
+      ASSERT_GE(snapshot.counters.size(), 1u);
+      ASSERT_GE(snapshot.histograms.size(), 1u);
+      // Monotone reads: partial sums may lag but never exceed writes.
+      EXPECT_GE(snapshot.counters[0].value, 0);
+    }
+  });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(static_cast<double>(i % 300));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(histogram->Count(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Registry registry;
+  Gauge* gauge = registry.GetGauge("depth", "help");
+  gauge->Set(10);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->Value(), 7);
+  gauge->Set(0);
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Registry registry;
+  // Bounds 1, 2, 4: four buckets counting <=1, <=2, <=4, +Inf.
+  Histogram* histogram = registry.GetHistogram(
+      "h", "help", ExponentialBounds(1.0, 2.0, 3));
+  histogram->Observe(0.5);  // <=1
+  histogram->Observe(1.0);  // <=1 (upper bound inclusive)
+  histogram->Observe(1.5);  // <=2
+  histogram->Observe(4.0);  // <=4
+  histogram->Observe(100.0);  // +Inf overflow
+  HistogramSample sample = histogram->Snapshot();
+  ASSERT_EQ(sample.counts.size(), 4u);
+  EXPECT_EQ(sample.counts[0], 2u);
+  EXPECT_EQ(sample.counts[1], 1u);
+  EXPECT_EQ(sample.counts[2], 1u);
+  EXPECT_EQ(sample.counts[3], 1u);
+  EXPECT_EQ(sample.count, 5u);
+  EXPECT_DOUBLE_EQ(sample.sum, 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(HistogramTest, QuantileInterpolation) {
+  Registry registry;
+  Histogram* histogram = registry.GetHistogram(
+      "q", "help", std::vector<double>{10.0, 20.0, 40.0});
+  for (int i = 0; i < 100; ++i) histogram->Observe(5.0);    // bucket <=10
+  for (int i = 0; i < 100; ++i) histogram->Observe(15.0);   // bucket <=20
+  HistogramSample sample = histogram->Snapshot();
+  // Rank 100 of 200 falls exactly at the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.5), 10.0);
+  // Rank 150: halfway through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.75), 15.0);
+  // Clamped q.
+  EXPECT_DOUBLE_EQ(sample.Quantile(2.0), sample.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(sample.Quantile(-1.0), sample.Quantile(0.0));
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  HistogramSample empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+
+  // Everything in the overflow bucket reports the largest finite bound.
+  Registry registry;
+  Histogram* histogram =
+      registry.GetHistogram("over", "help", std::vector<double>{1.0});
+  histogram->Observe(50.0);
+  EXPECT_DOUBLE_EQ(histogram->Snapshot().Quantile(0.99), 1.0);
+}
+
+TEST(HistogramTest, ConcurrentObserveSumsExactly) {
+  Registry registry;
+  Histogram* histogram = registry.GetHistogram(
+      "conc_h", "help", LatencyBoundsSeconds());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Observe(1e-6 * static_cast<double>(1 + i % 1000));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram->Count(), uint64_t{kThreads} * kPerThread);
+  HistogramSample sample = histogram->Snapshot();
+  uint64_t bucket_total = 0;
+  for (uint64_t c : sample.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, sample.count);
+}
+
+TEST(BoundsTest, Builders) {
+  const std::vector<double> exp = ExponentialBounds(1.0, 2.0, 4);
+  EXPECT_EQ(exp, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const std::vector<double> latency = LatencyBoundsSeconds();
+  ASSERT_FALSE(latency.empty());
+  EXPECT_DOUBLE_EQ(latency.front(), 1e-6);
+  EXPECT_GT(latency.back(), 60.0);  // covers multi-second stalls
+  const std::vector<double> batch = BatchSizeBounds();
+  EXPECT_DOUBLE_EQ(batch.front(), 1.0);
+  EXPECT_GE(batch.back(), 8192.0);
+}
+
+TEST(RegistryTest, SnapshotPreservesRegistrationOrder) {
+  Registry registry;
+  registry.GetCounter("first_total", "a");
+  registry.GetGauge("mid_gauge", "b");
+  registry.GetCounter("second_total", "c");
+  registry.GetHistogram("h_seconds", "d", BatchSizeBounds());
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "first_total");
+  EXPECT_EQ(snapshot.counters[1].name, "second_total");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "h_seconds");
+}
+
+TEST(RegistryTest, DefaultIsProcessWideSingleton) {
+  EXPECT_EQ(&Registry::Default(), &Registry::Default());
+}
+
+TEST(ScopedTimerTest, ObservesPositiveDuration) {
+  Registry registry;
+  Histogram* histogram = registry.GetHistogram(
+      "timer_seconds", "help", LatencyBoundsSeconds());
+  { ScopedTimer timer(histogram); }
+  EXPECT_EQ(histogram->Count(), 1u);
+  EXPECT_GE(histogram->Sum(), 0.0);
+  { ScopedTimer null_timer(nullptr); }  // disabled site: must not crash
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace incentag

@@ -1,0 +1,128 @@
+#include "src/obs/trace.h"
+
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace obs {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Trace is process-global state; each test re-Enables to start from a
+// fresh ring generation and Disables on the way out.
+class TraceTest : public testing::Test {
+ protected:
+  void TearDown() override { Trace::Disable(); }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  Trace::Disable();
+  EXPECT_FALSE(Trace::enabled());
+  Trace::Record("ignored", 1, 2, 3);
+  Trace::Enable(8);
+  EXPECT_EQ(Trace::GetStats().recorded, 0u);
+}
+
+TEST_F(TraceTest, RecordsAndExportsSpans) {
+  Trace::Enable(16);
+  EXPECT_TRUE(Trace::enabled());
+  Trace::Record("quantum", 1000, 500, 7);
+  Trace::Record("fsync", 2000, 250, 0);
+  const std::string json = Trace::ExportChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"quantum\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"fsync\""), std::string::npos) << json;
+  // ts/dur are microseconds: 1000ns -> 1.000us.
+  EXPECT_NE(json.find("\"ts\":1.000,\"dur\":0.500"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"arg\":7}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestAndCountsDrops) {
+  Trace::Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    Trace::Record("span", static_cast<uint64_t>(i * 1000), 100, i);
+  }
+  const TraceStats stats = Trace::GetStats();
+  EXPECT_EQ(stats.recorded, 10u);
+  EXPECT_EQ(stats.dropped, 6u);
+  const std::string json = Trace::ExportChromeJson();
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"span\""), 4u) << json;
+  // The survivors are the newest four (args 6..9), oldest-first.
+  EXPECT_EQ(json.find("\"args\":{\"arg\":5}"), std::string::npos) << json;
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_NE(json.find("\"args\":{\"arg\":" + std::to_string(i) + "}"),
+              std::string::npos)
+        << json;
+  }
+  EXPECT_LT(json.find("\"arg\":6}"), json.find("\"arg\":9}"));
+  EXPECT_NE(json.find("\"recorded\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":6"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctRings) {
+  Trace::Enable(8);
+  Trace::Record("main_span", 0, 1, 0);
+  std::thread other([] { Trace::Record("other_span", 10, 1, 0); });
+  other.join();
+  const std::string json = Trace::ExportChromeJson();
+  EXPECT_NE(json.find("\"name\":\"main_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"other_span\""), std::string::npos);
+  // Two rings -> two distinct tids in the export.
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ResetClearsEventsButStaysEnabled) {
+  Trace::Enable(8);
+  Trace::Record("span", 0, 1, 0);
+  Trace::Reset();
+  EXPECT_TRUE(Trace::enabled());
+  EXPECT_EQ(Trace::GetStats().recorded, 0u);
+  Trace::Record("span", 0, 1, 0);
+  EXPECT_EQ(Trace::GetStats().recorded, 1u);
+}
+
+TEST_F(TraceTest, TraceSpanRecordsScopeDuration) {
+  Trace::Enable(8);
+  {
+    TraceSpan span("scoped");
+    span.set_arg(42);
+  }
+  const std::string json = Trace::ExportChromeJson();
+  EXPECT_NE(json.find("\"name\":\"scoped\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"arg\":42}"), std::string::npos) << json;
+  // A span constructed while disabled records nothing, even if tracing
+  // flips on before it destructs.
+  Trace::Disable();
+  {
+    TraceSpan dark("dark");
+    Trace::Enable(8);  // new generation; `dark` was latched disabled
+  }
+  EXPECT_EQ(Trace::GetStats().recorded, 0u);
+}
+
+TEST_F(TraceTest, ExportAfterDisableStillSeesEvents) {
+  Trace::Enable(8);
+  Trace::Record("kept", 0, 1, 0);
+  Trace::Disable();
+  EXPECT_NE(Trace::ExportChromeJson().find("\"name\":\"kept\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace incentag

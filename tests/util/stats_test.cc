@@ -77,6 +77,32 @@ TEST(PercentileTest, DegenerateInputs) {
   EXPECT_EQ(Percentile({7}, 99), 7.0);
 }
 
+// The obs exporter (src/obs/export.cc) leans on this function family for
+// its quantile math; the edge cases it hits are pinned down here.
+TEST(PercentileTest, EmptyIsZeroForAllP) {
+  EXPECT_EQ(Percentile({}, 0), 0.0);
+  EXPECT_EQ(Percentile({}, 100), 0.0);
+}
+
+TEST(PercentileTest, EndpointsAreMinAndMax) {
+  std::vector<double> v = {9, 1, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 9.0);
+}
+
+TEST(PercentileTest, OutOfRangePIsClamped) {
+  // Used to index past the vector in release builds (assert-only check).
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 150), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, -10), 1.0);
+}
+
+TEST(PercentileTest, SingleElementForAllP) {
+  EXPECT_DOUBLE_EQ(Percentile({4.5}, 0), 4.5);
+  EXPECT_DOUBLE_EQ(Percentile({4.5}, 50), 4.5);
+  EXPECT_DOUBLE_EQ(Percentile({4.5}, 100), 4.5);
+}
+
 TEST(LogHistogramTest, BucketsByPowersOfTen) {
   LogHistogram h;
   h.Add(0);
@@ -103,6 +129,25 @@ TEST(LogHistogramTest, ToStringMentionsBuckets) {
   std::string s = h.ToString();
   EXPECT_NE(s.find("1..9"), std::string::npos);
   EXPECT_NE(s.find("10..99"), std::string::npos);
+}
+
+TEST(LogHistogramTest, EmptyHistogram) {
+  LogHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.zeros(), 0u);
+  EXPECT_EQ(h.NumBuckets(), 0u);
+  EXPECT_EQ(h.BucketCount(0), 0u);  // OOB read is safe, not UB
+  EXPECT_EQ(h.ToString(), "");
+}
+
+TEST(LogHistogramTest, SingleBucket) {
+  LogHistogram h;
+  h.Add(3);
+  h.Add(7);
+  EXPECT_EQ(h.NumBuckets(), 1u);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 0u);
+  EXPECT_NE(h.ToString().find("1..9"), std::string::npos);
 }
 
 }  // namespace
