@@ -62,12 +62,23 @@ struct SweepResult {
   int64_t journal_syncs = 0;
 };
 
+// The fleet-wide sink fsync counter (the ISSUE 6/7 replacement for the
+// removed CampaignStatus::journal_syncs alias). Cumulative across the
+// process; RunOnce reads it before and after to get a per-run delta.
+int64_t JournalSyncsTotal() {
+  static obs::Counter* syncs = obs::Registry::Default().GetCounter(
+      "incentag_persist_journal_syncs_total",
+      "Journal fsyncs performed by the group-commit sink");
+  return syncs->Value();
+}
+
 SweepResult RunOnce(const bench::BenchDataset& bench_ds, int threads,
                     int64_t campaigns, int64_t budget, int64_t batch,
                     int64_t taggers, double latency_us,
                     const std::string& journal_dir,
                     int64_t journal_batch_us) {
   const sim::PreparedDataset& ds = bench_ds.dataset;
+  const int64_t syncs_before = JournalSyncsTotal();
 
   std::unique_ptr<sim::CrowdLoadGenerator> crowd;
   service::ManagerOptions options;
@@ -105,11 +116,12 @@ SweepResult RunOnce(const bench::BenchDataset& bench_ds, int threads,
   for (const service::CampaignStatus& status : manager.StatusAll()) {
     INCENTAG_CHECK(status.state == service::CampaignState::kDone);
     result.tasks += status.tasks_completed;
-    // Manager-wide counter, identical on every status; keep the latest.
-    result.journal_syncs = status.journal_syncs;
   }
   if (crowd != nullptr) crowd->Stop();
   manager.Shutdown();
+  // After Shutdown the sink has drained, so the delta covers every fsync
+  // this run performed.
+  result.journal_syncs = JournalSyncsTotal() - syncs_before;
   return result;
 }
 

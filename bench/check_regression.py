@@ -29,6 +29,28 @@ def die(message):
     sys.exit(1)
 
 
+def load_json(path, role):
+    """Reads a gate input, dying cleanly on anything unusable.
+
+    The gate's whole job is to exit non-zero on a bad state; an
+    unreadable or malformed baseline used to escape as an uncaught
+    traceback (exit 1 by accident, no FAIL line for the CI log to grep),
+    and a top-level non-object (e.g. a bare list) slipped through to a
+    confusing AttributeError later. All three are first-class failures
+    now."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        die(f"cannot read {role} {path}: {err}")
+    except json.JSONDecodeError as err:
+        die(f"{role} {path} is not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        die(f"{role} {path} must be a JSON object, got "
+            f"{type(doc).__name__}")
+    return doc
+
+
 def get_path(doc, dotted):
     node = doc
     for part in dotted.split("."):
@@ -223,14 +245,15 @@ def main():
     args = parser.parse_args()
 
     if args.update:
+        # Refuse to install an unreadable/malformed file as the new
+        # baseline — the very state load_json guards the gate against.
+        load_json(args.current, "current")
         shutil.copyfile(args.current, args.baseline)
         print(f"updated {args.baseline} from {args.current}")
         return
 
-    with open(args.baseline) as f:
-        baseline = derive_metrics(json.load(f))
-    with open(args.current) as f:
-        current = derive_metrics(json.load(f))
+    baseline = derive_metrics(load_json(args.baseline, "baseline"))
+    current = derive_metrics(load_json(args.current, "current"))
 
     print(f"perf gate: {current.get('bench')} "
           f"(tolerance {args.tolerance:.0%})")

@@ -99,8 +99,8 @@ Registry& Registry::Default() {
   return *registry;
 }
 
-Registry::Entry* Registry::Find(std::string_view name,
-                                std::string_view labels) const {
+Registry::Entry* Registry::FindLocked(std::string_view name,
+                                      std::string_view labels) const {
   // Linear scan: registration happens once per call site (cached in a
   // static), so the registry stays small and scan cost is irrelevant.
   for (const auto& entry : entries_) {
@@ -123,8 +123,8 @@ Registry::Entry* Registry::Find(std::string_view name,
 
 Counter* Registry::GetCounter(std::string_view name, std::string_view help,
                               std::string_view labels) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name, labels)) return existing->counter.get();
+  util::MutexLock lock(&mu_);
+  if (Entry* existing = FindLocked(name, labels)) return existing->counter.get();
   auto entry = std::make_unique<Entry>();
   entry->counter.reset(new Counter(std::string(name), std::string(labels),
                                    std::string(help)));
@@ -135,8 +135,8 @@ Counter* Registry::GetCounter(std::string_view name, std::string_view help,
 
 Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
                           std::string_view labels) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name, labels)) return existing->gauge.get();
+  util::MutexLock lock(&mu_);
+  if (Entry* existing = FindLocked(name, labels)) return existing->gauge.get();
   auto entry = std::make_unique<Entry>();
   entry->gauge.reset(
       new Gauge(std::string(name), std::string(labels), std::string(help)));
@@ -149,8 +149,8 @@ Histogram* Registry::GetHistogram(std::string_view name,
                                   std::string_view help,
                                   std::vector<double> bounds,
                                   std::string_view labels) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name, labels)) {
+  util::MutexLock lock(&mu_);
+  if (Entry* existing = FindLocked(name, labels)) {
     return existing->histogram.get();
   }
   auto entry = std::make_unique<Entry>();
@@ -164,7 +164,7 @@ Histogram* Registry::GetHistogram(std::string_view name,
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   MetricsSnapshot snapshot;
   for (const auto& entry : entries_) {
     if (entry->counter != nullptr) {

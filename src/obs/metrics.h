@@ -32,12 +32,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/obs/export.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace obs {
@@ -222,16 +223,16 @@ class Registry {
   static Registry& Default();
 
   Counter* GetCounter(std::string_view name, std::string_view help,
-                      std::string_view labels = {});
+                      std::string_view labels = {}) EXCLUDES(mu_);
   Gauge* GetGauge(std::string_view name, std::string_view help,
-                  std::string_view labels = {});
+                  std::string_view labels = {}) EXCLUDES(mu_);
   // `bounds` applies on first registration of this name+labels; later
   // calls return the existing histogram unchanged.
   Histogram* GetHistogram(std::string_view name, std::string_view help,
                           std::vector<double> bounds,
-                          std::string_view labels = {});
+                          std::string_view labels = {}) EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
   // One entry per registered metric, in registration order (exactly one
@@ -242,10 +243,11 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* Find(std::string_view name, std::string_view labels) const;
+  Entry* FindLocked(std::string_view name, std::string_view labels) const
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
 };
 
 // Observes the wall time of a scope into a histogram — the idiom for

@@ -3,8 +3,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace obs {
@@ -18,21 +20,22 @@ struct TraceRing {
   explicit TraceRing(size_t capacity, uint64_t tid)
       : events(capacity), tid(tid) {}
 
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  size_t next = 0;         // slot the next event lands in
-  uint64_t recorded = 0;   // total records (>= capacity once wrapped)
-  const uint64_t tid;      // registration ordinal, stable per export
+  util::Mutex mu;
+  std::vector<TraceEvent> events GUARDED_BY(mu);
+  size_t next GUARDED_BY(mu) = 0;  // slot the next event lands in
+  // Total records (>= capacity once wrapped).
+  uint64_t recorded GUARDED_BY(mu) = 0;
+  const uint64_t tid;  // registration ordinal, stable per export
 };
 
 struct TraceState {
-  std::mutex mu;
-  std::vector<std::unique_ptr<TraceRing>> rings;
+  util::Mutex mu;
+  std::vector<std::unique_ptr<TraceRing>> rings GUARDED_BY(mu);
   // Rings from before the last Enable(): a thread racing that Enable may
   // still hold a pointer into one, so they are kept allocated for the
   // process lifetime but never exported again. Bounded by Enable calls.
-  std::vector<std::unique_ptr<TraceRing>> retired;
-  size_t capacity = 0;
+  std::vector<std::unique_ptr<TraceRing>> retired GUARDED_BY(mu);
+  size_t capacity GUARDED_BY(mu) = 0;
   std::atomic<uint64_t> epoch{0};
 };
 
@@ -50,7 +53,7 @@ TraceRing* RingForThisThread() {
   TraceState& state = State();
   const uint64_t epoch = state.epoch.load(std::memory_order_acquire);
   if (cache.ring == nullptr || cache.epoch != epoch) {
-    std::lock_guard<std::mutex> lock(state.mu);
+    util::MutexLock lock(&state.mu);
     if (state.capacity == 0) return nullptr;
     state.rings.push_back(
         std::make_unique<TraceRing>(state.capacity, state.rings.size()));
@@ -72,7 +75,7 @@ std::atomic<bool> Trace::enabled_{false};
 
 void Trace::Enable(size_t per_thread_capacity) {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(&state.mu);
   for (auto& ring : state.rings) {
     state.retired.push_back(std::move(ring));
   }
@@ -92,7 +95,7 @@ void Trace::Record(const char* name, uint64_t start_ns, uint64_t dur_ns,
   if (!enabled()) return;
   TraceRing* ring = RingForThisThread();
   if (ring == nullptr) return;
-  std::lock_guard<std::mutex> lock(ring->mu);
+  util::MutexLock lock(&ring->mu);
   ring->events[ring->next] = TraceEvent{name, start_ns, dur_ns, arg};
   ring->next = (ring->next + 1) % ring->events.size();
   ++ring->recorded;
@@ -100,13 +103,13 @@ void Trace::Record(const char* name, uint64_t start_ns, uint64_t dur_ns,
 
 std::string Trace::ExportChromeJson() {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(&state.mu);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   uint64_t recorded = 0;
   uint64_t dropped = 0;
   for (const auto& ring : state.rings) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    util::MutexLock ring_lock(&ring->mu);
     const size_t capacity = ring->events.size();
     const bool wrapped = ring->recorded >= capacity;
     const size_t kept = wrapped ? capacity : ring->next;
@@ -160,9 +163,9 @@ util::Status Trace::WriteChromeJson(const std::string& path) {
 
 void Trace::Reset() {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(&state.mu);
   for (auto& ring : state.rings) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    util::MutexLock ring_lock(&ring->mu);
     ring->next = 0;
     ring->recorded = 0;
   }
@@ -170,10 +173,10 @@ void Trace::Reset() {
 
 TraceStats Trace::GetStats() {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(&state.mu);
   TraceStats stats;
   for (const auto& ring : state.rings) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    util::MutexLock ring_lock(&ring->mu);
     const size_t capacity = ring->events.size();
     const size_t kept =
         ring->recorded >= capacity ? capacity : ring->next;

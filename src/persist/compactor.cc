@@ -11,10 +11,10 @@ Compactor::~Compactor() { Stop(); }
 
 void Compactor::Enqueue(CompactionJob job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!stop_) {
       queue_.push_back(std::move(job));
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
       return;
     }
   }
@@ -27,15 +27,15 @@ void Compactor::Enqueue(CompactionJob job) {
 }
 
 void Compactor::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !running_job_; });
+  util::MutexLock lock(&mu_);
+  while (!queue_.empty() || running_job_) idle_cv_.Wait(&mu_);
 }
 
 void Compactor::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     stop_ = true;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   std::call_once(join_once_, [this] {
     if (thread_.joinable()) thread_.join();
@@ -43,7 +43,7 @@ void Compactor::Stop() {
 }
 
 int64_t Compactor::compactions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return completed_;
 }
 
@@ -51,8 +51,8 @@ void Compactor::Loop() {
   for (;;) {
     CompactionJob job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(&mu_);
       // Drain the queue even when stopping: Stop promises every job
       // enqueued before it completes (writers are still alive then).
       if (queue_.empty()) break;
@@ -64,10 +64,10 @@ void Compactor::Loop() {
         job.writer->Compact(job.submit, job.snapshot, job.tail_offset);
     if (job.done) job.done(status);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       running_job_ = false;
       ++completed_;
-      if (queue_.empty()) idle_cv_.notify_all();
+      if (queue_.empty()) idle_cv_.NotifyAll();
     }
   }
 }

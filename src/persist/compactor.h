@@ -23,7 +23,6 @@
 #ifndef INCENTAG_PERSIST_COMPACTOR_H_
 #define INCENTAG_PERSIST_COMPACTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -31,6 +30,8 @@
 #include <thread>
 
 #include "src/persist/journal.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace persist {
@@ -56,27 +57,27 @@ class Compactor {
 
   // Queues one rewrite. After Stop the job is rejected: `done` (if any)
   // fires inline with FailedPrecondition and nothing is touched.
-  void Enqueue(CompactionJob job);
+  void Enqueue(CompactionJob job) EXCLUDES(mu_);
 
   // Blocks until every job enqueued before the call has finished.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   // Drains, then joins the thread. Idempotent.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   // Completed rewrites (successful or not), for tests and benches.
-  int64_t compactions() const;
+  int64_t compactions() const EXCLUDES(mu_);
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // signals the compactor thread
-  std::condition_variable idle_cv_;  // signals Drain waiters
-  std::deque<CompactionJob> queue_;
-  bool running_job_ = false;
-  int64_t completed_ = 0;
-  bool stop_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;  // signals the compactor thread
+  util::CondVar idle_cv_;  // signals Drain waiters
+  std::deque<CompactionJob> queue_ GUARDED_BY(mu_);
+  bool running_job_ GUARDED_BY(mu_) = false;
+  int64_t completed_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::once_flag join_once_;
   std::thread thread_;
 };

@@ -238,7 +238,7 @@ obs::Counter* AppendBytesCounter() {
 util::Status JournalWriter::AppendFramed(std::string_view body) {
   const std::string frame = FrameRecord(body);
   AppendBytesCounter()->Add(static_cast<int64_t>(frame.size()));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return file_.Append(frame);
 }
 
@@ -262,7 +262,7 @@ util::Status JournalWriter::AppendCompletionBatch(
     AppendFramedCompletionRecord(records[i], &arena);
   }
   AppendBytesCounter()->Add(static_cast<int64_t>(arena.size()));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return file_.Append(arena);
 }
 
@@ -273,17 +273,17 @@ util::Status JournalWriter::AppendCancel() {
 }
 
 util::Status JournalWriter::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return file_.Flush();
 }
 
 util::Status JournalWriter::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return file_.Sync();
 }
 
 int64_t JournalWriter::size() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return file_.size();
 }
 
@@ -317,7 +317,7 @@ util::Status JournalWriter::Compact(const SubmitRecord& submit,
   // copy only extend the file past `flushed`; phase 2 picks them up.
   int64_t flushed = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     INCENTAG_RETURN_IF_ERROR(file_.Flush());
     flushed = file_.size();
   }
@@ -336,7 +336,7 @@ util::Status JournalWriter::Compact(const SubmitRecord& submit,
   // Phase 2, under the writer lock: copy the delta appended during phase
   // 1, make the rewrite durable and swap it in. Appenders stall for one
   // small copy + fsync + rename, not for the bulk copy above.
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   INCENTAG_RETURN_IF_ERROR(file_.Flush());
   const int64_t final_size = file_.size();
   if (final_size > flushed) {

@@ -38,14 +38,15 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/allocation.h"
 #include "src/core/types.h"
 #include "src/util/file_io.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace persist {
@@ -153,8 +154,9 @@ class JournalWriter {
   static util::Result<std::unique_ptr<JournalWriter>> Open(
       const std::string& path, int64_t truncate_to = -1);
 
-  util::Status AppendSubmit(const SubmitRecord& record);
-  util::Status AppendCompletion(const CompletionRecord& record);
+  util::Status AppendSubmit(const SubmitRecord& record) EXCLUDES(mu_);
+  util::Status AppendCompletion(const CompletionRecord& record)
+      EXCLUDES(mu_);
   // Appends a whole quantum of completion records with one writer-lock
   // acquisition and one buffered append: the records are framed (one CRC
   // pass each, same on-disk bytes as `count` AppendCompletion calls —
@@ -162,16 +164,16 @@ class JournalWriter {
   // buffer, so steady-state batches allocate nothing. All-or-nothing at
   // the buffer level: on error none of the batch was accepted.
   util::Status AppendCompletionBatch(const CompletionRecord* records,
-                                     size_t count);
-  util::Status AppendCancel();
+                                     size_t count) EXCLUDES(mu_);
+  util::Status AppendCancel() EXCLUDES(mu_);
 
-  util::Status Flush();
-  util::Status Sync();
+  util::Status Flush() EXCLUDES(mu_);
+  util::Status Sync() EXCLUDES(mu_);
 
   // Logical journal size in bytes (appended, possibly still buffered).
   // A stepper reads this right after taking a snapshot: everything at or
   // beyond the returned offset is the snapshot's tail.
-  int64_t size();
+  int64_t size() EXCLUDES(mu_);
 
   // Atomically rewrites the journal as `submit + snapshot + tail`, where
   // the tail is every byte from `tail_offset` to the end — the
@@ -184,18 +186,22 @@ class JournalWriter {
   // either the old journal (plus a stale tmp) or the new one, never a
   // mix.
   util::Status Compact(const SubmitRecord& submit,
-                       const SnapshotRecord& snapshot, int64_t tail_offset);
+                       const SnapshotRecord& snapshot, int64_t tail_offset)
+      EXCLUDES(mu_);
 
   const std::string& path() const { return path_; }
 
  private:
   explicit JournalWriter(std::string path) : path_(std::move(path)) {}
 
-  util::Status AppendFramed(std::string_view body);
+  util::Status AppendFramed(std::string_view body) EXCLUDES(mu_);
 
   const std::string path_;
-  std::mutex mu_;
-  util::AppendFile file_;
+  util::Mutex mu_;
+  // The open journal fd + userspace buffer. Stepper threads append while
+  // the sink thread fsyncs and the compactor swaps the descriptor, all
+  // through this one handle — every touch holds mu_.
+  util::AppendFile file_ GUARDED_BY(mu_);
 };
 
 // Parses a whole journal file. `tail_status` distinguishes a clean end

@@ -17,10 +17,10 @@ JournalSink::~JournalSink() { Stop(); }
 
 void JournalSink::Schedule(JournalWriter* writer) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!stopped_) {
       dirty_.insert(writer);
-      dirty_cv_.notify_one();
+      dirty_cv_.NotifyOne();
       return;
     }
   }
@@ -29,22 +29,20 @@ void JournalSink::Schedule(JournalWriter* writer) {
 }
 
 void JournalSink::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   // Anything dirty right now is covered by the next pass to start; a pass
   // already in flight (started > finished) must also land.
   const int64_t target =
       dirty_.empty() ? epoch_started_ : epoch_started_ + 1;
-  dirty_cv_.notify_one();
-  synced_cv_.wait(lock, [this, target] {
-    return epoch_finished_ >= target || stopped_;
-  });
+  dirty_cv_.NotifyOne();
+  while (epoch_finished_ < target && !stopped_) synced_cv_.Wait(&mu_);
 }
 
 void JournalSink::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     stop_ = true;
-    dirty_cv_.notify_one();
+    dirty_cv_.NotifyOne();
   }
   // call_once: concurrent Stop callers must not race on join(), and every
   // caller returns only after the sink thread is really gone.
@@ -52,18 +50,22 @@ void JournalSink::Stop() {
 }
 
 int64_t JournalSink::syncs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return journals_synced_;
 }
 
 void JournalSink::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // The batch loop interleaves locked bookkeeping with unlocked fsyncs,
+  // so it manages mu_ explicitly; the analysis checks that every path —
+  // including the loop back-edge — re-enters the loop holding the lock.
+  mu_.Lock();
   for (;;) {
-    dirty_cv_.wait(lock, [this] { return stop_ || !dirty_.empty(); });
+    while (!stop_ && dirty_.empty()) dirty_cv_.Wait(&mu_);
     if (dirty_.empty()) {
       // stop_ set and nothing left to sync: exit, releasing Drain waiters.
       stopped_ = true;
-      synced_cv_.notify_all();
+      synced_cv_.NotifyAll();
+      mu_.Unlock();
       return;
     }
     static obs::Histogram* fsync_seconds =
@@ -80,7 +82,7 @@ void JournalSink::Loop() {
     std::vector<JournalWriter*> batch(dirty_.begin(), dirty_.end());
     dirty_.clear();
     ++epoch_started_;
-    lock.unlock();
+    mu_.Unlock();
     commit_batch->Observe(static_cast<double>(batch.size()));
     for (JournalWriter* writer : batch) {
       obs::TraceSpan span("fsync");
@@ -88,19 +90,19 @@ void JournalSink::Loop() {
       writer->Sync();  // an IO error here is retried at terminal Sync
       syncs->Increment();
     }
-    lock.lock();
+    mu_.Lock();
     // Release Drain()/Stop() waiters the moment durability is achieved —
     // the coalescing sleep below must not tax them.
     ++epoch_finished_;
     journals_synced_ += static_cast<int64_t>(batch.size());
-    synced_cv_.notify_all();
+    synced_cv_.NotifyAll();
     if (!stop_ && options_.batch_interval_us > 0) {
       // Widen the coalescing window so steps landing right after this
       // pass share the next fsync instead of each triggering one.
-      lock.unlock();
+      mu_.Unlock();
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.batch_interval_us));
-      lock.lock();
+      mu_.Lock();
     }
   }
 }

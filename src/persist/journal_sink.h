@@ -19,13 +19,14 @@
 #ifndef INCENTAG_PERSIST_JOURNAL_SINK_H_
 #define INCENTAG_PERSIST_JOURNAL_SINK_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "src/persist/journal.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace persist {
@@ -46,31 +47,32 @@ class JournalSink {
 
   // Marks `writer` as having unsynced appends. The writer must stay alive
   // until a Drain() (or Stop()) after its last Schedule.
-  void Schedule(JournalWriter* writer);
+  void Schedule(JournalWriter* writer) EXCLUDES(mu_);
 
   // Blocks until every journal scheduled before the call has been synced.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   // Drains, then joins the sink thread. Idempotent; Schedule after Stop
   // syncs inline on the calling thread (teardown straggler safety).
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   // Total fsync passes and journals synced, for tests and bench output.
-  int64_t syncs() const;
+  int64_t syncs() const EXCLUDES(mu_);
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(mu_);
 
   JournalSinkOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable dirty_cv_;   // signals the sink thread
-  std::condition_variable synced_cv_;  // signals Drain waiters
-  std::unordered_set<JournalWriter*> dirty_;
-  int64_t epoch_started_ = 0;   // monotonically counts sync passes begun
-  int64_t epoch_finished_ = 0;  // passes fully fsynced
-  int64_t journals_synced_ = 0;
-  bool stop_ = false;
-  bool stopped_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar dirty_cv_;   // signals the sink thread
+  util::CondVar synced_cv_;  // signals Drain waiters
+  std::unordered_set<JournalWriter*> dirty_ GUARDED_BY(mu_);
+  // Monotonically counts sync passes begun / fully fsynced.
+  int64_t epoch_started_ GUARDED_BY(mu_) = 0;
+  int64_t epoch_finished_ GUARDED_BY(mu_) = 0;
+  int64_t journals_synced_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
   std::once_flag join_once_;
   std::thread thread_;
 };

@@ -34,7 +34,7 @@ bool ReplayCompletionSource::SubmitTasks(
   std::vector<service::TaskHandle> to_complete;
   bool halted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!error_.ok()) return false;
     to_complete.reserve(tasks.size());
     for (const service::TaskHandle& task : tasks) {
@@ -67,17 +67,17 @@ bool ReplayCompletionSource::SubmitTasks(
   if (!to_complete.empty()) {
     done(std::span<const service::TaskHandle>(to_complete));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return !halted && error_.ok();
 }
 
 size_t ReplayCompletionSource::remaining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return trace_.size() - next_;
 }
 
 util::Status ReplayCompletionSource::error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return error_;
 }
 

@@ -27,12 +27,13 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/persist/journal.h"
 #include "src/service/completion_source.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace persist {
@@ -55,20 +56,20 @@ class ReplayCompletionSource : public service::CompletionSource {
       TailPolicy tail_policy = TailPolicy::kCompleteTail);
 
   bool SubmitTasks(const std::vector<service::TaskHandle>& tasks,
-                   const CompletionFn& done) override;
+                   const CompletionFn& done) override EXCLUDES(mu_);
 
   // Records not yet replayed.
-  size_t remaining() const;
+  size_t remaining() const EXCLUDES(mu_);
   // Non-OK once a submitted task contradicted the trace; the source stops
   // completing tasks at that point.
-  util::Status error() const;
+  util::Status error() const EXCLUDES(mu_);
 
  private:
   const std::vector<CompletionRecord> trace_;
   const TailPolicy tail_policy_;
-  mutable std::mutex mu_;
-  size_t next_ = 0;  // index into trace_
-  util::Status error_;
+  mutable util::Mutex mu_;
+  size_t next_ GUARDED_BY(mu_) = 0;  // index into trace_
+  util::Status error_ GUARDED_BY(mu_);
 };
 
 }  // namespace persist

@@ -1,7 +1,7 @@
 #include "src/service/campaign_manager.h"
 
 #include <algorithm>
-#include <condition_variable>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <queue>
@@ -13,7 +13,9 @@
 #include "src/obs/trace.h"
 #include "src/util/file_io.h"
 #include "src/util/logging.h"
+#include "src/util/mutex.h"
 #include "src/util/stopwatch.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace service {
@@ -215,26 +217,26 @@ struct CampaignManager::Campaign {
   // Completion spans land here under one lock per span; the stepper
   // swap-drains into `drained`, so the two vectors ping-pong their
   // capacity and neither side reallocates in steady state.
-  std::mutex inbox_mu;
-  std::vector<uint64_t> inbox;
+  util::Mutex inbox_mu;
+  std::vector<uint64_t> inbox GUARDED_BY(inbox_mu);
 
   // ---- published snapshot + terminal state ----
-  mutable std::mutex status_mu;
-  std::condition_variable terminal_cv;
-  CampaignState state = CampaignState::kRunning;
-  core::AllocationMetrics metrics;
-  int64_t budget_spent = 0;
-  int64_t tasks_completed = 0;
-  int64_t tasks_in_flight = 0;
-  int64_t records_replayed = 0;
-  size_t checkpoints_recorded = 0;
-  double queue_delay_seconds = 0.0;
-  double elapsed_seconds = 0.0;
+  mutable util::Mutex status_mu;
+  util::CondVar terminal_cv;
+  CampaignState state GUARDED_BY(status_mu) = CampaignState::kRunning;
+  core::AllocationMetrics metrics GUARDED_BY(status_mu);
+  int64_t budget_spent GUARDED_BY(status_mu) = 0;
+  int64_t tasks_completed GUARDED_BY(status_mu) = 0;
+  int64_t tasks_in_flight GUARDED_BY(status_mu) = 0;
+  int64_t records_replayed GUARDED_BY(status_mu) = 0;
+  size_t checkpoints_recorded GUARDED_BY(status_mu) = 0;
+  double queue_delay_seconds GUARDED_BY(status_mu) = 0.0;
+  double elapsed_seconds GUARDED_BY(status_mu) = 0.0;
   // Deadline slack frozen at the moment the campaign went terminal;
   // while it runs, Status computes the live value instead.
-  double final_deadline_slack_seconds = 0.0;
-  std::string error;
-  core::RunReport report;
+  double final_deadline_slack_seconds GUARDED_BY(status_mu) = 0.0;
+  std::string error GUARDED_BY(status_mu);
+  core::RunReport report GUARDED_BY(status_mu);
 
   double DeadlineSlackNow() const {
     return deadline_seconds > 0.0
@@ -247,8 +249,9 @@ struct CampaignManager::Campaign {
 // are never erased before the manager is destroyed, so a pointer obtained
 // under the shard lock stays valid afterwards.
 struct CampaignManager::Shard {
-  mutable std::mutex mu;
-  std::unordered_map<CampaignId, std::unique_ptr<Campaign>> campaigns;
+  mutable util::Mutex mu;
+  std::unordered_map<CampaignId, std::unique_ptr<Campaign>> campaigns
+      GUARDED_BY(mu);
 };
 
 CampaignManager::CampaignManager(ManagerOptions options)
@@ -318,7 +321,7 @@ int CampaignManager::num_threads() const {
 size_t CampaignManager::num_campaigns() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     n += shard->campaigns.size();
   }
   return n;
@@ -327,7 +330,7 @@ size_t CampaignManager::num_campaigns() const {
 CampaignManager::Campaign* CampaignManager::Find(CampaignId id) const {
   const Shard& shard =
       *shards_[id % static_cast<CampaignId>(shards_.size())];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   auto it = shard.campaigns.find(id);
   return it == shard.campaigns.end() ? nullptr : it->second.get();
 }
@@ -335,7 +338,7 @@ CampaignManager::Campaign* CampaignManager::Find(CampaignId id) const {
 util::Status CampaignManager::TryRegister(
     CampaignId id, std::unique_ptr<Campaign> campaign) {
   Shard& shard = *shards_[id % static_cast<CampaignId>(shards_.size())];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   // Checked under the shard lock so Submit and Shutdown's sweep cannot
   // miss each other: Shutdown sets the flag before locking the shards,
   // so either this read sees it (reject) or the sweep's later snapshot
@@ -516,7 +519,7 @@ void CampaignManager::DispatchStep() {
 void CampaignManager::OnCompletionBatch(Campaign* c,
                                         std::span<const TaskHandle> tasks) {
   {
-    std::lock_guard<std::mutex> lock(c->inbox_mu);
+    util::MutexLock lock(&c->inbox_mu);
     if (c->inbox.capacity() == 0) {
       // First push: size for a whole assignment batch up front instead
       // of growing through the doubling ladder (ISSUE 5 satellite).
@@ -688,7 +691,7 @@ void CampaignManager::Step(Campaign* c) {
     // collect the in-order run to apply.
     c->drained.clear();
     {
-      std::lock_guard<std::mutex> lock(c->inbox_mu);
+      util::MutexLock lock(&c->inbox_mu);
       c->drained.swap(c->inbox);
     }
     if (!c->drained.empty()) {
@@ -787,7 +790,7 @@ void CampaignManager::Step(Campaign* c) {
     c->scheduled.store(false);
     bool inbox_nonempty;
     {
-      std::lock_guard<std::mutex> lock(c->inbox_mu);
+      util::MutexLock lock(&c->inbox_mu);
       inbox_nonempty = !c->inbox.empty();
     }
     if ((inbox_nonempty || c->cancel_requested.load()) &&
@@ -799,7 +802,7 @@ void CampaignManager::Step(Campaign* c) {
 }
 
 void CampaignManager::PublishStatus(Campaign* c) {
-  std::lock_guard<std::mutex> lock(c->status_mu);
+  util::MutexLock lock(&c->status_mu);
   c->metrics = c->runtime.Metrics();
   c->budget_spent = c->runtime.spent();
   c->tasks_completed = c->runtime.tasks_completed();
@@ -825,7 +828,7 @@ void CampaignManager::Finalize(Campaign* c, CampaignState state,
   // Keep the token forever: no further steps can be scheduled, and late
   // completions are dropped in OnCompletion via `finalized`.
   {
-    std::lock_guard<std::mutex> lock(c->status_mu);
+    util::MutexLock lock(&c->status_mu);
     c->state = state;
     c->error = std::move(error);
     if (state != CampaignState::kFailed) {
@@ -866,14 +869,14 @@ void CampaignManager::Finalize(Campaign* c, CampaignState state,
   // retire them from the fleet inbox-depth gauge; pushes arriving after
   // the finalized flag above skip the gauge entirely.
   {
-    std::lock_guard<std::mutex> lock(c->inbox_mu);
+    util::MutexLock lock(&c->inbox_mu);
     if (!c->inbox.empty()) {
       ServiceMetrics::Get().inbox_depth->Add(
           -static_cast<int64_t>(c->inbox.size()));
       c->inbox.clear();
     }
   }
-  c->terminal_cv.notify_all();
+  c->terminal_cv.NotifyAll();
 }
 
 util::Status CampaignManager::Cancel(CampaignId id) {
@@ -912,8 +915,7 @@ util::Result<CampaignStatus> CampaignManager::Status(CampaignId id) const {
   out.budget = c->config.options.budget;
   out.priority = c->priority;
   out.quanta_run = c->quanta_run.load(std::memory_order_relaxed);
-  out.journal_syncs = sink_ == nullptr ? 0 : sink_->syncs();
-  std::lock_guard<std::mutex> lock(c->status_mu);
+  util::MutexLock lock(&c->status_mu);
   out.state = c->state;
   out.deadline_slack_seconds = c->state == CampaignState::kRunning
                                    ? c->DeadlineSlackNow()
@@ -937,7 +939,7 @@ util::Result<CampaignStatus> CampaignManager::Status(CampaignId id) const {
 std::vector<CampaignStatus> CampaignManager::StatusAll() const {
   std::vector<CampaignId> ids;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     for (const auto& [id, campaign] : shard->campaigns) ids.push_back(id);
   }
   std::sort(ids.begin(), ids.end());
@@ -953,9 +955,10 @@ std::vector<CampaignStatus> CampaignManager::StatusAll() const {
 util::Result<core::RunReport> CampaignManager::Wait(CampaignId id) {
   Campaign* c = Find(id);
   if (c == nullptr) return util::Status::NotFound("no such campaign");
-  std::unique_lock<std::mutex> lock(c->status_mu);
-  c->terminal_cv.wait(
-      lock, [c] { return c->state != CampaignState::kRunning; });
+  util::MutexLock lock(&c->status_mu);
+  while (c->state == CampaignState::kRunning) {
+    c->terminal_cv.Wait(&c->status_mu);
+  }
   if (c->state == CampaignState::kFailed) {
     return util::Status::Internal("campaign failed: " + c->error);
   }
@@ -966,10 +969,15 @@ util::Result<CampaignResult> CampaignManager::WaitFor(
     CampaignId id, std::chrono::milliseconds timeout) {
   Campaign* c = Find(id);
   if (c == nullptr) return util::Status::NotFound("no such campaign");
-  std::unique_lock<std::mutex> lock(c->status_mu);
-  if (!c->terminal_cv.wait_for(lock, timeout, [c] {
-        return c->state != CampaignState::kRunning;
-      })) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(&c->status_mu);
+  while (c->state == CampaignState::kRunning) {
+    if (!c->terminal_cv.WaitUntil(&c->status_mu, deadline) &&
+        c->state == CampaignState::kRunning) {
+      break;
+    }
+  }
+  if (c->state == CampaignState::kRunning) {
     return util::Status::DeadlineExceeded(
         "campaign " + std::to_string(id) + " not terminal after " +
         std::to_string(timeout.count()) + "ms");
@@ -985,7 +993,7 @@ util::Result<CampaignResult> CampaignManager::WaitFor(
 void CampaignManager::WaitAll() {
   std::vector<CampaignId> ids;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     for (const auto& [id, campaign] : shard->campaigns) ids.push_back(id);
   }
   for (CampaignId id : ids) Wait(id);
@@ -1194,7 +1202,7 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
     // Observability for benches and the recovery demo: how much tail the
     // snapshot seek left to replay. Guarded because pollers may already
     // see the registered campaign.
-    std::lock_guard<std::mutex> lock(c->status_mu);
+    util::MutexLock lock(&c->status_mu);
     c->records_replayed = replayed;
   }
 
@@ -1252,7 +1260,7 @@ void CampaignManager::Shutdown() {
       // to finalize them, then drain and join the pool.
       std::vector<Campaign*> live;
       for (const auto& shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        util::MutexLock lock(&shard->mu);
         for (const auto& [id, campaign] : shard->campaigns) {
           live.push_back(campaign.get());
         }
@@ -1262,9 +1270,10 @@ void CampaignManager::Shutdown() {
         if (!c->finalized.load()) ScheduleStep(c);
       }
       for (Campaign* c : live) {
-        std::unique_lock<std::mutex> lock(c->status_mu);
-        c->terminal_cv.wait(
-            lock, [c] { return c->state != CampaignState::kRunning; });
+        util::MutexLock lock(&c->status_mu);
+        while (c->state == CampaignState::kRunning) {
+          c->terminal_cv.Wait(&c->status_mu);
+        }
       }
       pool_->Shutdown();
     }

@@ -143,15 +143,6 @@ struct CampaignStatus {
   // Scheduler quanta this campaign has run (1 per Step dispatch;
   // deterministic mode runs a campaign as a single quantum).
   int64_t quanta_run = 0;
-  // DEPRECATED (ISSUE 6): this is a manager-wide counter copied
-  // identically onto every campaign's status, not per-campaign data.
-  // Read `incentag_persist_journal_syncs_total` from the fleet
-  // obs::MetricsSnapshot instead (migration notes:
-  // src/service/README.md). Kept populated for one release, then the
-  // field goes away. Semantics unchanged: journal fsyncs performed by
-  // the group-commit JournalSink; 0 when journaling is off, and
-  // syncs << completions is the group-commit win.
-  int64_t journal_syncs = 0;
   // Time from Submit until the first step ran — scheduler queueing, not
   // campaign work. Zero until the first step.
   double queue_delay_seconds = 0.0;

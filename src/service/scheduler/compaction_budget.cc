@@ -6,7 +6,7 @@ namespace incentag {
 namespace service {
 
 bool CompactionBudget::Request(CampaignId id, int64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (max_concurrent_ <= 0) {
     ++in_flight_;
     max_in_flight_ = std::max(max_in_flight_, in_flight_);
@@ -36,33 +36,33 @@ bool CompactionBudget::Request(CampaignId id, int64_t bytes) {
 }
 
 void CompactionBudget::Release(CampaignId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   pending_.erase(id);  // defensive; an admitted request was erased already
   if (in_flight_ > 0) --in_flight_;
 }
 
 void CompactionBudget::Forget(CampaignId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   pending_.erase(id);
 }
 
 int64_t CompactionBudget::in_flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return in_flight_;
 }
 
 int64_t CompactionBudget::max_in_flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return max_in_flight_;
 }
 
 int64_t CompactionBudget::admitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return admitted_;
 }
 
 int64_t CompactionBudget::deferred() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return deferred_;
 }
 

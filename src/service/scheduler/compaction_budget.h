@@ -24,10 +24,11 @@
 #define INCENTAG_SERVICE_SCHEDULER_COMPACTION_BUDGET_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/service/completion_source.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace service {
@@ -46,31 +47,31 @@ class CompactionBudget {
   // true, a slot is held until Release(id) — iff a slot is free and no
   // other pending request has more bytes (ties admit, so equal-size
   // journals cannot deadlock each other).
-  bool Request(CampaignId id, int64_t bytes);
+  bool Request(CampaignId id, int64_t bytes) EXCLUDES(mu_);
 
   // Frees the slot held by an admitted request.
-  void Release(CampaignId id);
+  void Release(CampaignId id) EXCLUDES(mu_);
 
   // Drops a pending (not admitted) request — called when the campaign
   // goes terminal so a stale request cannot outrank live ones.
-  void Forget(CampaignId id);
+  void Forget(CampaignId id) EXCLUDES(mu_);
 
   int max_concurrent() const { return max_concurrent_; }
-  int64_t in_flight() const;
+  int64_t in_flight() const EXCLUDES(mu_);
   // High-water mark of concurrent admissions, for tests: with
   // max_concurrent=1 this must never exceed 1 across a whole fleet.
-  int64_t max_in_flight() const;
-  int64_t admitted() const;
-  int64_t deferred() const;
+  int64_t max_in_flight() const EXCLUDES(mu_);
+  int64_t admitted() const EXCLUDES(mu_);
+  int64_t deferred() const EXCLUDES(mu_);
 
  private:
   const int max_concurrent_;
-  mutable std::mutex mu_;
-  std::unordered_map<CampaignId, int64_t> pending_;
-  int64_t in_flight_ = 0;
-  int64_t max_in_flight_ = 0;
-  int64_t admitted_ = 0;
-  int64_t deferred_ = 0;
+  mutable util::Mutex mu_;
+  std::unordered_map<CampaignId, int64_t> pending_ GUARDED_BY(mu_);
+  int64_t in_flight_ GUARDED_BY(mu_) = 0;
+  int64_t max_in_flight_ GUARDED_BY(mu_) = 0;
+  int64_t admitted_ GUARDED_BY(mu_) = 0;
+  int64_t deferred_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace service

@@ -20,7 +20,7 @@ void RankedScheduler::Register(CampaignId id, const ScheduleParams& params) {
                             ? clock_.ElapsedSeconds() + params.deadline_seconds
                             : kNoDeadline;
   Shard& shard = shards_.ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   shard.params[id] = normalized;
 }
 
@@ -28,31 +28,35 @@ void RankedScheduler::Enqueue(CampaignId id) {
   // Count-then-insert: see ShardRing's liveness contract.
   shards_.NoteEnqueued();
   Shard& shard = shards_.ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   shard.ready.push_back(Entry{id, shard.next_tick++, 0});
+}
+
+bool RankedScheduler::PopsBeforeLocked(const Shard& shard, const Entry& a,
+                                       const Entry& b) const {
+  // Hard starvation bound dominates rank; among starving, oldest wins.
+  const int64_t limit = options_.starvation_limit;
+  const bool a_starving = limit > 0 && a.skips >= limit;
+  const bool b_starving = limit > 0 && b.skips >= limit;
+  if (a_starving != b_starving) return a_starving;
+  if (a_starving) return a.tick < b.tick;
+  const double a_key = RankKey(a, ParamsOfLocked(shard, a.id));
+  const double b_key = RankKey(b, ParamsOfLocked(shard, b.id));
+  if (a_key != b_key) return a_key < b_key;
+  return a.tick < b.tick;
 }
 
 CampaignId RankedScheduler::PopNext() {
   const int64_t limit = options_.starvation_limit;
   CampaignId popped = 0;
   shards_.PopScan([&](Shard& shard) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     if (shard.ready.empty()) return false;
-    auto pops_before = [&](const Entry& a, const Entry& b) {
-      // Hard starvation bound dominates rank; among starving, oldest
-      // wins.
-      const bool a_starving = limit > 0 && a.skips >= limit;
-      const bool b_starving = limit > 0 && b.skips >= limit;
-      if (a_starving != b_starving) return a_starving;
-      if (a_starving) return a.tick < b.tick;
-      const double a_key = RankKey(a, ParamsOfLocked(shard, a.id));
-      const double b_key = RankKey(b, ParamsOfLocked(shard, b.id));
-      if (a_key != b_key) return a_key < b_key;
-      return a.tick < b.tick;
-    };
     size_t best = 0;
     for (size_t i = 1; i < shard.ready.size(); ++i) {
-      if (pops_before(shard.ready[i], shard.ready[best])) best = i;
+      if (PopsBeforeLocked(shard, shard.ready[i], shard.ready[best])) {
+        best = i;
+      }
     }
     if (limit > 0 && shard.ready[best].skips >= limit) {
       static obs::Counter* starvation_pops =
@@ -73,7 +77,7 @@ void RankedScheduler::Unregister(CampaignId id) {
   Shard& shard = shards_.ShardOf(id);
   int64_t erased = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     const auto end =
         std::remove_if(shard.ready.begin(), shard.ready.end(),
                        [id](const Entry& e) { return e.id == id; });
@@ -86,7 +90,7 @@ void RankedScheduler::Unregister(CampaignId id) {
 
 int64_t RankedScheduler::Quantum(CampaignId id) {
   Shard& shard = shards_.ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   return QuantumFor(ParamsOfLocked(shard, id));
 }
 

@@ -26,13 +26,14 @@
 #define INCENTAG_SERVICE_SCHEDULER_RANKED_SCHEDULER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/service/scheduler/scheduler.h"
 #include "src/service/scheduler/shard_ring.h"
+#include "src/util/mutex.h"
 #include "src/util/stopwatch.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace service {
@@ -84,15 +85,23 @@ class RankedScheduler : public Scheduler {
 
  private:
   struct alignas(64) Shard {
-    std::mutex mu;
-    std::vector<Entry> ready;
-    std::unordered_map<CampaignId, CampaignParams> params;
-    uint64_t next_tick = 0;  // ticks are only ever compared shard-locally
+    util::Mutex mu;
+    std::vector<Entry> ready GUARDED_BY(mu);
+    std::unordered_map<CampaignId, CampaignParams> params GUARDED_BY(mu);
+    // Ticks are only ever compared shard-locally.
+    uint64_t next_tick GUARDED_BY(mu) = 0;
   };
 
   // Params of `id` with its shard lock held; defaults for unregistered
   // campaigns (priority 1, no deadline).
-  CampaignParams ParamsOfLocked(const Shard& shard, CampaignId id) const;
+  CampaignParams ParamsOfLocked(const Shard& shard, CampaignId id) const
+      REQUIRES(shard.mu);
+
+  // PopNext's pick order within one locked shard: does `a` pop before
+  // `b`? A member (not a lambda inside the scan) so the analysis can
+  // tie the required capability to the `shard` parameter.
+  bool PopsBeforeLocked(const Shard& shard, const Entry& a,
+                        const Entry& b) const REQUIRES(shard.mu);
 
   ShardRing<Shard> shards_;
   // Base of the absolute-deadline clock, so comparisons never involve

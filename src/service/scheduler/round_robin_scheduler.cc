@@ -11,7 +11,7 @@ void RoundRobinScheduler::Unregister(CampaignId id) {
   Shard& shard = shards_.ShardOf(id);
   int64_t erased = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     const auto end =
         std::remove(shard.ready.begin(), shard.ready.end(), id);
     erased = shard.ready.end() - end;
@@ -24,7 +24,7 @@ void RoundRobinScheduler::Enqueue(CampaignId id) {
   // Count-then-insert: see ShardRing's liveness contract.
   shards_.NoteEnqueued();
   Shard& shard = shards_.ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   shard.ready.push_back(id);
 }
 
@@ -35,7 +35,7 @@ CampaignId RoundRobinScheduler::PopNext() {
   // concurrent dispatch or unregistered) and nothing can be stranded.
   CampaignId popped = 0;
   shards_.PopScan([&popped](Shard& shard) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     if (shard.ready.empty()) return false;
     popped = shard.ready.front();
     shard.ready.pop_front();

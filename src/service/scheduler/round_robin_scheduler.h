@@ -17,10 +17,11 @@
 #define INCENTAG_SERVICE_SCHEDULER_ROUND_ROBIN_SCHEDULER_H_
 
 #include <deque>
-#include <mutex>
 
 #include "src/service/scheduler/scheduler.h"
 #include "src/service/scheduler/shard_ring.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace service {
@@ -40,8 +41,8 @@ class RoundRobinScheduler : public Scheduler {
 
  private:
   struct alignas(64) Shard {
-    std::mutex mu;
-    std::deque<CampaignId> ready;
+    util::Mutex mu;
+    std::deque<CampaignId> ready GUARDED_BY(mu);
   };
 
   ShardRing<Shard> shards_;

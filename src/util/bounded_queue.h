@@ -12,12 +12,13 @@
 #define INCENTAG_UTIL_BOUNDED_QUEUE_H_
 
 #include <cassert>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace util {
@@ -33,69 +34,75 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   // Blocks while full. Returns false (dropping `value`) once closed.
-  bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T value) EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    // Notify after unlock so the woken consumer doesn't immediately
+    // block on a still-held mu_.
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Non-blocking push; false when full or closed.
-  bool TryPush(T value) {
+  bool TryPush(T value) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    std::optional<T> value;
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return value;
   }
 
   // Non-blocking pop; nullopt when nothing is queued.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    std::optional<T> value;
+    {
+      MutexLock lock(&mu_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return value;
   }
 
   // Idempotent. Unblocks all waiters; the queue drains but accepts no
   // more items.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -103,11 +110,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace util

@@ -1,0 +1,96 @@
+// Clang Thread Safety Analysis annotations (ISSUE 7).
+//
+// These macros expand to Clang's capability attributes when the
+// compiler understands them and to nothing otherwise, so gcc builds see
+// plain std-library code while the clang thread-safety CI job proves,
+// at compile time, that every access to a GUARDED_BY member happens
+// with its mutex held. The names follow the upstream Clang / Abseil
+// vocabulary so the analysis documentation applies verbatim:
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+//
+// Conventions used across this repo:
+//
+//   * Every mutex is a util::Mutex (src/util/mutex.h), never a bare
+//     std::mutex — the wrapper carries the CAPABILITY attribute the
+//     analysis keys on.
+//   * Every util::Mutex guards at least one member, and every guarded
+//     member says so: `std::vector<T> items_ GUARDED_BY(mu_);`. The
+//     declaration is the invariant; comments restate it only when the
+//     guard is subtle (e.g. "guarded for writers, read via atomic").
+//   * Private helpers that expect the caller to hold a lock are named
+//     *Locked() and annotated REQUIRES(mu_); the analysis then checks
+//     every call site instead of a comment pleading "call with mu
+//     held".
+//   * Public entry points that take a lock internally are annotated
+//     EXCLUDES(mu_) when self-deadlock is a real hazard (re-entrant
+//     callbacks, destructor paths).
+//   * State protected by something other than a mutex — an atomic
+//     ownership token (Campaign::scheduled), a single-threaded phase
+//     (recovery) — cannot be expressed to the analysis; such members
+//     stay unannotated and the owning comment names the actual
+//     protocol.
+#ifndef INCENTAG_UTIL_THREAD_ANNOTATIONS_H_
+#define INCENTAG_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define INCENTAG_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define INCENTAG_THREAD_ANNOTATION_(x)  // no-op on gcc/msvc
+#endif
+
+// A type that models a capability (a lockable thing).
+#define CAPABILITY(x) INCENTAG_THREAD_ANNOTATION_(capability(x))
+
+// An RAII type that acquires a capability in its constructor and
+// releases it in its destructor.
+#define SCOPED_CAPABILITY INCENTAG_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data member readable/writable only while holding the named mutex.
+#define GUARDED_BY(x) INCENTAG_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member whose *pointee* is guarded by the named mutex.
+#define PT_GUARDED_BY(x) INCENTAG_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function requires the caller to hold the capability (not acquired or
+// released by the function). Use on *Locked() helpers.
+#define REQUIRES(...) \
+  INCENTAG_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// Function requires the capability held shared (reader side).
+#define REQUIRES_SHARED(...) \
+  INCENTAG_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it past return.
+#define ACQUIRE(...) \
+  INCENTAG_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+// Function releases a capability the caller holds.
+#define RELEASE(...) \
+  INCENTAG_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  INCENTAG_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (the function takes it itself);
+// guards against self-deadlock on non-reentrant mutexes.
+#define EXCLUDES(...) INCENTAG_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Lock-ordering declarations: this mutex must be acquired before/after
+// the named ones.
+#define ACQUIRED_BEFORE(...) \
+  INCENTAG_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  INCENTAG_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) INCENTAG_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: the function's locking cannot be expressed to the
+// analysis. Zero uses in src/service/, src/persist/,
+// src/service/scheduler/ is an ISSUE 7 acceptance criterion — if you
+// reach for this there, restructure instead.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  INCENTAG_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // INCENTAG_UTIL_THREAD_ANNOTATIONS_H_

@@ -6,12 +6,14 @@
 #ifndef INCENTAG_UTIL_THREAD_POOL_H_
 #define INCENTAG_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace incentag {
 namespace util {
@@ -32,23 +34,23 @@ class ThreadPool {
 
   // Enqueues `task` for execution. Returns false (dropping the task) once
   // Shutdown() has begun. Safe to call from worker threads.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Stops accepting tasks, runs everything already queued, joins the
   // workers. Idempotent and safe to call concurrently (late callers
   // block until the join completes). Must not be called from a worker
   // thread.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::once_flag join_once_;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,193 @@
+"""Unit tests for bench/check_regression.py — the CI perf gate.
+
+Focus: the failure-handling contract. The gate's one job is "bad state
+=> non-zero exit with a FAIL line"; these tests pin that an unreadable,
+malformed, or mis-shaped baseline/current file dies cleanly (no
+traceback), alongside the basic pass/regress/below_abs arithmetic.
+
+Run via ctest (`bench_check_regression_pytest`) or directly:
+  python3 -m unittest discover -s tests/bench -p '*_test.py'
+"""
+
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+_SCRIPT = os.path.join(_REPO_ROOT, "bench", "check_regression.py")
+
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def run_main(argv):
+    """Runs check_regression.main() with argv; returns (exit_code, stdout)."""
+    out = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = ["check_regression.py"] + argv
+    try:
+        with redirect_stdout(out):
+            try:
+                check_regression.main()
+                code = 0
+            except SystemExit as err:
+                code = err.code if isinstance(err.code, int) else 1
+    finally:
+        sys.argv = old_argv
+    return code, out.getvalue()
+
+
+class LoadJsonTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, content=None):
+        p = os.path.join(self.dir.name, name)
+        if content is not None:
+            with open(p, "w") as f:
+                f.write(content)
+        return p
+
+    def scheduler_doc(self, advantage=2.0, speedup=3.0):
+        return json.dumps({
+            "bench": "scheduler",
+            "miss_rate_advantage": advantage,
+            "critical_p50_speedup": speedup,
+        })
+
+    def test_missing_baseline_dies_cleanly(self):
+        current = self.path("current.json", self.scheduler_doc())
+        code, out = run_main([self.path("nonexistent.json"), current])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: cannot read baseline", out)
+
+    def test_malformed_baseline_dies_cleanly(self):
+        baseline = self.path("baseline.json", "{not json at all")
+        current = self.path("current.json", self.scheduler_doc())
+        code, out = run_main([baseline, current])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: baseline", out)
+        self.assertIn("not valid JSON", out)
+
+    def test_truncated_baseline_dies_cleanly(self):
+        # A partially-written JSON (crashed bench, half-synced artifact)
+        # is the realistic corruption mode for a CI artifact.
+        baseline = self.path("baseline.json",
+                             self.scheduler_doc()[:20])
+        current = self.path("current.json", self.scheduler_doc())
+        code, out = run_main([baseline, current])
+        self.assertEqual(code, 1)
+        self.assertIn("not valid JSON", out)
+
+    def test_non_object_baseline_dies_cleanly(self):
+        baseline = self.path("baseline.json", "[1, 2, 3]")
+        current = self.path("current.json", self.scheduler_doc())
+        code, out = run_main([baseline, current])
+        self.assertEqual(code, 1)
+        self.assertIn("must be a JSON object", out)
+
+    def test_malformed_current_dies_cleanly(self):
+        baseline = self.path("baseline.json", self.scheduler_doc())
+        current = self.path("current.json", "")
+        code, out = run_main([baseline, current])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL: current", out)
+
+    def test_update_refuses_malformed_current(self):
+        baseline = self.path("baseline.json", self.scheduler_doc())
+        with open(baseline) as f:
+            before = f.read()
+        current = self.path("current.json", "{broken")
+        code, out = run_main(["--update", baseline, current])
+        self.assertEqual(code, 1)
+        with open(baseline) as f:
+            self.assertEqual(f.read(), before,
+                             "baseline must be untouched on refusal")
+
+    def test_update_installs_valid_current(self):
+        baseline = self.path("baseline.json", self.scheduler_doc(1.0, 1.0))
+        current = self.path("current.json", self.scheduler_doc(2.0, 2.0))
+        code, _ = run_main(["--update", baseline, current])
+        self.assertEqual(code, 0)
+        with open(baseline) as f:
+            self.assertEqual(json.load(f)["miss_rate_advantage"], 2.0)
+
+
+class GateArithmeticTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, doc):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            json.dump(doc, f)
+        return p
+
+    def test_identical_passes(self):
+        doc = {"bench": "scheduler", "miss_rate_advantage": 2.0,
+               "critical_p50_speedup": 3.0}
+        code, out = run_main([self.write("b.json", doc),
+                              self.write("c.json", doc)])
+        self.assertEqual(code, 0)
+        self.assertIn("perf gate passed", out)
+
+    def test_regression_fails(self):
+        base = {"bench": "scheduler", "miss_rate_advantage": 2.0,
+                "critical_p50_speedup": 3.0}
+        cur = dict(base, miss_rate_advantage=0.5)  # > 30% drop
+        code, out = run_main([self.write("b.json", base),
+                              self.write("c.json", cur)])
+        self.assertEqual(code, 1)
+        self.assertIn("miss_rate_advantage regressed", out)
+
+    def test_bench_mismatch_fails(self):
+        code, out = run_main([
+            self.write("b.json", {"bench": "scheduler"}),
+            self.write("c.json", {"bench": "recovery"}),
+        ])
+        self.assertEqual(code, 1)
+        self.assertIn("bench mismatch", out)
+
+    def test_below_abs_ignores_baseline(self):
+        # micro_obs overhead gates on the hard 5% bound, not the
+        # baseline: a generous baseline must not loosen it.
+        base = {"bench": "micro_obs", "counter_overhead_frac": 0.5,
+                "counter_add_ns": 9.0}
+        cur = dict(base, counter_overhead_frac=0.10)
+        code, out = run_main([self.write("b.json", base),
+                              self.write("c.json", cur)])
+        self.assertEqual(code, 1)
+        self.assertIn("exceeds hard bound", out)
+
+    def test_metric_missing_from_current_fails(self):
+        base = {"bench": "scheduler", "miss_rate_advantage": 2.0,
+                "critical_p50_speedup": 3.0}
+        cur = {"bench": "scheduler", "miss_rate_advantage": 2.0}
+        code, out = run_main([self.write("b.json", base),
+                              self.write("c.json", cur)])
+        self.assertEqual(code, 1)
+        self.assertIn("missing from current output", out)
+
+    def test_metric_missing_from_baseline_skips(self):
+        # Forward-compat: a new gated metric must not fail runs gated
+        # against an older baseline that predates it.
+        base = {"bench": "scheduler", "miss_rate_advantage": 2.0}
+        cur = {"bench": "scheduler", "miss_rate_advantage": 2.0,
+               "critical_p50_speedup": 3.0}
+        code, out = run_main([self.write("b.json", base),
+                              self.write("c.json", cur)])
+        self.assertEqual(code, 0)
+        self.assertIn("skip critical_p50_speedup", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
