@@ -1,0 +1,371 @@
+// HTTP ingestion-edge throughput (ISSUE 8): completions/sec through the
+// full REST surface — N loopback client connections pulling assignments
+// (GET /v1/campaigns/{id}/tasks) and POSTing completion batches
+// (POST /v1/campaigns/{id}/completions) against a journaled
+// CampaignManager behind http::Server — swept over connections x batch
+// size, against the in-process journaled rate measured in the same run.
+//
+//   ./build/bench/bench_http_ingest --n=200 --campaigns=8 --budget=400
+//       --connections_sweep=1,2,4,8 --batch_sweep=32,128 --json=out.json
+//
+// The acceptance bar (edge_efficiency_at_8 in the JSON): the edge at 8
+// connections must sustain >= 50% of the in-process journaled rate —
+// parse + dedup + socket round trips may cost at most half the
+// pipeline. Timing discipline: dataset prep, manager construction and
+// campaign submission are outside the clock; only drive-to-done is
+// timed.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common/bench_common.h"
+#include "src/core/strategy_fp.h"
+#include "src/core/strategy_fpmu.h"
+#include "src/core/strategy_mu.h"
+#include "src/core/strategy_rr.h"
+#include "src/http/campaign_routes.h"
+#include "src/http/client.h"
+#include "src/http/server.h"
+#include "src/service/campaign_manager.h"
+#include "src/service/external_source.h"
+#include "src/util/flags.h"
+#include "src/util/json.h"
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+#include "src/util/text.h"
+
+namespace {
+
+using namespace incentag;
+namespace fs = std::filesystem;
+
+std::unique_ptr<core::Strategy> MixedStrategy(int index) {
+  switch (index % 4) {
+    case 0:
+      return std::make_unique<core::RoundRobinStrategy>();
+    case 1:
+      return std::make_unique<core::FewestPostsStrategy>();
+    case 2:
+      return std::make_unique<core::MostUnstableStrategy>();
+    default:
+      return std::make_unique<core::HybridFpMuStrategy>();
+  }
+}
+
+service::CampaignConfig MakeConfig(const bench::BenchDataset& bench_ds,
+                                   int index, int64_t budget) {
+  const sim::PreparedDataset& ds = bench_ds.dataset;
+  service::CampaignConfig config;
+  config.name = "ingest-" + std::to_string(index);
+  config.options.budget = budget;
+  config.options.omega = 5;
+  config.options.batch_size = 32;
+  config.initial_posts = &ds.initial_posts;
+  config.references = &ds.references;
+  config.strategy = MixedStrategy(index);
+  config.stream = std::make_unique<core::VectorPostStream>(ds.MakeStream());
+  return config;
+}
+
+// In-process ground rate: the same fleet, journaled, completed inline —
+// what the edge is measured against.
+double RunInProcess(const bench::BenchDataset& bench_ds, int64_t campaigns,
+                    int64_t budget, int threads,
+                    const std::string& journal_dir) {
+  service::ManagerOptions options;
+  options.num_threads = threads;
+  options.journal_dir = journal_dir;
+  service::CampaignManager manager(options);
+  util::Stopwatch timer;
+  for (int64_t i = 0; i < campaigns; ++i) {
+    auto id = manager.Submit(
+        MakeConfig(bench_ds, static_cast<int>(i), budget));
+    INCENTAG_CHECK(id.ok());
+  }
+  manager.WaitAll();
+  const double seconds = timer.ElapsedSeconds();
+  int64_t tasks = 0;
+  service::ListQuery all;
+  all.limit = service::ListQuery::kMaxLimit;
+  for (const auto& status : manager.List(all).statuses) {
+    tasks += status.tasks_completed;
+  }
+  manager.Shutdown();
+  return seconds > 0.0 ? static_cast<double>(tasks) / seconds : 0.0;
+}
+
+struct HttpResult {
+  int connections = 0;
+  int64_t batch = 0;
+  int64_t tasks = 0;
+  double seconds = 0.0;
+  double tasks_per_sec = 0.0;
+};
+
+std::string BatchBody(const std::vector<service::TaskHandle>& tasks) {
+  util::json::Value completions = util::json::Value::Array();
+  for (const service::TaskHandle& task : tasks) {
+    util::json::Value one = util::json::Value::Object();
+    one.Set("seq",
+            util::json::Value::Int(static_cast<int64_t>(task.seq)));
+    one.Set("resource", util::json::Value::Int(
+                            static_cast<int64_t>(task.resource)));
+    completions.Append(std::move(one));
+  }
+  util::json::Value body = util::json::Value::Object();
+  body.Set("completions", std::move(completions));
+  return body.Dump();
+}
+
+// One tagger connection: pulls assignments and posts them back as
+// completions for its share of the campaigns until all are terminal.
+int64_t DriveConnection(uint16_t port, uint64_t id, int64_t batch) {
+  http::Client client;
+  INCENTAG_CHECK(client.Connect("127.0.0.1", port).ok());
+  int64_t delivered = 0;
+  const std::string tasks_target = "/v1/campaigns/" + std::to_string(id) +
+                                   "/tasks?max=" + std::to_string(batch);
+  const std::string post_target =
+      "/v1/campaigns/" + std::to_string(id) + "/completions";
+  const std::string status_target = "/v1/campaigns/" + std::to_string(id);
+  for (;;) {
+    auto pulled = client.Get(tasks_target);
+    INCENTAG_CHECK(pulled.ok() && pulled.value().status == 200);
+    auto body = util::json::Parse(pulled.value().body);
+    INCENTAG_CHECK(body.ok());
+    const util::json::Value* tasks = body.value().Find("tasks");
+    std::vector<service::TaskHandle> handles;
+    if (tasks != nullptr) {
+      for (const util::json::Value& task : tasks->items()) {
+        service::TaskHandle handle;
+        handle.campaign = id;
+        handle.seq =
+            static_cast<uint64_t>(task.Find("seq")->int_value());
+        handle.resource = static_cast<core::ResourceId>(
+            task.Find("resource")->int_value());
+        handles.push_back(handle);
+      }
+    }
+    if (handles.empty()) {
+      auto status = client.Get(status_target);
+      INCENTAG_CHECK(status.ok() && status.value().status == 200);
+      auto parsed = util::json::Parse(status.value().body);
+      INCENTAG_CHECK(parsed.ok());
+      if (parsed.value().Find("state")->string_value() != "running") break;
+      std::this_thread::yield();
+      continue;
+    }
+    auto posted = client.Post(post_target, BatchBody(handles));
+    INCENTAG_CHECK(posted.ok() && posted.value().status == 200);
+    delivered += posted.value().body.empty()
+                     ? 0
+                     : util::json::Parse(posted.value().body)
+                           .value()
+                           .Find("delivered")
+                           ->int_value();
+  }
+  return delivered;
+}
+
+HttpResult RunHttp(const bench::BenchDataset& bench_ds, int connections,
+                   int64_t campaigns, int64_t budget, int64_t batch,
+                   int threads, const std::string& journal_dir) {
+  service::ExternalCompletionSource intake;
+  service::ManagerOptions options;
+  options.num_threads = threads;
+  options.completions = &intake;
+  options.journal_dir = journal_dir;
+  service::CampaignManager manager(options);
+
+  http::ServerOptions server_options;
+  server_options.num_threads = connections + 2;
+  server_options.max_connections = connections + 8;
+  http::Server server(server_options);
+  http::CampaignRoutesOptions routes;
+  routes.manager = &manager;
+  routes.intake = &intake;
+  http::RegisterCampaignRoutes(&server, routes);
+  INCENTAG_CHECK(server.Start().ok());
+
+  std::vector<service::CampaignId> ids;
+  for (int64_t i = 0; i < campaigns; ++i) {
+    auto id = manager.Submit(
+        MakeConfig(bench_ds, static_cast<int>(i), budget));
+    INCENTAG_CHECK(id.ok());
+    ids.push_back(id.value());
+  }
+
+  // Each connection drives campaigns i, i+C, i+2C, ... serially; all
+  // C connections run concurrently.
+  std::atomic<int64_t> total{0};
+  util::Stopwatch timer;
+  std::vector<std::thread> taggers;
+  taggers.reserve(static_cast<size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    taggers.emplace_back([&, c] {
+      int64_t delivered = 0;
+      for (size_t i = static_cast<size_t>(c); i < ids.size();
+           i += static_cast<size_t>(connections)) {
+        delivered += DriveConnection(server.port(), ids[i], batch);
+      }
+      total.fetch_add(delivered, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : taggers) t.join();
+  manager.WaitAll();
+
+  HttpResult result;
+  result.connections = connections;
+  result.batch = batch;
+  result.seconds = timer.ElapsedSeconds();
+  result.tasks = total.load();
+  result.tasks_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.tasks) / result.seconds
+          : 0.0;
+  intake.Stop();
+  manager.Shutdown();
+  server.Stop();
+  return result;
+}
+
+std::vector<int64_t> ParseSweep(const std::string& list) {
+  std::vector<int64_t> out;
+  for (std::string_view piece : util::Split(list, ',')) {
+    auto value = util::ParseInt64(util::StripAsciiWhitespace(piece));
+    INCENTAG_CHECK(value.ok());
+    out.push_back(value.value());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n = 200;
+  int64_t seed = 42;
+  int64_t budget = 400;
+  int64_t campaigns = 8;
+  int64_t threads = 2;
+  int64_t batch = 64;
+  std::string connections_sweep = "1,2,4,8";
+  std::string batch_sweep = "16,64,256";
+  std::string json_path;
+  std::string log_level = "warn";
+  util::FlagSet flags;
+  flags.AddInt("n", &n, "resources to generate");
+  flags.AddInt("seed", &seed, "corpus seed");
+  flags.AddInt("budget", &budget, "reward units per campaign");
+  flags.AddInt("campaigns", &campaigns, "concurrent campaigns");
+  flags.AddInt("threads", &threads, "manager worker threads");
+  flags.AddInt("batch", &batch,
+               "completion batch size for the connections sweep");
+  flags.AddString("connections_sweep", &connections_sweep,
+                  "comma-separated client connection counts");
+  flags.AddString("batch_sweep", &batch_sweep,
+                  "comma-separated completion batch sizes, swept at the "
+                  "max connection count");
+  flags.AddString("json", &json_path,
+                  "also write results as JSON to this file (the CI "
+                  "perf-gate artifact)");
+  flags.AddString("log_level", &log_level,
+                  "stderr verbosity: debug|info|warn|error|none");
+  INCENTAG_CHECK(flags.Parse(argc, argv).ok());
+  util::LogLevel level;
+  INCENTAG_CHECK(util::ParseLogLevel(log_level, &level));
+  util::SetLogLevel(level);
+
+  const fs::path work =
+      fs::temp_directory_path() /
+      ("bench_http_ingest_" + std::to_string(::getpid()));
+  fs::remove_all(work);
+  fs::create_directories(work / "inproc");
+
+  auto bench_ds = bench::MakeDataset(n, static_cast<uint64_t>(seed));
+  std::printf("http ingest: %lld campaigns x budget %lld, %zu resources\n",
+              static_cast<long long>(campaigns),
+              static_cast<long long>(budget), bench_ds->dataset.size());
+
+  const double inproc = RunInProcess(*bench_ds, campaigns, budget,
+                                     static_cast<int>(threads),
+                                     (work / "inproc").string());
+  std::printf("in-process journaled: %.0f tasks/sec\n\n", inproc);
+  std::printf("%12s  %8s  %10s  %10s  %12s  %10s\n", "connections",
+              "batch", "tasks", "seconds", "tasks/sec", "of inproc");
+
+  std::vector<HttpResult> results;
+  double at_max_connections = 0.0;
+  const std::vector<int64_t> conns = ParseSweep(connections_sweep);
+  int run = 0;
+  auto run_one = [&](int connections, int64_t batch_size) {
+    fs::path dir = work / ("http_" + std::to_string(run++));
+    fs::create_directories(dir);
+    HttpResult result = RunHttp(*bench_ds, connections, campaigns, budget,
+                                batch_size, static_cast<int>(threads),
+                                dir.string());
+    std::printf("%12d  %8lld  %10lld  %10.3f  %12.0f  %9.0f%%\n",
+                result.connections, static_cast<long long>(result.batch),
+                static_cast<long long>(result.tasks), result.seconds,
+                result.tasks_per_sec,
+                inproc > 0.0 ? 100.0 * result.tasks_per_sec / inproc : 0.0);
+    results.push_back(result);
+    return result;
+  };
+  for (int64_t c : conns) {
+    HttpResult result = run_one(static_cast<int>(c), batch);
+    at_max_connections = result.tasks_per_sec;
+  }
+  for (int64_t b : ParseSweep(batch_sweep)) {
+    if (b == batch) continue;
+    run_one(static_cast<int>(conns.back()), b);
+  }
+
+  double best = 0.0;
+  for (const HttpResult& result : results) {
+    best = std::max(best, result.tasks_per_sec);
+  }
+  const double efficiency =
+      inproc > 0.0 ? at_max_connections / inproc : 0.0;
+  std::printf("\nedge efficiency at %lld connections: %.2f "
+              "(acceptance floor 0.50)\n",
+              static_cast<long long>(conns.back()), efficiency);
+
+  if (!json_path.empty()) {
+    util::json::Value doc = util::json::Value::Object();
+    doc.Set("bench", util::json::Value::Str("http_ingest"));
+    doc.Set("n", util::json::Value::Int(n));
+    doc.Set("campaigns", util::json::Value::Int(campaigns));
+    doc.Set("budget", util::json::Value::Int(budget));
+    doc.Set("inprocess_tasks_per_sec", util::json::Value::Number(inproc));
+    util::json::Value list = util::json::Value::Array();
+    for (const HttpResult& result : results) {
+      util::json::Value one = util::json::Value::Object();
+      one.Set("connections", util::json::Value::Int(result.connections));
+      one.Set("batch", util::json::Value::Int(result.batch));
+      one.Set("tasks", util::json::Value::Int(result.tasks));
+      one.Set("seconds", util::json::Value::Number(result.seconds));
+      one.Set("tasks_per_sec",
+              util::json::Value::Number(result.tasks_per_sec));
+      list.Append(std::move(one));
+    }
+    doc.Set("results", std::move(list));
+    doc.Set("best_http_tasks_per_sec", util::json::Value::Number(best));
+    doc.Set("edge_efficiency_at_max",
+            util::json::Value::Number(efficiency));
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    INCENTAG_CHECK(f != nullptr);
+    const std::string out = doc.Dump();
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  fs::remove_all(work);
+  return 0;
+}

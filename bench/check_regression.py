@@ -117,6 +117,17 @@ GATES = {
         ("counter_overhead_frac", "below_abs", 0.05),
         ("counter_add_ns", "lower", "absolute"),
     ],
+    # bench_http_ingest (ISSUE 8): completions/sec through the full REST
+    # edge over loopback. edge_efficiency_at_max is the HTTP rate at the
+    # largest swept connection count divided by the in-process journaled
+    # rate measured in the same run — a machine-portable ratio gated
+    # against the acceptance floor (the edge may cost at most half the
+    # pipeline), not the baseline. The absolute rate catches an
+    # order-of-magnitude cliff in the parse/dedup/socket path.
+    "http_ingest": [
+        ("edge_efficiency_at_max", "above_abs", 0.5),
+        ("best_http_tasks_per_sec", "higher", "absolute"),
+    ],
     # The --metrics_json sidecar from the journaled
     # bench_service_throughput run: end-to-end fsync p99 as seen by the
     # obs histograms, gating the durability path's tail latency.
@@ -192,7 +203,7 @@ def check(baseline, current, tolerance):
     failures = []
     for path, direction, kind in GATES[bench]:
         cur = get_path(current, path)
-        if direction == "below_abs":
+        if direction in ("below_abs", "above_abs"):
             # Hard architectural bound (the tuple's third slot is the
             # numeric limit, not a tolerance kind); the baseline is not
             # consulted, so the bound cannot drift with it.
@@ -200,13 +211,19 @@ def check(baseline, current, tolerance):
             if cur is None:
                 failures.append(f"{path}: missing from current output")
                 continue
-            ok = cur <= bound or math.isclose(cur, bound)
+            if direction == "below_abs":
+                ok = cur <= bound or math.isclose(cur, bound)
+                verdict = f"<= {bound:.4g}"
+            else:
+                ok = cur >= bound or math.isclose(cur, bound)
+                verdict = f">= {bound:.4g}"
             marker = "ok  " if ok else "FAIL"
             print(f"  {marker} {path}: current {cur:.4g} "
-                  f"(hard bound <= {bound:.4g})")
+                  f"(hard bound {verdict})")
             if not ok:
                 failures.append(
-                    f"{path} exceeds hard bound: {cur:.4g} > {bound:.4g}")
+                    f"{path} violates hard bound: {cur:.4g} "
+                    f"(need {verdict})")
             continue
         base = get_path(baseline, path)
         if base is None:

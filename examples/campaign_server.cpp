@@ -27,6 +27,7 @@
 // grow (format v2): recovery seeks to each journal's snapshot and
 // replays only the tail — the --recover run prints journal bytes and
 // records replayed per campaign so the effect is visible end to end.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -44,16 +45,30 @@
 //
 //   ./build/examples/campaign_server --scheduler=edf --priority=8
 //       --deadline_ms=500 --threads=2
+// HTTP edge demo (ISSUE 8): --http_port exposes the fleet's /v1 REST
+// surface (submit, listing, status, metrics — see src/http/README.md)
+// while the fleet runs; --http_ingest switches completions from the
+// simulated crowd to the idempotent intake endpoint, so external
+// taggers drive the fleet with GET tasks / POST completions;
+// --serve_seconds holds the server open that long (tools/http_smoke.sh
+// drives the whole surface with curl):
+//
+//   ./build/examples/campaign_server --http_port=8080 --http_ingest
+//       --campaigns=0 --serve_seconds=30
 #include "src/core/strategy_fc.h"
 #include "src/core/strategy_fp.h"
 #include "src/core/strategy_fpmu.h"
 #include "src/core/strategy_mu.h"
 #include "src/core/strategy_rr.h"
+#include "src/http/campaign_routes.h"
+#include "src/http/server.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/persist/journal.h"
+#include "src/service/api/dto.h"
 #include "src/service/campaign_manager.h"
+#include "src/service/external_source.h"
 #include "src/sim/crowd.h"
 #include "src/sim/dataset_prep.h"
 #include "src/sim/generator.h"
@@ -81,6 +96,26 @@ const char* StateName(service::CampaignState state) {
   return "?";
 }
 
+// Every campaign's status via the paginated List API — the dashboard
+// and rollups page through it instead of the deprecated StatusAll, so
+// they also see campaigns submitted over HTTP.
+std::vector<service::CampaignStatus> ListAll(
+    const service::CampaignManager& manager) {
+  std::vector<service::CampaignStatus> all;
+  service::ListQuery query;
+  query.limit = service::ListQuery::kMaxLimit;
+  for (;;) {
+    service::CampaignPage page = manager.List(query);
+    if (page.statuses.empty()) break;
+    query.offset += page.statuses.size();
+    for (service::CampaignStatus& status : page.statuses) {
+      all.push_back(std::move(status));
+    }
+    if (query.offset >= page.total) break;
+  }
+  return all;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +134,9 @@ int main(int argc, char** argv) {
   std::string scheduler = "rr";
   int64_t priority = 4;
   double deadline_ms = 0.0;
+  int64_t http_port = -1;
+  bool http_ingest = false;
+  int64_t serve_seconds = 0;
   std::string metrics_json;
   std::string trace_json;
   std::string log_level = "info";
@@ -135,6 +173,17 @@ int main(int argc, char** argv) {
   flags.AddDouble("deadline_ms", &deadline_ms,
                   "completion deadline for the critical tier, "
                   "milliseconds (0 = none)");
+  flags.AddInt("http_port", &http_port,
+               "serve the /v1 REST API on 127.0.0.1:<port> while the "
+               "fleet runs (0 = ephemeral, printed at startup; -1 = off)");
+  flags.AddBool("http_ingest", &http_ingest,
+                "complete tasks through POST /v1/campaigns/{id}/"
+                "completions instead of the simulated crowd (needs "
+                "--http_port)");
+  flags.AddInt("serve_seconds", &serve_seconds,
+               "keep the HTTP server (and the dashboard) up at least "
+               "this long, even with no campaigns running (0 = exit "
+               "when the fleet drains)");
   flags.AddString("metrics_json", &metrics_json,
                   "write the fleet metrics snapshot (JSON) here, rewritten "
                   "each dashboard poll and once after drain ('' = off)");
@@ -174,6 +223,11 @@ int main(int argc, char** argv) {
   load_options.mean_latency_us = latency_us;
   load_options.seed = static_cast<uint64_t>(seed) + 1;
   sim::CrowdLoadGenerator crowd(load_options);
+  service::ExternalCompletionSource intake;
+  if (http_ingest && http_port < 0) {
+    std::fprintf(stderr, "--http_ingest needs --http_port\n");
+    return 1;
+  }
 
   auto policy = service::ParseSchedulerPolicy(scheduler);
   if (!policy.ok()) {
@@ -182,7 +236,10 @@ int main(int argc, char** argv) {
   }
   service::ManagerOptions manager_options;
   manager_options.num_threads = static_cast<int>(threads);
-  manager_options.completions = &crowd;
+  manager_options.completions = http_ingest
+                                    ? static_cast<service::CompletionSource*>(
+                                          &intake)
+                                    : &crowd;
   manager_options.journal_dir = journal_dir;
   manager_options.compact_every_n_completions = compact_every;
   manager_options.compact_journal_bytes = compact_bytes;
@@ -197,6 +254,51 @@ int main(int argc, char** argv) {
               journal_dir.empty() ? ""
                                   : (" (journaling to " + journal_dir + ")")
                                         .c_str());
+
+  // The /v1 REST edge: submit/list/status/metrics always; with
+  // --http_ingest also the tasks/completions intake endpoints.
+  std::unique_ptr<http::Server> server;
+  if (http_port >= 0) {
+    http::ServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(http_port);
+    server = std::make_unique<http::Server>(server_options);
+    http::CampaignRoutesOptions routes;
+    routes.manager = &manager;
+    if (http_ingest) routes.intake = &intake;
+    routes.builder =
+        [&ds](const service::api::SubmitCampaignRequest& request)
+        -> util::Result<service::CampaignConfig> {
+      service::CampaignConfig config;
+      config.name = request.name;
+      config.options.budget = request.budget;
+      config.options.omega = request.omega;
+      config.options.under_tagged_threshold =
+          request.under_tagged_threshold;
+      config.options.batch_size = request.batch_size;
+      config.options.priority = request.priority;
+      config.options.deadline_seconds = request.deadline_seconds;
+      config.initial_posts = &ds.initial_posts;
+      config.references = &ds.references;
+      config.seed = request.seed;
+      config.strategy = sim::MakeStrategyByName(
+          request.strategy, ds.popularity, request.seed, &config.context);
+      if (config.strategy == nullptr) {
+        return util::Status::InvalidArgument("unknown strategy " +
+                                             request.strategy);
+      }
+      config.stream =
+          std::make_unique<core::VectorPostStream>(ds.MakeStream());
+      return config;
+    };
+    http::RegisterCampaignRoutes(server.get(), routes);
+    util::Status serving = server->Start();
+    if (!serving.ok()) {
+      std::fprintf(stderr, "http: %s\n", serving.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving /v1 on 127.0.0.1:%u%s\n", server->port(),
+                http_ingest ? " (external completion intake)" : "");
+  }
 
   std::vector<service::CampaignId> ids;
   if (recover) {
@@ -288,13 +390,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Operator dashboard: poll snapshots while the fleet runs.
-  for (int poll = 0; poll < 100; ++poll) {
+  // Operator dashboard: poll snapshots while the fleet runs. Paged
+  // through List, the same API the HTTP listing endpoint serves, so
+  // campaigns POSTed over /v1 show up too. With --serve_seconds the
+  // loop (and the HTTP server) stays up at least that long even after
+  // the fleet drains.
+  const int total_polls =
+      std::max<int64_t>(100, serve_seconds * 20);
+  for (int poll = 0; poll < total_polls; ++poll) {
     int64_t running = 0;
     int64_t spent = 0;
     int64_t tasks = 0;
     int64_t in_flight = 0;
-    for (const service::CampaignStatus& s : manager.StatusAll()) {
+    for (const service::CampaignStatus& s : ListAll(manager)) {
       if (s.state == service::CampaignState::kRunning) ++running;
       spent += s.budget_spent;
       tasks += s.tasks_completed;
@@ -315,7 +423,7 @@ int main(int argc, char** argv) {
                           written.ToString().c_str());
       }
     }
-    if (running == 0) break;
+    if (running == 0 && poll * 50 >= serve_seconds * 1000) break;
     if (kill_after_polls > 0 && poll + 1 >= kill_after_polls) {
       // Simulated crash: no destructors, no Shutdown, no final fsync —
       // whatever the JournalSink batched to disk is all that survives.
@@ -328,6 +436,17 @@ int main(int argc, char** argv) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  // Ingest campaigns whose external taggers never finished would hold
+  // WaitAll forever once the serve window closes; cancel the stragglers
+  // so the rollup still prints.
+  if (http_ingest) {
+    for (const service::CampaignStatus& s : ListAll(manager)) {
+      if (s.state == service::CampaignState::kRunning) {
+        (void)manager.Cancel(s.id);
+      }
+    }
+    intake.Stop();
+  }
   manager.WaitAll();
 
   // Per-strategy rollup across the fleet.
@@ -339,10 +458,8 @@ int main(int argc, char** argv) {
     double seconds = 0.0;
   };
   std::map<std::string, Agg> by_strategy;
-  for (service::CampaignId id : ids) {
-    auto status = manager.Status(id);
-    INCENTAG_CHECK(status.ok());
-    const service::CampaignStatus& s = status.value();
+  const std::vector<service::CampaignStatus> fleet = ListAll(manager);
+  for (const service::CampaignStatus& s : fleet) {
     if (s.state != service::CampaignState::kDone) {
       std::fprintf(stderr, "%s ended %s: %s\n", s.name.c_str(),
                    StateName(s.state), s.error.c_str());
@@ -377,10 +494,7 @@ int main(int argc, char** argv) {
   };
   ClassAgg critical_agg;
   ClassAgg background_agg;
-  for (service::CampaignId id : ids) {
-    auto status = manager.Status(id);
-    if (!status.ok()) continue;
-    const service::CampaignStatus& s = status.value();
+  for (const service::CampaignStatus& s : fleet) {
     const bool is_critical =
         s.priority > 1 || s.name.rfind("critical-", 0) == 0;
     ClassAgg& agg = is_critical ? critical_agg : background_agg;
@@ -410,6 +524,7 @@ int main(int argc, char** argv) {
   print_class("critical", critical_agg);
   print_class("background", background_agg);
 
+  if (server != nullptr) server->Stop();
   crowd.Stop();
   manager.Shutdown();
   // Final dumps after the drain, so the files cover the whole run.
@@ -427,6 +542,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nall %zu campaigns drained; %lld tasks completed by the "
               "crowd\n",
-              ids.size(), static_cast<long long>(crowd.completed()));
+              fleet.size(), static_cast<long long>(crowd.completed()));
   return 0;
 }

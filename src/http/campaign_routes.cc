@@ -1,0 +1,326 @@
+#include "src/http/campaign_routes.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/util/json.h"
+#include "src/util/text.h"
+
+namespace incentag {
+namespace http {
+namespace {
+
+namespace api = service::api;
+using util::json::Value;
+
+// Per-endpoint instruments. Names and labels are literals at every
+// registration (tools/lint_metrics.py reads them), so each route gets
+// its own static-cached struct rather than a loop over route names.
+struct RouteMetrics {
+  obs::Counter* requests;
+  obs::Histogram* latency;
+};
+
+Response JsonResponse(int status, const Value& body) {
+  Response r;
+  r.status = status;
+  r.body = body.Dump();
+  r.body.push_back('\n');
+  return r;
+}
+
+Response ErrorResponse(const util::Status& status) {
+  return JsonResponse(api::HttpStatusFor(status.code()),
+                      api::EncodeError(status));
+}
+
+obs::Counter* InvalidBodyRejects() {
+  static obs::Counter* rejects = obs::Registry::Default().GetCounter(
+      "incentag_http_rejects_total", "Requests rejected at the edge",
+      "reason=\"invalid_body\"");
+  return rejects;
+}
+
+obs::Counter* UnknownCampaignRejects() {
+  static obs::Counter* rejects = obs::Registry::Default().GetCounter(
+      "incentag_http_rejects_total", "Requests rejected at the edge",
+      "reason=\"unknown_campaign\"");
+  return rejects;
+}
+
+// {id} as a CampaignId; 0 is never a valid id.
+util::Result<service::CampaignId> ParseId(const PathArgs& args) {
+  const std::string* raw = args.Get("id");
+  if (raw == nullptr) {
+    return util::Status::Internal("route pattern lost {id}");
+  }
+  util::Result<uint64_t> id = util::ParseUint64(*raw);
+  if (!id.ok() || id.value() == 0) {
+    return util::Status::InvalidArgument("campaign id must be a positive " +
+                                         std::string("integer"));
+  }
+  return id.value();
+}
+
+util::Result<api::SubmitCampaignRequest> DecodeSubmitBody(
+    const Request& request) {
+  util::Result<Value> body = util::json::Parse(request.body);
+  if (!body.ok()) return body.status();
+  return api::DecodeSubmitCampaignRequest(body.value());
+}
+
+Response HandleSubmit(const CampaignRoutesOptions& options,
+                      const Request& request) {
+  static const RouteMetrics metrics = {
+      obs::Registry::Default().GetCounter("incentag_http_requests_total",
+                                          "Requests served per route",
+                                          "route=\"submit\""),
+      obs::Registry::Default().GetHistogram(
+          "incentag_http_route_seconds",
+          "Request handling latency per route", obs::LatencyBoundsSeconds(),
+          "route=\"submit\"")};
+  metrics.requests->Increment();
+  obs::ScopedTimer timer(metrics.latency);
+  if (!options.builder) {
+    return ErrorResponse(util::Status::Unimplemented(
+        "this server does not accept campaign submissions"));
+  }
+  util::Result<api::SubmitCampaignRequest> decoded =
+      DecodeSubmitBody(request);
+  if (!decoded.ok()) {
+    InvalidBodyRejects()->Increment();
+    return ErrorResponse(decoded.status());
+  }
+  util::Result<service::CampaignConfig> config =
+      options.builder(decoded.value());
+  if (!config.ok()) return ErrorResponse(config.status());
+  util::Result<service::CampaignId> id =
+      options.manager->Submit(std::move(config).value());
+  if (!id.ok()) return ErrorResponse(id.status());
+  Value out = Value::Object();
+  out.Set("id", Value::Int(static_cast<int64_t>(id.value())));
+  out.Set("state",
+          Value::Str(std::string(api::CampaignStateName(
+              service::CampaignState::kRunning))));
+  return JsonResponse(201, out);
+}
+
+Response HandleList(const CampaignRoutesOptions& options,
+                    const Request& request) {
+  static const RouteMetrics metrics = {
+      obs::Registry::Default().GetCounter("incentag_http_requests_total",
+                                          "Requests served per route",
+                                          "route=\"list\""),
+      obs::Registry::Default().GetHistogram(
+          "incentag_http_route_seconds",
+          "Request handling latency per route", obs::LatencyBoundsSeconds(),
+          "route=\"list\"")};
+  metrics.requests->Increment();
+  obs::ScopedTimer timer(metrics.latency);
+  service::ListQuery query;
+  if (const std::string* offset = request.QueryParam("offset")) {
+    util::Result<uint64_t> v = util::ParseUint64(*offset);
+    if (!v.ok()) {
+      return ErrorResponse(
+          util::Status::InvalidArgument("offset must be a non-negative "
+                                        "integer"));
+    }
+    query.offset = static_cast<size_t>(v.value());
+  }
+  if (const std::string* limit = request.QueryParam("limit")) {
+    util::Result<uint64_t> v = util::ParseUint64(*limit);
+    if (!v.ok() || v.value() > service::ListQuery::kMaxLimit) {
+      return ErrorResponse(util::Status::InvalidArgument(
+          "limit must be an integer in [0, " +
+          std::to_string(service::ListQuery::kMaxLimit) + "]"));
+    }
+    query.limit = static_cast<size_t>(v.value());
+  }
+  if (const std::string* state = request.QueryParam("state")) {
+    service::CampaignState parsed;
+    if (!api::ParseCampaignState(*state, &parsed)) {
+      return ErrorResponse(util::Status::InvalidArgument(
+          "state must be one of running/done/cancelled/failed"));
+    }
+    query.state = parsed;
+  }
+  if (const std::string* search = request.QueryParam("search")) {
+    query.search = *search;
+  }
+  return JsonResponse(200,
+                      api::EncodeCampaignPage(options.manager->List(query)));
+}
+
+Response HandleStatus(const CampaignRoutesOptions& options,
+                      const PathArgs& args) {
+  static const RouteMetrics metrics = {
+      obs::Registry::Default().GetCounter("incentag_http_requests_total",
+                                          "Requests served per route",
+                                          "route=\"status\""),
+      obs::Registry::Default().GetHistogram(
+          "incentag_http_route_seconds",
+          "Request handling latency per route", obs::LatencyBoundsSeconds(),
+          "route=\"status\"")};
+  metrics.requests->Increment();
+  obs::ScopedTimer timer(metrics.latency);
+  util::Result<service::CampaignId> id = ParseId(args);
+  if (!id.ok()) return ErrorResponse(id.status());
+  util::Result<service::CampaignStatus> status =
+      options.manager->Status(id.value());
+  if (!status.ok()) {
+    UnknownCampaignRejects()->Increment();
+    return ErrorResponse(status.status());
+  }
+  return JsonResponse(200, api::EncodeCampaignStatus(status.value()));
+}
+
+Response HandleTasks(const CampaignRoutesOptions& options,
+                     const Request& request, const PathArgs& args) {
+  static const RouteMetrics metrics = {
+      obs::Registry::Default().GetCounter("incentag_http_requests_total",
+                                          "Requests served per route",
+                                          "route=\"tasks\""),
+      obs::Registry::Default().GetHistogram(
+          "incentag_http_route_seconds",
+          "Request handling latency per route", obs::LatencyBoundsSeconds(),
+          "route=\"tasks\"")};
+  metrics.requests->Increment();
+  obs::ScopedTimer timer(metrics.latency);
+  if (options.intake == nullptr) {
+    return ErrorResponse(util::Status::Unimplemented(
+        "this server has no external completion intake"));
+  }
+  util::Result<service::CampaignId> id = ParseId(args);
+  if (!id.ok()) return ErrorResponse(id.status());
+  if (!options.manager->Status(id.value()).ok()) {
+    UnknownCampaignRejects()->Increment();
+    return ErrorResponse(util::Status::NotFound("no such campaign"));
+  }
+  size_t max = 256;
+  if (const std::string* raw = request.QueryParam("max")) {
+    util::Result<uint64_t> v = util::ParseUint64(*raw);
+    if (!v.ok() || v.value() > 65536) {
+      return ErrorResponse(util::Status::InvalidArgument(
+          "max must be an integer in [0, 65536]"));
+    }
+    max = static_cast<size_t>(v.value());
+  }
+  Value out = Value::Object();
+  Value tasks = Value::Array();
+  for (const service::TaskHandle& t :
+       options.intake->Pending(id.value(), max)) {
+    Value task = Value::Object();
+    task.Set("seq", Value::Int(static_cast<int64_t>(t.seq)));
+    task.Set("resource", Value::Int(static_cast<int64_t>(t.resource)));
+    tasks.Append(std::move(task));
+  }
+  out.Set("tasks", std::move(tasks));
+  return JsonResponse(200, out);
+}
+
+Response HandleCompletions(const CampaignRoutesOptions& options,
+                           const Request& request, const PathArgs& args) {
+  static const RouteMetrics metrics = {
+      obs::Registry::Default().GetCounter("incentag_http_requests_total",
+                                          "Requests served per route",
+                                          "route=\"completions\""),
+      obs::Registry::Default().GetHistogram(
+          "incentag_http_route_seconds",
+          "Request handling latency per route", obs::LatencyBoundsSeconds(),
+          "route=\"completions\"")};
+  metrics.requests->Increment();
+  obs::ScopedTimer timer(metrics.latency);
+  if (options.intake == nullptr) {
+    return ErrorResponse(util::Status::Unimplemented(
+        "this server has no external completion intake"));
+  }
+  util::Result<service::CampaignId> id = ParseId(args);
+  if (!id.ok()) return ErrorResponse(id.status());
+  // Snapshot before decode: tasks_completed is the journaled applied
+  // floor for the dedup hint below, and the existence check makes an
+  // unknown campaign a 404 rather than a batch full of "unknown" seqs.
+  util::Result<service::CampaignStatus> status =
+      options.manager->Status(id.value());
+  if (!status.ok()) {
+    UnknownCampaignRejects()->Increment();
+    return ErrorResponse(status.status());
+  }
+  util::Result<Value> body = util::json::Parse(request.body);
+  if (!body.ok()) {
+    InvalidBodyRejects()->Increment();
+    return ErrorResponse(body.status());
+  }
+  util::Result<api::CompletionBatchRequest> batch =
+      api::DecodeCompletionBatchRequest(body.value());
+  if (!batch.ok()) {
+    InvalidBodyRejects()->Increment();
+    return ErrorResponse(batch.status());
+  }
+  service::IntakeResult result = options.intake->Complete(
+      id.value(), batch.value().completions,
+      static_cast<uint64_t>(status.value().tasks_completed));
+  return JsonResponse(200, api::EncodeIntakeResult(result));
+}
+
+Response HandleMetrics() {
+  static const RouteMetrics metrics = {
+      obs::Registry::Default().GetCounter("incentag_http_requests_total",
+                                          "Requests served per route",
+                                          "route=\"metrics\""),
+      obs::Registry::Default().GetHistogram(
+          "incentag_http_route_seconds",
+          "Request handling latency per route", obs::LatencyBoundsSeconds(),
+          "route=\"metrics\"")};
+  metrics.requests->Increment();
+  obs::ScopedTimer timer(metrics.latency);
+  Response r;
+  r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  r.body = obs::Registry::Default().Snapshot().RenderPrometheus();
+  return r;
+}
+
+}  // namespace
+
+void RegisterCampaignRoutes(Server* server, CampaignRoutesOptions options) {
+  // The options struct is tiny and immutable after registration; each
+  // handler shares one heap copy.
+  auto shared = std::make_shared<CampaignRoutesOptions>(std::move(options));
+  server->Route("POST", "/v1/campaigns",
+                [shared](const Request& request, const PathArgs&) {
+                  return HandleSubmit(*shared, request);
+                });
+  server->Route("GET", "/v1/campaigns",
+                [shared](const Request& request, const PathArgs&) {
+                  return HandleList(*shared, request);
+                });
+  server->Route("GET", "/v1/campaigns/{id}",
+                [shared](const Request&, const PathArgs& args) {
+                  return HandleStatus(*shared, args);
+                });
+  server->Route("GET", "/v1/campaigns/{id}/tasks",
+                [shared](const Request& request, const PathArgs& args) {
+                  return HandleTasks(*shared, request, args);
+                });
+  server->Route("POST", "/v1/campaigns/{id}/completions",
+                [shared](const Request& request, const PathArgs& args) {
+                  return HandleCompletions(*shared, request, args);
+                });
+  server->Route("GET", "/metrics",
+                [](const Request&, const PathArgs&) {
+                  return HandleMetrics();
+                });
+  server->Route("GET", "/healthz", [](const Request&, const PathArgs&) {
+    Response r;
+    r.content_type = "text/plain; charset=utf-8";
+    r.body = "ok\n";
+    return r;
+  });
+}
+
+}  // namespace http
+}  // namespace incentag

@@ -1,0 +1,55 @@
+// The /v1 REST surface over CampaignManager (ISSUE 8).
+//
+// Registers every fleet endpoint on an http::Server:
+//
+//   POST /v1/campaigns                     submit a campaign
+//   GET  /v1/campaigns                     paginated + filtered listing
+//   GET  /v1/campaigns/{id}                one campaign's status
+//   GET  /v1/campaigns/{id}/tasks          parked assignments (pull side)
+//   POST /v1/campaigns/{id}/completions    idempotent batch intake
+//   GET  /metrics                          Prometheus exposition
+//   GET  /healthz                          liveness probe
+//
+// All schemas and the StatusCode -> HTTP mapping live in
+// src/service/api/dto.h; full reference with curl examples in
+// src/http/README.md.
+#ifndef INCENTAG_HTTP_CAMPAIGN_ROUTES_H_
+#define INCENTAG_HTTP_CAMPAIGN_ROUTES_H_
+
+#include <functional>
+
+#include "src/http/server.h"
+#include "src/service/api/dto.h"
+#include "src/service/campaign_manager.h"
+#include "src/service/external_source.h"
+#include "src/util/status.h"
+
+namespace incentag {
+namespace http {
+
+// Turns a decoded SubmitCampaignRequest into a full CampaignConfig —
+// the host attaches the non-serializable inputs (dataset pointers,
+// strategy instance, post stream), exactly the split CampaignFactory
+// makes at recovery. Invoked on edge worker threads; must be
+// thread-safe.
+using CampaignBuilder =
+    std::function<util::Result<service::CampaignConfig>(
+        const service::api::SubmitCampaignRequest&)>;
+
+struct CampaignRoutesOptions {
+  // Required; must outlive the server.
+  service::CampaignManager* manager = nullptr;
+  // The intake source the manager was built over. Null disables the
+  // completions/tasks endpoints (501) — a server can still expose
+  // status/listing over an in-process crowd.
+  service::ExternalCompletionSource* intake = nullptr;
+  // Null disables POST /v1/campaigns (501).
+  CampaignBuilder builder;
+};
+
+void RegisterCampaignRoutes(Server* server, CampaignRoutesOptions options);
+
+}  // namespace http
+}  // namespace incentag
+
+#endif  // INCENTAG_HTTP_CAMPAIGN_ROUTES_H_

@@ -1,0 +1,159 @@
+#include "src/http/client.h"
+
+#include <cstdint>
+
+namespace incentag {
+namespace http {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+constexpr std::string_view kHeadEnd = "\r\n\r\n";
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* ClientResponse::Header(std::string_view name) const {
+  for (const auto& h : headers) {
+    if (h.first == name) return &h.second;
+  }
+  return nullptr;
+}
+
+util::Status Client::Connect(const std::string& host, uint16_t port) {
+  host_ = host;
+  port_ = port;
+  util::Result<util::Socket> s = util::ConnectTcp(host, port);
+  if (!s.ok()) return s.status();
+  socket_ = std::move(s).value();
+  buf_.clear();
+  return util::Status::OK();
+}
+
+void Client::Disconnect() {
+  socket_.Close();
+  buf_.clear();
+}
+
+util::Result<ClientResponse> Client::Request(std::string_view method,
+                                             std::string_view target,
+                                             std::string_view body) {
+  if (!connected()) {
+    return util::Status::FailedPrecondition("client not connected");
+  }
+  util::Result<ClientResponse> r = RoundTrip(method, target, body);
+  if (r.ok()) return r;
+  // The server may have idled out this keep-alive connection; one
+  // reconnect retry is safe for our idempotent API.
+  INCENTAG_RETURN_IF_ERROR(Connect(host_, port_));
+  return RoundTrip(method, target, body);
+}
+
+util::Result<ClientResponse> Client::RoundTrip(std::string_view method,
+                                               std::string_view target,
+                                               std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out.append(method);
+  out.push_back(' ');
+  out.append(target);
+  out.append(" HTTP/1.1");
+  out.append(kCrlf);
+  out.append("Host: ");
+  out.append(host_);
+  out.append(kCrlf);
+  if (!body.empty()) {
+    out.append("Content-Type: application/json");
+    out.append(kCrlf);
+  }
+  out.append("Content-Length: ");
+  out.append(std::to_string(body.size()));
+  out.append(kCrlf);
+  out.append(kCrlf);
+  out.append(body);
+  INCENTAG_RETURN_IF_ERROR(socket_.WriteAll(out));
+  return ReadResponse();
+}
+
+util::Result<ClientResponse> Client::ReadResponse() {
+  size_t head_end;
+  while ((head_end = buf_.find(kHeadEnd)) == std::string::npos) {
+    char chunk[8192];
+    util::Result<size_t> n = socket_.ReadSome(chunk, sizeof(chunk));
+    if (!n.ok()) return n.status();
+    if (n.value() == 0) {
+      return util::Status::IoError("connection closed before response");
+    }
+    buf_.append(chunk, n.value());
+  }
+
+  ClientResponse response;
+  std::string_view head = std::string_view(buf_).substr(0, head_end);
+  size_t line_end = head.find(kCrlf);
+  std::string_view status_line =
+      (line_end == std::string_view::npos) ? head : head.substr(0, line_end);
+  // "HTTP/1.1 NNN Reason"
+  size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || status_line.size() < sp + 4) {
+    return util::Status::Corruption("bad status line");
+  }
+  int status = 0;
+  for (int i = 1; i <= 3; ++i) {
+    char c = status_line[sp + static_cast<size_t>(i)];
+    if (c < '0' || c > '9') {
+      return util::Status::Corruption("bad status code");
+    }
+    status = status * 10 + (c - '0');
+  }
+  response.status = status;
+
+  std::string_view rest = (line_end == std::string_view::npos)
+                              ? std::string_view()
+                              : head.substr(line_end + kCrlf.size());
+  size_t content_length = 0;
+  while (!rest.empty()) {
+    size_t end = rest.find(kCrlf);
+    std::string_view line =
+        (end == std::string_view::npos) ? rest : rest.substr(0, end);
+    rest = (end == std::string_view::npos) ? std::string_view()
+                                           : rest.substr(end + kCrlf.size());
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = ToLowerAscii(line.substr(0, colon));
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    if (name == "content-length") {
+      content_length = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return util::Status::Corruption("bad content-length");
+        }
+        content_length = content_length * 10 + static_cast<size_t>(c - '0');
+      }
+    }
+    response.headers.emplace_back(std::move(name), std::string(value));
+  }
+
+  const size_t total = head_end + kHeadEnd.size() + content_length;
+  while (buf_.size() < total) {
+    char chunk[8192];
+    util::Result<size_t> n = socket_.ReadSome(chunk, sizeof(chunk));
+    if (!n.ok()) return n.status();
+    if (n.value() == 0) {
+      return util::Status::IoError("connection closed mid-body");
+    }
+    buf_.append(chunk, n.value());
+  }
+  response.body = buf_.substr(head_end + kHeadEnd.size(), content_length);
+  buf_.erase(0, total);
+  return response;
+}
+
+}  // namespace http
+}  // namespace incentag

@@ -1,0 +1,71 @@
+// Minimal blocking HTTP/1.1 client over one keep-alive connection.
+//
+// Exists for the test suite, bench_http_ingest, and campaign_server's
+// self-checks — not a general-purpose client. One connection, serial
+// requests, Content-Length responses only (matching what server.cc
+// emits). Not thread-safe; give each connection its own Client.
+#ifndef INCENTAG_HTTP_CLIENT_H_
+#define INCENTAG_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/socket.h"
+#include "src/util/status.h"
+
+namespace incentag {
+namespace http {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lower-case.
+  std::string body;
+
+  const std::string* Header(std::string_view name) const;
+};
+
+class Client {
+ public:
+  Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  util::Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return socket_.valid(); }
+  void Disconnect();
+
+  // One round trip. Reconnects once if the server closed the keep-alive
+  // connection between requests. Body may be empty (GET).
+  util::Result<ClientResponse> Request(std::string_view method,
+                                       std::string_view target,
+                                       std::string_view body = {});
+
+  // Convenience wrappers.
+  util::Result<ClientResponse> Get(std::string_view target) {
+    return Request("GET", target);
+  }
+  util::Result<ClientResponse> Post(std::string_view target,
+                                    std::string_view body) {
+    return Request("POST", target, body);
+  }
+
+ private:
+  util::Result<ClientResponse> RoundTrip(std::string_view method,
+                                         std::string_view target,
+                                         std::string_view body);
+  util::Result<ClientResponse> ReadResponse();
+
+  std::string host_;
+  uint16_t port_ = 0;
+  util::Socket socket_;
+  std::string buf_;  // Unconsumed bytes past the previous response.
+};
+
+}  // namespace http
+}  // namespace incentag
+
+#endif  // INCENTAG_HTTP_CLIENT_H_

@@ -1,0 +1,114 @@
+// HTTP/1.1 wire types for the fleet's network edge (ISSUE 8).
+//
+// Dependency-free and deliberately small: request/response structs, a
+// buffered keep-alive RequestReader with hard head/body size bounds
+// (both limits are attacker-facing), and response serialization. The
+// routing table and the REST semantics live in server.h /
+// campaign_routes.h; this layer is bytes <-> structs only.
+//
+// Unsupported on purpose: chunked transfer encoding (rejected as
+// malformed — every client of this API sends Content-Length), HTTP/1.0
+// keep-alive, multiline header folding, and TLS (the edge terminates
+// behind a trusted proxy, cf. the deployment note in src/http/README.md).
+#ifndef INCENTAG_HTTP_HTTP_H_
+#define INCENTAG_HTTP_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/socket.h"
+
+namespace incentag {
+namespace http {
+
+// One parsed request. Header names are lower-cased at parse time;
+// values keep their case. Query parameters are percent-decoded.
+struct Request {
+  std::string method;  // Upper-case by convention on the wire.
+  std::string path;    // Percent-decoded, no query string.
+  std::vector<std::pair<std::string, std::string>> query;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  // First header named `name` (lower-case); nullptr when absent.
+  const std::string* Header(std::string_view name) const;
+  // First query parameter named `name`; nullptr when absent.
+  const std::string* QueryParam(std::string_view name) const;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  // Extra headers (name must be canonical wire case, e.g. "Retry-After").
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+// Why Next() returned without a request. Each maps to a distinct edge
+// behavior: kClosed/kTimeout end the connection silently, kTooLarge
+// answers 413, kMalformed answers 400, kTransport logs and drops.
+enum class ReadOutcome {
+  kOk,
+  kClosed,     // Peer closed cleanly between requests.
+  kTimeout,    // Receive timeout expired (idle keep-alive slot).
+  kTooLarge,   // Head or body exceeded its limit.
+  kMalformed,  // Not parseable as HTTP/1.1.
+  kTransport,  // Socket error (reset, EPIPE, ...).
+};
+
+struct ReadResult {
+  ReadOutcome outcome = ReadOutcome::kOk;
+  std::string error;  // Detail for kMalformed/kTransport.
+};
+
+struct ReadLimits {
+  size_t max_head_bytes = 16 * 1024;
+  size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+// Reads successive requests off one connection, buffering across
+// keep-alive boundaries (a client may pipeline; bytes after one request
+// are the start of the next). Not thread-safe; one reader per
+// connection, used by that connection's worker only.
+class RequestReader {
+ public:
+  RequestReader(util::Socket* socket, ReadLimits limits)
+      : socket_(socket), limits_(limits) {}
+
+  RequestReader(const RequestReader&) = delete;
+  RequestReader& operator=(const RequestReader&) = delete;
+
+  // Blocks for the next request (subject to the socket's recv timeout).
+  // On kOk, `*out` is fully populated.
+  ReadResult Next(Request* out);
+
+ private:
+  // Appends one recv's worth of bytes to buf_. kOk on progress.
+  ReadResult Fill();
+
+  util::Socket* socket_;
+  ReadLimits limits_;
+  std::string buf_;
+};
+
+// Serializes and writes one response. `keep_alive` controls the
+// Connection header; callers close the socket themselves when false.
+util::Status WriteResponse(util::Socket* socket, const Response& response,
+                           bool keep_alive);
+
+// Canonical reason phrase ("OK", "Not Found", ...); "Unknown" otherwise.
+std::string_view StatusText(int status);
+
+// Percent-decodes `in` ('+' becomes space — query-string convention).
+// Invalid %-sequences pass through verbatim rather than failing: the
+// edge treats them as literal text and lets validation reject later.
+std::string PercentDecode(std::string_view in);
+
+}  // namespace http
+}  // namespace incentag
+
+#endif  // INCENTAG_HTTP_HTTP_H_

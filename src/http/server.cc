@@ -1,0 +1,239 @@
+#include "src/http/server.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+
+namespace incentag {
+namespace http {
+namespace {
+
+// Edge-wide instruments (per-route counters live in campaign_routes.cc
+// where the route names are literal). Cached once, lock-free after.
+struct EdgeMetrics {
+  obs::Counter* accepted;
+  obs::Counter* shed;
+  obs::Counter* malformed;
+  obs::Counter* oversized;
+  obs::Histogram* request_seconds;
+
+  static const EdgeMetrics& Get() {
+    static const EdgeMetrics m = [] {
+      auto& reg = obs::Registry::Default();
+      EdgeMetrics out;
+      out.accepted = reg.GetCounter("incentag_http_connections_total",
+                                    "Connections accepted by the edge");
+      out.shed = reg.GetCounter(
+          "incentag_http_connections_shed_total",
+          "Connections refused with 503 at the concurrency cap");
+      out.malformed = reg.GetCounter("incentag_http_rejects_total",
+                                     "Requests rejected at the edge",
+                                     "reason=\"malformed\"");
+      out.oversized = reg.GetCounter("incentag_http_rejects_total",
+                                     "Requests rejected at the edge",
+                                     "reason=\"oversized\"");
+      out.request_seconds = reg.GetHistogram(
+          "incentag_http_request_seconds",
+          "End-to-end request handling latency",
+          obs::LatencyBoundsSeconds());
+      return out;
+    }();
+    return m;
+  }
+};
+
+Response PlainResponse(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Route(std::string method, std::string pattern, Handler handler) {
+  RouteEntry entry;
+  entry.method = std::move(method);
+  entry.handler = std::move(handler);
+  std::string_view rest = pattern;
+  while (!rest.empty() && rest.front() == '/') rest.remove_prefix(1);
+  while (!rest.empty()) {
+    size_t slash = rest.find('/');
+    entry.segments.emplace_back(
+        rest.substr(0, slash == std::string_view::npos ? rest.size() : slash));
+    rest = (slash == std::string_view::npos) ? std::string_view()
+                                             : rest.substr(slash + 1);
+  }
+  routes_.push_back(std::move(entry));
+}
+
+util::Status Server::Start() {
+  if (started_) return util::Status::FailedPrecondition("already started");
+  INCENTAG_RETURN_IF_ERROR(
+      listener_.Listen(options_.host, options_.port,
+                       /*backlog=*/options_.max_connections * 2));
+  port_ = listener_.port();
+  // +1 worker: the accept loop itself runs on the pool.
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_threads + 1);
+  started_ = true;
+  {
+    util::MutexLock lock(&drain_mu_);
+    inflight_ = 1;  // The accept loop.
+  }
+  pool_->Submit([this] { AcceptLoop(); });
+  return util::Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  {
+    util::MutexLock lock(&drain_mu_);
+    while (inflight_ > 0) drained_.Wait(&drain_mu_);
+  }
+  listener_.Close();
+  pool_->Shutdown();
+  started_ = false;
+  stopping_.store(false, std::memory_order_release);
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    util::Result<util::Socket> accepted = listener_.AcceptWithTimeout(50);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == util::StatusCode::kDeadlineExceeded) {
+        continue;  // Poll tick: re-check the stop flag.
+      }
+      INCENTAG_LOG_ERROR("http: accept failed: %s",
+                         accepted.status().ToString().c_str());
+      break;
+    }
+    EdgeMetrics::Get().accepted->Increment();
+    util::Socket socket = std::move(accepted).value();
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      EdgeMetrics::Get().shed->Increment();
+      (void)WriteResponse(&socket,
+                          PlainResponse(503, "connection limit reached\n"),
+                          /*keep_alive=*/false);
+      continue;  // Socket closes on scope exit.
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      util::MutexLock lock(&drain_mu_);
+      ++inflight_;
+    }
+    // The pool owns the connection from here. Submit only fails once
+    // Shutdown began, which Stop() orders after the drain — but be
+    // defensive and undo the accounting if it ever does.
+    auto shared = std::make_shared<util::Socket>(std::move(socket));
+    if (!pool_->Submit([this, shared] {
+          ServeConnection(std::move(*shared));
+        })) {
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      util::MutexLock lock(&drain_mu_);
+      if (--inflight_ == 0) drained_.NotifyAll();
+    }
+  }
+  util::MutexLock lock(&drain_mu_);
+  if (--inflight_ == 0) drained_.NotifyAll();
+}
+
+void Server::ServeConnection(util::Socket socket) {
+  // Recv in short ticks rather than one blocking recv_timeout_ms wait:
+  // an idle keep-alive connection re-checks stopping_ every tick, so
+  // Stop() drains in ~one tick instead of the full idle timeout. The
+  // reader buffers across ticks, so a timeout mid-request just resumes.
+  constexpr int kRecvTickMs = 100;
+  const int tick_ms = options_.recv_timeout_ms < kRecvTickMs
+                          ? options_.recv_timeout_ms
+                          : kRecvTickMs;
+  (void)socket.SetRecvTimeout(tick_ms);
+  RequestReader reader(&socket, options_.limits);
+  Request request;
+  int idle_ms = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ReadResult read = reader.Next(&request);
+    if (read.outcome == ReadOutcome::kTimeout) {
+      idle_ms += tick_ms;
+      if (idle_ms >= options_.recv_timeout_ms) break;  // Idled out.
+      continue;
+    }
+    idle_ms = 0;
+    if (read.outcome == ReadOutcome::kClosed ||
+        read.outcome == ReadOutcome::kTransport) {
+      break;
+    }
+    if (read.outcome == ReadOutcome::kTooLarge) {
+      EdgeMetrics::Get().oversized->Increment();
+      (void)WriteResponse(&socket, PlainResponse(413, read.error + "\n"),
+                          /*keep_alive=*/false);
+      break;
+    }
+    if (read.outcome == ReadOutcome::kMalformed) {
+      EdgeMetrics::Get().malformed->Increment();
+      (void)WriteResponse(&socket, PlainResponse(400, read.error + "\n"),
+                          /*keep_alive=*/false);
+      break;
+    }
+    Response response;
+    {
+      obs::ScopedTimer timer(EdgeMetrics::Get().request_seconds);
+      response = Dispatch(request);
+    }
+    if (!WriteResponse(&socket, response, request.keep_alive).ok()) break;
+    if (!request.keep_alive) break;
+  }
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  util::MutexLock lock(&drain_mu_);
+  if (--inflight_ == 0) drained_.NotifyAll();
+}
+
+Response Server::Dispatch(const Request& request) {
+  bool path_matched = false;
+  for (const RouteEntry& entry : routes_) {
+    PathArgs args;
+    if (!MatchPath(entry, request.path, &args)) continue;
+    path_matched = true;
+    if (entry.method != request.method) continue;
+    return entry.handler(request, args);
+  }
+  if (path_matched) {
+    return PlainResponse(405, "method not allowed\n");
+  }
+  return PlainResponse(404, "no such route\n");
+}
+
+bool Server::MatchPath(const RouteEntry& entry, std::string_view path,
+                       PathArgs* args) {
+  while (!path.empty() && path.front() == '/') path.remove_prefix(1);
+  // Ignore exactly one trailing slash ("/v1/campaigns/" == "/v1/campaigns").
+  if (!path.empty() && path.back() == '/') path.remove_suffix(1);
+  size_t i = 0;
+  while (!path.empty() || i < entry.segments.size()) {
+    if (path.empty() || i >= entry.segments.size()) return false;
+    size_t slash = path.find('/');
+    std::string_view seg =
+        (slash == std::string_view::npos) ? path : path.substr(0, slash);
+    path = (slash == std::string_view::npos) ? std::string_view()
+                                             : path.substr(slash + 1);
+    const std::string& want = entry.segments[i++];
+    if (want.size() >= 2 && want.front() == '{' && want.back() == '}') {
+      if (seg.empty()) return false;
+      args->params.emplace_back(want.substr(1, want.size() - 2),
+                                std::string(seg));
+    } else if (seg != want) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace http
+}  // namespace incentag

@@ -1,0 +1,115 @@
+// A thread-per-connection HTTP/1.1 server over util::ThreadPool.
+//
+// Connections are cheap here: the fleet edge expects a bounded set of
+// long-lived keep-alive connections (tagger gateways, scrapers, load
+// harnesses), not a million ephemeral ones — so each accepted socket
+// pins one pool worker until it closes or idles out, and the accept
+// loop sheds load with 503 once `max_connections` workers are busy.
+// That keeps the hot path free of readiness plumbing while the recv
+// timeout bounds how long an idle connection can hold its worker.
+//
+// Routing: exact-segment patterns with `{param}` placeholders
+// ("/v1/campaigns/{id}/completions"). First match wins in registration
+// order; a path that matches no pattern gets 404, a pattern that
+// matches with the wrong method gets 405.
+#ifndef INCENTAG_HTTP_SERVER_H_
+#define INCENTAG_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/http/http.h"
+#include "src/util/mutex.h"
+#include "src/util/socket.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+#include "src/util/thread_pool.h"
+
+namespace incentag {
+namespace http {
+
+// Path parameters captured by `{param}` placeholders, in pattern order.
+struct PathArgs {
+  std::vector<std::pair<std::string, std::string>> params;
+
+  const std::string* Get(std::string_view name) const {
+    for (const auto& p : params) {
+      if (p.first == name) return &p.second;
+    }
+    return nullptr;
+  }
+};
+
+using Handler = std::function<Response(const Request&, const PathArgs&)>;
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; Server::port() reports the bound one.
+  int num_threads = 8;
+  // Above this many concurrent connections the accept loop answers 503
+  // inline and closes — backpressure, not an unbounded queue.
+  int max_connections = 64;
+  // Idle keep-alive connections are dropped after this long in total.
+  // The worker recvs in short ticks under the hood, so Stop() never
+  // waits out this budget on an idle connection.
+  int recv_timeout_ms = 15000;
+  ReadLimits limits;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  // Stops if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Registration is not thread-safe; finish before Start().
+  void Route(std::string method, std::string pattern, Handler handler);
+
+  // Binds, then serves on background threads until Stop().
+  util::Status Start();
+  // Idempotent. Blocks until the accept loop and all workers drained.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  struct RouteEntry {
+    std::string method;
+    std::vector<std::string> segments;  // "{param}" segments capture.
+    Handler handler;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(util::Socket socket);
+  Response Dispatch(const Request& request);
+
+  // True and captures args iff `path` matches `entry`'s segments.
+  static bool MatchPath(const RouteEntry& entry, std::string_view path,
+                        PathArgs* args);
+
+  ServerOptions options_;
+  std::vector<RouteEntry> routes_;
+  util::ListenSocket listener_;
+  uint16_t port_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_connections_{0};
+  bool started_ = false;
+
+  util::Mutex drain_mu_;
+  util::CondVar drained_;
+  // Accept loop + live connections; Stop() waits for it to hit zero.
+  int inflight_ GUARDED_BY(drain_mu_) = 0;
+};
+
+}  // namespace http
+}  // namespace incentag
+
+#endif  // INCENTAG_HTTP_SERVER_H_

@@ -15,6 +15,7 @@
 #include "src/util/logging.h"
 #include "src/util/mutex.h"
 #include "src/util/stopwatch.h"
+#include "src/util/text.h"
 #include "src/util/thread_annotations.h"
 
 namespace incentag {
@@ -936,20 +937,53 @@ util::Result<CampaignStatus> CampaignManager::Status(CampaignId id) const {
   return out;
 }
 
-std::vector<CampaignStatus> CampaignManager::StatusAll() const {
+CampaignPage CampaignManager::List(const ListQuery& query) const {
   std::vector<CampaignId> ids;
   for (const auto& shard : shards_) {
     util::MutexLock lock(&shard->mu);
     for (const auto& [id, campaign] : shard->campaigns) ids.push_back(id);
   }
   std::sort(ids.begin(), ids.end());
-  std::vector<CampaignStatus> out;
-  out.reserve(ids.size());
+
+  CampaignPage page;
+  page.offset = query.offset;
+  page.limit = std::min(query.limit, ListQuery::kMaxLimit);
+  const std::string needle = util::AsciiToLower(query.search);
+  // One pass in id order: count every match, snapshot only the window.
+  // Status(id) takes that campaign's status_mu and nothing else, so a
+  // full-fleet listing never touches an inbox lock or stalls a stepper.
   for (CampaignId id : ids) {
     auto status = Status(id);
-    if (status.ok()) out.push_back(std::move(status).value());
+    if (!status.ok()) continue;  // Raced a concurrent teardown.
+    CampaignStatus& s = status.value();
+    if (query.state.has_value() && s.state != *query.state) continue;
+    if (!needle.empty() &&
+        util::AsciiToLower(s.name).find(needle) == std::string::npos) {
+      continue;
+    }
+    if (page.total >= page.offset &&
+        page.statuses.size() < page.limit) {
+      page.statuses.push_back(std::move(s));
+    }
+    ++page.total;
   }
-  return out;
+  return page;
+}
+
+std::vector<CampaignStatus> CampaignManager::StatusAll() const {
+  ListQuery all;
+  all.limit = ListQuery::kMaxLimit;
+  CampaignPage page = List(all);
+  // Pages past kMaxLimit keep the legacy contract of "everything".
+  while (page.statuses.size() < page.total) {
+    ListQuery next = all;
+    next.offset = page.statuses.size();
+    CampaignPage more = List(next);
+    if (more.statuses.empty()) break;  // Fleet shrank mid-walk.
+    for (auto& s : more.statuses) page.statuses.push_back(std::move(s));
+    page.total = more.total;
+  }
+  return std::move(page.statuses);
 }
 
 util::Result<core::RunReport> CampaignManager::Wait(CampaignId id) {

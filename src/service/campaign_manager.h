@@ -66,6 +66,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -151,6 +152,32 @@ struct CampaignStatus {
   // Completed tasks per active wall-clock second.
   double tasks_per_second = 0.0;
   std::string error;
+};
+
+// Fleet listing query (ISSUE 8): pagination window plus optional
+// filters. Results are in ascending id order (stable across calls —
+// ids are submission-ordered and never reused), so offset/limit pages
+// are consistent as long as no new campaigns are submitted in between.
+struct ListQuery {
+  size_t offset = 0;
+  // Page size; capped at kMaxLimit. 0 returns an empty page (with
+  // `total` still counting matches — the "how many?" probe).
+  size_t limit = 50;
+  static constexpr size_t kMaxLimit = 1000;
+  // Keep only campaigns in this state.
+  std::optional<CampaignState> state;
+  // Keep only campaigns whose name contains this substring
+  // (case-insensitive ASCII). Empty matches everything.
+  std::string search;
+};
+
+// One page of the fleet listing. `total` counts every campaign matching
+// the filters, not just the page, so clients can paginate blindly.
+struct CampaignPage {
+  std::vector<CampaignStatus> statuses;
+  size_t total = 0;
+  size_t offset = 0;
+  size_t limit = 0;
 };
 
 // Terminal outcome of one campaign, as returned by WaitFor: unlike the
@@ -283,8 +310,19 @@ class CampaignManager {
   // Fails on unjournaled or already-terminal campaigns.
   util::Status Compact(CampaignId id);
 
-  // Snapshot of one campaign / of every campaign, in submission order.
+  // Snapshot of one campaign.
   util::Result<CampaignStatus> Status(CampaignId id) const;
+
+  // Paginated, filterable fleet listing in ascending id order. Touches
+  // only the shard registries and each listed campaign's status_mu —
+  // never an inbox lock — so listing cannot stall the completion hot
+  // path. The query surface every client (HTTP, campaign_server
+  // rollups, tests) goes through.
+  CampaignPage List(const ListQuery& query) const;
+
+  // DEPRECATED: equivalent to List with no filters and no pagination
+  // cap. Kept for one release for callers that genuinely want the whole
+  // fleet; new code should page with List().
   std::vector<CampaignStatus> StatusAll() const;
 
   // Blocks until the campaign is terminal. Returns its RunReport (for

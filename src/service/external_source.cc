@@ -1,0 +1,180 @@
+#include "src/service/external_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace incentag {
+namespace service {
+namespace {
+
+struct IntakeMetrics {
+  obs::Counter* delivered;
+  obs::Counter* duplicates;
+  obs::Counter* unknown;
+  obs::Counter* invalid;
+  obs::Histogram* batch_size;
+
+  static const IntakeMetrics& Get() {
+    static const IntakeMetrics m = [] {
+      auto& reg = obs::Registry::Default();
+      IntakeMetrics out;
+      out.delivered = reg.GetCounter(
+          "incentag_service_intake_delivered_total",
+          "External completions delivered to campaign inboxes");
+      out.duplicates = reg.GetCounter(
+          "incentag_service_intake_duplicates_total",
+          "External completions dropped as already applied");
+      out.unknown = reg.GetCounter(
+          "incentag_service_intake_unknown_total",
+          "External completions rejected as never assigned");
+      out.invalid = reg.GetCounter(
+          "incentag_service_intake_invalid_total",
+          "External completions rejected for a resource mismatch");
+      out.batch_size = reg.GetHistogram(
+          "incentag_service_intake_batch_size",
+          "External completion batch sizes at intake",
+          obs::BatchSizeBounds());
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+bool ExternalCompletionSource::SubmitTasks(
+    const std::vector<TaskHandle>& tasks, const CompletionFn& done) {
+  if (tasks.empty()) return true;
+  {
+    util::MutexLock lock(&map_mu_);
+    if (stopped_) return false;
+  }
+  Entry* entry = GetEntry(tasks.front().campaign);
+  util::MutexLock lock(&entry->mu);
+  entry->done = done;
+  // Batches arrive in ascending seq order, continuing exactly where the
+  // journal left off — so the first seq of the first batch *is* the
+  // journaled high-water mark, and the floor ratchets onto it.
+  entry->dedup_floor = std::max(entry->dedup_floor, tasks.front().seq);
+  for (const TaskHandle& task : tasks) {
+    entry->parked.emplace(task.seq, task.resource);
+    entry->assign_watermark = std::max(entry->assign_watermark, task.seq + 1);
+  }
+  return true;
+}
+
+IntakeResult ExternalCompletionSource::Complete(
+    CampaignId campaign, const std::vector<ExternalCompletion>& batch,
+    uint64_t applied_floor) {
+  IntakeResult result;
+  IntakeMetrics::Get().batch_size->Observe(
+      static_cast<double>(batch.size()));
+  {
+    util::MutexLock lock(&map_mu_);
+    if (stopped_) {
+      result.unknown = batch.size();
+      return result;
+    }
+  }
+  Entry* entry = GetEntry(campaign);
+
+  // Phase 1 (entry lock): classify and collect deliverable tasks.
+  std::vector<TaskHandle> deliver;
+  CompletionFn done;
+  {
+    util::MutexLock lock(&entry->mu);
+    entry->dedup_floor = std::max(entry->dedup_floor, applied_floor);
+    deliver.reserve(batch.size());
+    for (const ExternalCompletion& c : batch) {
+      auto it = entry->parked.find(c.seq);
+      if (it != entry->parked.end()) {
+        if (it->second != c.resource) {
+          ++result.invalid;
+          continue;
+        }
+        entry->parked.erase(it);
+        deliver.push_back(TaskHandle{campaign, c.resource, c.seq});
+        continue;
+      }
+      // Not parked: below the floor it was applied before (possibly by a
+      // previous incarnation — the journal already holds it); otherwise
+      // it was never assigned. A racing double-send of the same seq
+      // lands here too: the first send parked->delivered it, so the
+      // floor may not have caught up yet — anything under the
+      // assignment watermark that is no longer parked is a duplicate.
+      if (c.seq < std::max(entry->dedup_floor, entry->assign_watermark)) {
+        ++result.duplicates;
+      } else {
+        ++result.unknown;
+      }
+    }
+    if (!deliver.empty()) done = entry->done;
+  }
+
+  // Phase 2 (no locks of ours): hand the span to the campaign. The
+  // callback takes the campaign's inbox lock inside the manager; holding
+  // entry->mu across it would nest intake state under inbox delivery
+  // for no reason.
+  if (!deliver.empty() && done) {
+    std::sort(deliver.begin(), deliver.end(),
+              [](const TaskHandle& a, const TaskHandle& b) {
+                return a.seq < b.seq;
+              });
+    done(std::span<const TaskHandle>(deliver));
+    result.delivered = deliver.size();
+  } else if (!deliver.empty()) {
+    // Parked tasks with no callback cannot happen (SubmitTasks stores it
+    // before parking) — but never silently drop completions.
+    result.unknown += deliver.size();
+  }
+
+  const IntakeMetrics& metrics = IntakeMetrics::Get();
+  metrics.delivered->Add(static_cast<int64_t>(result.delivered));
+  metrics.duplicates->Add(static_cast<int64_t>(result.duplicates));
+  metrics.unknown->Add(static_cast<int64_t>(result.unknown));
+  metrics.invalid->Add(static_cast<int64_t>(result.invalid));
+  return result;
+}
+
+std::vector<TaskHandle> ExternalCompletionSource::Pending(
+    CampaignId campaign, size_t max) const {
+  std::vector<TaskHandle> out;
+  const Entry* entry = FindEntry(campaign);
+  if (entry == nullptr || max == 0) return out;
+  util::MutexLock lock(&entry->mu);
+  out.reserve(std::min(max, entry->parked.size()));
+  for (const auto& [seq, resource] : entry->parked) {
+    out.push_back(TaskHandle{campaign, resource, seq});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TaskHandle& a, const TaskHandle& b) {
+              return a.seq < b.seq;
+            });
+  if (out.size() > max) out.resize(max);
+  return out;
+}
+
+void ExternalCompletionSource::Stop() {
+  util::MutexLock lock(&map_mu_);
+  stopped_ = true;
+}
+
+ExternalCompletionSource::Entry* ExternalCompletionSource::GetEntry(
+    CampaignId campaign) {
+  util::MutexLock lock(&map_mu_);
+  auto& slot = entries_[campaign];
+  if (slot == nullptr) slot = std::make_unique<Entry>();
+  return slot.get();
+}
+
+const ExternalCompletionSource::Entry* ExternalCompletionSource::FindEntry(
+    CampaignId campaign) const {
+  util::MutexLock lock(&map_mu_);
+  auto it = entries_.find(campaign);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace service
+}  // namespace incentag

@@ -1,0 +1,135 @@
+// ExternalCompletionSource: the CompletionSource whose taggers live on
+// the other side of the network (ISSUE 8).
+//
+// The in-process sources complete tasks themselves; here completions
+// arrive from outside — HTTP POSTs carrying `{seq, resource}` spans —
+// and the source's job is the *intake discipline*: park what the
+// manager assigns, match arrivals against the parked set, and make
+// at-least-once delivery safe. The contract per (campaign, seq):
+//
+//   parked, resource matches     -> delivered (once); flows into the
+//                                   campaign's inbox via the stored
+//                                   CompletionFn
+//   parked, resource mismatch    -> invalid (the caller sent a resource
+//                                   that was never assigned that seq)
+//   not parked, seq below floor  -> duplicate: already applied — by this
+//                                   incarnation, or journaled by a
+//                                   previous one. Idempotent no-op.
+//   not parked, seq at/above the
+//   assignment watermark         -> unknown: never assigned
+//
+// The dedup floor needs no explicit persistence: every SubmitTasks
+// batch arrives in ascending seq order starting exactly where the
+// journal left off (fresh campaigns at 0; recovered campaigns at the
+// journaled high-water seq, because CampaignManager::Recover re-assigns
+// the pending tail from `next_apply_seq`), so the floor ratchets to
+// each batch's first seq and the journal stays the source of truth.
+// A batch re-POSTed after a crash therefore splits into "duplicate"
+// (journaled before the crash) and "delivered" (parked again by
+// recovery) — and the re-delivered spans recreate the pre-crash state
+// byte-identically (tests/http/ingest_test.cc holds that).
+//
+// Threading: Complete() may run on any edge worker; Submit runs on
+// stepper threads. State is per-campaign (own mutex per entry) so
+// campaigns never contend, and the CompletionFn is invoked outside the
+// entry lock — it takes the campaign's inbox lock inside the manager.
+#ifndef INCENTAG_SERVICE_EXTERNAL_SOURCE_H_
+#define INCENTAG_SERVICE_EXTERNAL_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/service/completion_source.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace incentag {
+namespace service {
+
+// One completion as reported from outside.
+struct ExternalCompletion {
+  uint64_t seq = 0;
+  core::ResourceId resource = core::kInvalidResource;
+};
+
+// Per-batch intake accounting, the response body of the completions
+// endpoint: how each span member was classified.
+struct IntakeResult {
+  size_t delivered = 0;   // Newly applied (parked tasks matched).
+  size_t duplicates = 0;  // Already applied; idempotent no-ops.
+  size_t unknown = 0;     // Seq never assigned (yet) — client error.
+  size_t invalid = 0;     // Seq assigned, but to a different resource.
+};
+
+class ExternalCompletionSource : public CompletionSource {
+ public:
+  ExternalCompletionSource() = default;
+
+  ExternalCompletionSource(const ExternalCompletionSource&) = delete;
+  ExternalCompletionSource& operator=(const ExternalCompletionSource&) =
+      delete;
+
+  // CompletionSource: parks the batch for its campaign and remembers
+  // `done` (one callback per campaign — the manager always passes the
+  // same one). Never completes anything synchronously.
+  bool SubmitTasks(const std::vector<TaskHandle>& tasks,
+                   const CompletionFn& done) override;
+
+  // Intake for one POSTed batch. Delivers every parked match to the
+  // campaign as a single span (one inbox lock), classifies the rest.
+  // Safe to call concurrently from any number of edge workers, and
+  // idempotent: re-sending a batch moves its members from `delivered`
+  // to `duplicates` and changes nothing else.
+  //
+  // `applied_floor` is an external lower bound on what the journal
+  // already holds — the route handler passes the campaign's
+  // tasks_completed, closing the one window SubmitTasks cannot see: a
+  // recovered campaign with nothing left pending never re-assigns, so
+  // its entry here starts empty and a re-POST of the final pre-crash
+  // batch would otherwise read as unknown instead of duplicate.
+  IntakeResult Complete(CampaignId campaign,
+                        const std::vector<ExternalCompletion>& batch,
+                        uint64_t applied_floor = 0);
+
+  // Tasks parked (assigned, not yet completed) for `campaign`; the
+  // pull-side endpoint serves these to taggers. At most `max` entries in
+  // ascending seq order.
+  std::vector<TaskHandle> Pending(CampaignId campaign, size_t max) const;
+
+  // After Stop, SubmitTasks returns false (the manager fails campaigns
+  // instead of waiting forever) and Complete classifies everything
+  // without delivering. Call before destroying the manager.
+  void Stop();
+
+ private:
+  struct Entry {
+    mutable util::Mutex mu;
+    // Assigned and awaiting an external completion.
+    std::unordered_map<uint64_t, core::ResourceId> parked GUARDED_BY(mu);
+    // Everything below this seq was delivered (or journaled by a prior
+    // incarnation). Ratchets to each Submit batch's first seq.
+    uint64_t dedup_floor GUARDED_BY(mu) = 0;
+    // One past the highest seq ever parked.
+    uint64_t assign_watermark GUARDED_BY(mu) = 0;
+    CompletionFn done GUARDED_BY(mu);
+  };
+
+  // Existing entry or a freshly inserted one; pointer stable (entries
+  // are never erased — a campaign's entry is a few hundred bytes).
+  Entry* GetEntry(CampaignId campaign);
+  const Entry* FindEntry(CampaignId campaign) const;
+
+  mutable util::Mutex map_mu_;
+  std::unordered_map<CampaignId, std::unique_ptr<Entry>> entries_
+      GUARDED_BY(map_mu_);
+  bool stopped_ GUARDED_BY(map_mu_) = false;
+};
+
+}  // namespace service
+}  // namespace incentag
+
+#endif  // INCENTAG_SERVICE_EXTERNAL_SOURCE_H_

@@ -1,0 +1,217 @@
+#include "src/util/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace incentag {
+namespace util {
+namespace {
+
+Status Errno(std::string_view what) {
+  return Status::IoError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+// "localhost" and IPv4 literals; the fleet edge binds addresses, it
+// does not resolve names.
+Status ResolveIpv4(const std::string& host, struct in_addr* out) {
+  std::string addr = (host == "localhost" || host.empty()) ? "127.0.0.1"
+                                                           : host;
+  if (inet_pton(AF_INET, addr.c_str(), out) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+void SetCloseOnExec(int fd) {
+  // Benches fork subprocesses; listening fds must not leak into them.
+  (void)fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<size_t> Socket::ReadSome(char* buf, size_t capacity) {
+  if (!valid()) return Status::FailedPrecondition("read on closed socket");
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, capacity, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("socket read timed out");
+    }
+    return Errno("recv");
+  }
+}
+
+Status Socket::WriteAll(std::string_view data) {
+  if (!valid()) return Status::FailedPrecondition("write on closed socket");
+  size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a peer that hangs up mid-response must surface as
+    // EPIPE, not kill the process with SIGPIPE.
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetRecvTimeout(int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("closed socket");
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Status ListenSocket::Listen(const std::string& host, uint16_t port,
+                            int backlog) {
+  if (valid()) return Status::FailedPrecondition("already listening");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  INCENTAG_RETURN_IF_ERROR(ResolveIpv4(host, &addr.sin_addr));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  SetCloseOnExec(fd);
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) != 0) {
+    Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+Result<Socket> ListenSocket::AcceptWithTimeout(int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("not listening");
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  while (true) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) return Status::DeadlineExceeded("accept timed out");
+    break;
+  }
+  while (true) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetCloseOnExec(fd);
+      int one = 1;
+      // Responses are single WriteAll calls; disable Nagle so small
+      // status replies are not delayed behind the previous segment.
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // The ready connection may have been reset before accept; treat it
+    // like a timeout and let the caller loop.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Status::DeadlineExceeded("connection gone before accept");
+    }
+    return Errno("accept");
+  }
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  INCENTAG_RETURN_IF_ERROR(ResolveIpv4(host, &addr.sin_addr));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  SetCloseOnExec(fd);
+  while (true) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+}
+
+}  // namespace util
+}  // namespace incentag

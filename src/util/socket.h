@@ -1,0 +1,93 @@
+// Thin RAII wrappers over POSIX TCP sockets for the HTTP edge.
+//
+// Status-based (no exceptions), EINTR-safe, and deliberately blocking:
+// the HTTP server is thread-per-connection over util::ThreadPool, so
+// per-socket receive timeouts — not readiness multiplexing — bound how
+// long a connection can hold a worker. AcceptWithTimeout polls so the
+// accept loop can observe a stop flag without relying on the
+// close-wakes-accept behavior, which POSIX does not guarantee.
+#ifndef INCENTAG_UTIL_SOCKET_H_
+#define INCENTAG_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace incentag {
+namespace util {
+
+// A connected stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Reads up to `capacity` bytes. Returns the count read; 0 means the
+  // peer closed cleanly. kDeadlineExceeded when the receive timeout set
+  // by SetRecvTimeout expires first.
+  Result<size_t> ReadSome(char* buf, size_t capacity);
+
+  // Writes all of `data`, looping over short writes.
+  Status WriteAll(std::string_view data);
+
+  // Bounds every subsequent ReadSome. 0 disables the timeout.
+  Status SetRecvTimeout(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening TCP socket. Move-only; closes on destruction.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(ListenSocket&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  // Binds `host:port` (IPv4, SO_REUSEADDR) and listens. Port 0 picks an
+  // ephemeral port; port() reports the bound one either way.
+  Status Listen(const std::string& host, uint16_t port, int backlog = 128);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  // Waits up to `timeout_ms` for a connection. kDeadlineExceeded on
+  // timeout — the server's accept loop uses that to poll its stop flag.
+  Result<Socket> AcceptWithTimeout(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Connects to `host:port` (IPv4 literal or "localhost").
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_SOCKET_H_

@@ -166,7 +166,22 @@ class GateArithmeticTest(unittest.TestCase):
         code, out = run_main([self.write("b.json", base),
                               self.write("c.json", cur)])
         self.assertEqual(code, 1)
-        self.assertIn("exceeds hard bound", out)
+        self.assertIn("violates hard bound", out)
+
+    def test_above_abs_floor(self):
+        # http_ingest gates the edge-efficiency acceptance floor (>= 0.5)
+        # as a hard bound; the baseline's own value must not loosen it.
+        base = {"bench": "http_ingest", "edge_efficiency_at_max": 0.2,
+                "best_http_tasks_per_sec": 1000.0}
+        good = dict(base, edge_efficiency_at_max=0.8)
+        code, out = run_main([self.write("b.json", base),
+                              self.write("c.json", good)])
+        self.assertEqual(code, 0)
+        bad = dict(base, edge_efficiency_at_max=0.3)
+        code, out = run_main([self.write("b.json", base),
+                              self.write("c.json", bad)])
+        self.assertEqual(code, 1)
+        self.assertIn("violates hard bound", out)
 
     def test_metric_missing_from_current_fails(self):
         base = {"bench": "scheduler", "miss_rate_advantage": 2.0,

@@ -1,0 +1,155 @@
+// Server round trips: routing, path parameters, keep-alive reuse,
+// 404/405, concurrent clients, and limit enforcement end to end.
+#include "src/http/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/http/client.h"
+
+namespace incentag {
+namespace http {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    server_ = std::make_unique<Server>(options);
+    server_->Route("GET", "/ping", [](const Request&, const PathArgs&) {
+      Response r;
+      r.body = "pong";
+      return r;
+    });
+    server_->Route("GET", "/v1/things/{id}",
+                   [](const Request&, const PathArgs& args) {
+                     Response r;
+                     r.body = "thing=" + *args.Get("id");
+                     return r;
+                   });
+    server_->Route("POST", "/v1/things/{id}/parts/{part}",
+                   [](const Request& req, const PathArgs& args) {
+                     Response r;
+                     r.status = 201;
+                     r.body = *args.Get("id") + "/" + *args.Get("part") +
+                              ":" + req.body;
+                     return r;
+                   });
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  void TearDown() override {
+    client_.Disconnect();
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  std::unique_ptr<Server> server_;
+  Client client_;
+};
+
+TEST_F(ServerTest, RoundTripAndKeepAlive) {
+  StartServer();
+  for (int i = 0; i < 3; ++i) {  // Same connection, three requests.
+    util::Result<ClientResponse> r = client_.Get("/ping");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().status, 200);
+    EXPECT_EQ(r.value().body, "pong");
+  }
+}
+
+TEST_F(ServerTest, PathParams) {
+  StartServer();
+  util::Result<ClientResponse> r = client_.Get("/v1/things/42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().body, "thing=42");
+
+  r = client_.Post("/v1/things/7/parts/wheel", "x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 201);
+  EXPECT_EQ(r.value().body, "7/wheel:x");
+
+  // Trailing slash matches too.
+  r = client_.Get("/v1/things/42/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().body, "thing=42");
+}
+
+TEST_F(ServerTest, NotFoundAndMethodNotAllowed) {
+  StartServer();
+  util::Result<ClientResponse> r = client_.Get("/nope");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 404);
+
+  r = client_.Post("/ping", "body");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 405);
+
+  // Missing path param segment is a 404, not a match with empty id.
+  r = client_.Get("/v1/things");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 404);
+}
+
+TEST_F(ServerTest, OversizedBodyGets413) {
+  ServerOptions options;
+  options.limits.max_body_bytes = 64;
+  StartServer(options);
+  util::Result<ClientResponse> r =
+      client_.Post("/v1/things/1/parts/p", std::string(65, 'x'));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 413);
+}
+
+TEST_F(ServerTest, ConcurrentClients) {
+  StartServer();
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 50;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client c;
+      if (!c.Connect("127.0.0.1", server_->port()).ok()) return;
+      for (int i = 0; i < kRequests; ++i) {
+        std::string id = std::to_string(t * kRequests + i);
+        util::Result<ClientResponse> r = c.Get("/v1/things/" + id);
+        if (r.ok() && r.value().status == 200 &&
+            r.value().body == "thing=" + id) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kRequests);
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndRestartable) {
+  StartServer();
+  server_->Stop();
+  server_->Stop();
+  // A fresh server on the same test fixture still works.
+  Server again(ServerOptions{});
+  again.Route("GET", "/ping", [](const Request&, const PathArgs&) {
+    Response r;
+    r.body = "pong";
+    return r;
+  });
+  ASSERT_TRUE(again.Start().ok());
+  Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", again.port()).ok());
+  util::Result<ClientResponse> r = c.Get("/ping");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().body, "pong");
+  again.Stop();
+}
+
+}  // namespace
+}  // namespace http
+}  // namespace incentag

@@ -17,14 +17,22 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/core/strategy_rr.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/service/campaign_manager.h"
 #include "src/service/completion_source.h"
 #include "src/service/scheduler/compaction_budget.h"
 #include "src/service/scheduler/shard_ring.h"
+#include "src/sim/dataset_prep.h"
+#include "src/sim/generator.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 
@@ -169,6 +177,93 @@ TEST(CompactionBudgetStressTest, AdmissionCapHoldsUnder16Threads) {
   // degenerate schedules and proved nothing.
   EXPECT_GT(budget.admitted(), 0);
   EXPECT_GT(budget.deferred(), 0);
+}
+
+TEST(ObservabilityStressTest, ScrapeAndListNeverBlockTheCompletionPath) {
+  // The ISSUE 8 read-path contract: GET /metrics and GET /v1/campaigns
+  // are served straight off Registry::Snapshot() and
+  // CampaignManager::List(), and neither may touch a campaign inbox
+  // lock — a dashboard poll must not stall the completion hot path, and
+  // the hot path must not stall a scrape. 8 scraper threads hammer both
+  // read paths continuously while a fleet of campaigns runs completions
+  // through the manager pool; the fleet finishing under that fire (and
+  // TSan staying quiet about the interleavings) is the assertion.
+  sim::CorpusConfig corpus_config;
+  corpus_config.num_resources = 40;
+  corpus_config.seed = 20260808;
+  auto corpus = sim::Corpus::Generate(corpus_config);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  auto prep = sim::PrepareFromCorpus(corpus.value(), sim::PrepConfig{});
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+  const sim::PreparedDataset& dataset = prep.value();
+
+  ManagerOptions options;
+  options.num_threads = 4;
+  CampaignManager manager(options);
+
+  constexpr int kScrapers = kThreads / 2;
+  constexpr int kCampaigns = 12;
+  std::atomic<bool> fleet_done{false};
+  std::atomic<int64_t> scrapes{0};
+  std::atomic<int64_t> lists{0};
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(kScrapers);
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&, s] {
+      while (!fleet_done.load(std::memory_order_acquire)) {
+        if (s % 2 == 0) {
+          // The /metrics read path: a full snapshot + render every
+          // iteration, exactly what the HTTP handler serves.
+          const std::string text =
+              obs::Registry::Default().Snapshot().RenderPrometheus();
+          ASSERT_FALSE(text.empty());
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // The listing read path, filters included: pages must be
+          // internally consistent at every instant mid-run.
+          ListQuery query;
+          query.offset = static_cast<size_t>(s);
+          query.limit = 5;
+          query.search = "stress-";
+          CampaignPage page = manager.List(query);
+          ASSERT_LE(page.statuses.size(), query.limit);
+          ASSERT_LE(page.total, static_cast<size_t>(kCampaigns));
+          lists.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < kCampaigns; ++i) {
+    CampaignConfig config;
+    config.name = "stress-" + std::to_string(i);
+    config.options.budget = 300;
+    config.initial_posts = &dataset.initial_posts;
+    config.references = &dataset.references;
+    config.strategy = std::make_unique<core::RoundRobinStrategy>();
+    config.stream =
+        std::make_unique<core::VectorPostStream>(dataset.MakeStream());
+    ASSERT_TRUE(manager.Submit(std::move(config)).ok());
+  }
+  manager.WaitAll();
+  fleet_done.store(true, std::memory_order_release);
+  for (std::thread& scraper : scrapers) scraper.join();
+
+  // The fleet ran to completion under continuous scraping, and both
+  // read paths made real progress (a wedged snapshot or listing would
+  // have pinned its counter at ~0 while WaitAll spun).
+  EXPECT_GT(scrapes.load(), 0);
+  EXPECT_GT(lists.load(), 0);
+  ListQuery done_query;
+  done_query.state = CampaignState::kDone;
+  done_query.search = "stress-";
+  done_query.limit = ListQuery::kMaxLimit;
+  CampaignPage page = manager.List(done_query);
+  EXPECT_EQ(page.total, static_cast<size_t>(kCampaigns));
+  for (const CampaignStatus& status : page.statuses) {
+    EXPECT_EQ(status.state, CampaignState::kDone);
+    EXPECT_GT(status.tasks_completed, 0);
+  }
 }
 
 }  // namespace

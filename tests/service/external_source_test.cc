@@ -1,0 +1,175 @@
+// ExternalCompletionSource: intake classification (delivered /
+// duplicate / unknown / invalid), idempotent re-delivery, the dedup
+// floor ratchet, and concurrent double-send safety (ISSUE 8).
+#include "src/service/external_source.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace incentag {
+namespace service {
+namespace {
+
+std::vector<TaskHandle> MakeTasks(CampaignId campaign, uint64_t first_seq,
+                                  size_t count) {
+  std::vector<TaskHandle> tasks;
+  tasks.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    TaskHandle t;
+    t.campaign = campaign;
+    t.seq = first_seq + i;
+    t.resource = static_cast<core::ResourceId>(100 + first_seq + i);
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+std::vector<ExternalCompletion> AsBatch(const std::vector<TaskHandle>& tasks) {
+  std::vector<ExternalCompletion> batch;
+  batch.reserve(tasks.size());
+  for (const TaskHandle& t : tasks) {
+    batch.push_back(ExternalCompletion{t.seq, t.resource});
+  }
+  return batch;
+}
+
+TEST(ExternalSource, DeliversParkedTasksOnce) {
+  ExternalCompletionSource source;
+  std::vector<TaskHandle> received;
+  auto done = [&](std::span<const TaskHandle> span) {
+    received.insert(received.end(), span.begin(), span.end());
+  };
+  auto tasks = MakeTasks(1, 0, 4);
+  ASSERT_TRUE(source.SubmitTasks(tasks, done));
+
+  IntakeResult r = source.Complete(1, AsBatch(tasks));
+  EXPECT_EQ(r.delivered, 4u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.unknown, 0u);
+  EXPECT_EQ(r.invalid, 0u);
+  ASSERT_EQ(received.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(received[i].seq, i);
+    EXPECT_EQ(received[i].resource, tasks[i].resource);
+  }
+
+  // At-least-once: the identical batch again is all duplicates, and the
+  // campaign hears nothing new.
+  r = source.Complete(1, AsBatch(tasks));
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(r.duplicates, 4u);
+  EXPECT_EQ(received.size(), 4u);
+}
+
+TEST(ExternalSource, ClassifiesUnknownAndInvalid) {
+  ExternalCompletionSource source;
+  auto done = [](std::span<const TaskHandle>) {};
+  auto tasks = MakeTasks(7, 0, 2);
+  ASSERT_TRUE(source.SubmitTasks(tasks, done));
+
+  // seq 5 was never assigned.
+  IntakeResult r = source.Complete(7, {ExternalCompletion{5, 105}});
+  EXPECT_EQ(r.unknown, 1u);
+
+  // seq 0 assigned resource 100, reported as 999.
+  r = source.Complete(7, {ExternalCompletion{0, 999}});
+  EXPECT_EQ(r.invalid, 1u);
+  // The mismatch did not consume the parked task.
+  r = source.Complete(7, {ExternalCompletion{0, 100}});
+  EXPECT_EQ(r.delivered, 1u);
+
+  // Unknown campaign entirely.
+  r = source.Complete(99, {ExternalCompletion{0, 100}});
+  EXPECT_EQ(r.unknown, 1u);
+}
+
+TEST(ExternalSource, DedupFloorRatchetsToBatchStart) {
+  ExternalCompletionSource source;
+  auto done = [](std::span<const TaskHandle>) {};
+  // Recovery re-assigns the pending tail starting at the journaled
+  // high-water seq — here 10. Everything below is a duplicate, not
+  // unknown: the journal already holds it.
+  ASSERT_TRUE(source.SubmitTasks(MakeTasks(3, 10, 2), done));
+
+  IntakeResult r = source.Complete(
+      3, {ExternalCompletion{4, 104}, ExternalCompletion{9, 109},
+          ExternalCompletion{10, 110}});
+  EXPECT_EQ(r.duplicates, 2u);
+  EXPECT_EQ(r.delivered, 1u);
+  // Above the watermark stays unknown.
+  r = source.Complete(3, {ExternalCompletion{12, 112}});
+  EXPECT_EQ(r.unknown, 1u);
+}
+
+TEST(ExternalSource, PendingListsParkedInSeqOrder) {
+  ExternalCompletionSource source;
+  auto done = [](std::span<const TaskHandle>) {};
+  ASSERT_TRUE(source.SubmitTasks(MakeTasks(5, 0, 6), done));
+  ASSERT_TRUE(
+      source.Complete(5, {ExternalCompletion{1, 101},
+                          ExternalCompletion{3, 103}})
+          .delivered == 2u);
+
+  std::vector<TaskHandle> pending = source.Pending(5, 10);
+  ASSERT_EQ(pending.size(), 4u);
+  EXPECT_EQ(pending[0].seq, 0u);
+  EXPECT_EQ(pending[1].seq, 2u);
+  EXPECT_EQ(pending[2].seq, 4u);
+  EXPECT_EQ(pending[3].seq, 5u);
+
+  // max caps the page.
+  pending = source.Pending(5, 2);
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].seq, 0u);
+  EXPECT_EQ(pending[1].seq, 2u);
+
+  EXPECT_TRUE(source.Pending(404, 10).empty());
+}
+
+TEST(ExternalSource, StopFailsSubmitsAndDeliversNothing) {
+  ExternalCompletionSource source;
+  std::atomic<int> delivered{0};
+  auto done = [&](std::span<const TaskHandle> span) {
+    delivered.fetch_add(static_cast<int>(span.size()));
+  };
+  auto tasks = MakeTasks(2, 0, 2);
+  ASSERT_TRUE(source.SubmitTasks(tasks, done));
+  source.Stop();
+  EXPECT_FALSE(source.SubmitTasks(MakeTasks(2, 2, 2), done));
+  IntakeResult r = source.Complete(2, AsBatch(tasks));
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(delivered.load(), 0);
+}
+
+// Two edge workers racing the same batch: every seq is delivered
+// exactly once between them, the rest classify as duplicates.
+TEST(ExternalSource, ConcurrentDoubleSendDeliversExactlyOnce) {
+  ExternalCompletionSource source;
+  std::atomic<int> delivered_tasks{0};
+  auto done = [&](std::span<const TaskHandle> span) {
+    delivered_tasks.fetch_add(static_cast<int>(span.size()));
+  };
+  constexpr int kTasks = 512;
+  ASSERT_TRUE(source.SubmitTasks(MakeTasks(1, 0, kTasks), done));
+  auto batch = AsBatch(MakeTasks(1, 0, kTasks));
+
+  IntakeResult results[2];
+  std::thread a([&] { results[0] = source.Complete(1, batch); });
+  std::thread b([&] { results[1] = source.Complete(1, batch); });
+  a.join();
+  b.join();
+
+  EXPECT_EQ(results[0].delivered + results[1].delivered,
+            static_cast<size_t>(kTasks));
+  EXPECT_EQ(results[0].duplicates + results[1].duplicates,
+            static_cast<size_t>(kTasks));
+  EXPECT_EQ(results[0].unknown + results[1].unknown, 0u);
+  EXPECT_EQ(delivered_tasks.load(), kTasks);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace incentag

@@ -1,0 +1,189 @@
+// CampaignManager::List: pagination windows, state/search filters,
+// stable id order, and the StatusAll compatibility wrapper (ISSUE 8).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/strategy_rr.h"
+#include "src/service/campaign_manager.h"
+#include "src/sim/dataset_prep.h"
+#include "src/sim/generator.h"
+
+namespace incentag {
+namespace service {
+namespace {
+
+class ListTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::CorpusConfig config;
+    config.num_resources = 40;
+    config.seed = 20260808;
+    auto corpus = sim::Corpus::Generate(config);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    corpus_ = new sim::Corpus(std::move(corpus).value());
+    auto prep = sim::PrepareFromCorpus(*corpus_, sim::PrepConfig{});
+    ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+    dataset_ = new sim::PreparedDataset(std::move(prep).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete corpus_;
+    dataset_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static CampaignConfig MakeConfig(const std::string& name) {
+    CampaignConfig config;
+    config.name = name;
+    config.options.budget = 50;
+    config.initial_posts = &dataset_->initial_posts;
+    config.references = &dataset_->references;
+    config.strategy = std::make_unique<core::RoundRobinStrategy>();
+    config.stream =
+        std::make_unique<core::VectorPostStream>(dataset_->MakeStream());
+    return config;
+  }
+
+  static sim::Corpus* corpus_;
+  static sim::PreparedDataset* dataset_;
+};
+
+sim::Corpus* ListTest::corpus_ = nullptr;
+sim::PreparedDataset* ListTest::dataset_ = nullptr;
+
+// Deterministic mode: every campaign is terminal (kDone) when Submit
+// returns, so listings are exact.
+TEST_F(ListTest, PaginationGolden) {
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager manager(options);
+  std::vector<CampaignId> ids;
+  for (int i = 0; i < 7; ++i) {
+    auto id = manager.Submit(MakeConfig("alpha-" + std::to_string(i)));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+
+  ListQuery q;
+  q.offset = 2;
+  q.limit = 3;
+  CampaignPage page = manager.List(q);
+  EXPECT_EQ(page.total, 7u);
+  EXPECT_EQ(page.offset, 2u);
+  EXPECT_EQ(page.limit, 3u);
+  ASSERT_EQ(page.statuses.size(), 3u);
+  EXPECT_EQ(page.statuses[0].id, ids[2]);
+  EXPECT_EQ(page.statuses[1].id, ids[3]);
+  EXPECT_EQ(page.statuses[2].id, ids[4]);
+
+  // Window past the end: empty page, total intact.
+  q.offset = 100;
+  page = manager.List(q);
+  EXPECT_EQ(page.total, 7u);
+  EXPECT_TRUE(page.statuses.empty());
+
+  // limit 0 is the count probe.
+  q.offset = 0;
+  q.limit = 0;
+  page = manager.List(q);
+  EXPECT_EQ(page.total, 7u);
+  EXPECT_TRUE(page.statuses.empty());
+
+  // Ascending id order across the whole listing.
+  q.limit = 100;
+  page = manager.List(q);
+  ASSERT_EQ(page.statuses.size(), 7u);
+  for (size_t i = 1; i < page.statuses.size(); ++i) {
+    EXPECT_LT(page.statuses[i - 1].id, page.statuses[i].id);
+  }
+}
+
+TEST_F(ListTest, SearchFilterIsCaseInsensitiveSubstring) {
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager manager(options);
+  ASSERT_TRUE(manager.Submit(MakeConfig("News-Tagging")).ok());
+  ASSERT_TRUE(manager.Submit(MakeConfig("photo archive")).ok());
+  ASSERT_TRUE(manager.Submit(MakeConfig("news backlog")).ok());
+
+  ListQuery q;
+  q.search = "NEWS";
+  CampaignPage page = manager.List(q);
+  EXPECT_EQ(page.total, 2u);
+  ASSERT_EQ(page.statuses.size(), 2u);
+  EXPECT_EQ(page.statuses[0].name, "News-Tagging");
+  EXPECT_EQ(page.statuses[1].name, "news backlog");
+
+  q.search = "archive";
+  page = manager.List(q);
+  EXPECT_EQ(page.total, 1u);
+
+  q.search = "no such campaign";
+  page = manager.List(q);
+  EXPECT_EQ(page.total, 0u);
+  EXPECT_TRUE(page.statuses.empty());
+}
+
+TEST_F(ListTest, StateFilter) {
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager manager(options);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(manager.Submit(MakeConfig("done-" + std::to_string(i))).ok());
+  }
+
+  ListQuery q;
+  q.state = CampaignState::kDone;
+  EXPECT_EQ(manager.List(q).total, 3u);
+  q.state = CampaignState::kRunning;
+  EXPECT_EQ(manager.List(q).total, 0u);
+
+  // Filters compose: state AND search.
+  q.state = CampaignState::kDone;
+  q.search = "done-1";
+  CampaignPage page = manager.List(q);
+  EXPECT_EQ(page.total, 1u);
+  ASSERT_EQ(page.statuses.size(), 1u);
+  EXPECT_EQ(page.statuses[0].name, "done-1");
+}
+
+TEST_F(ListTest, TotalCountsMatchesBeyondThePage) {
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager manager(options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(manager.Submit(MakeConfig("x-" + std::to_string(i))).ok());
+  }
+  ListQuery q;
+  q.limit = 2;
+  q.search = "x-";
+  CampaignPage page = manager.List(q);
+  EXPECT_EQ(page.statuses.size(), 2u);
+  EXPECT_EQ(page.total, 5u);
+}
+
+TEST_F(ListTest, StatusAllWrapperMatchesUnfilteredList) {
+  ManagerOptions options;
+  options.deterministic = true;
+  CampaignManager manager(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(manager.Submit(MakeConfig("w-" + std::to_string(i))).ok());
+  }
+  std::vector<CampaignStatus> all = manager.StatusAll();
+  ListQuery q;
+  q.limit = ListQuery::kMaxLimit;
+  CampaignPage page = manager.List(q);
+  ASSERT_EQ(all.size(), page.statuses.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].id, page.statuses[i].id);
+    EXPECT_EQ(all[i].name, page.statuses[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace incentag

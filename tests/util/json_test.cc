@@ -1,0 +1,143 @@
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace incentag {
+namespace util {
+namespace json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  auto v = Parse("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+
+  v = Parse("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().bool_value());
+
+  v = Parse("false");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.value().bool_value());
+
+  v = Parse("  42 ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().int_value(), 42);
+
+  v = Parse("-17.5e2");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.value().number_value(), -1750.0);
+
+  v = Parse("\"hello\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "hello");
+}
+
+TEST(JsonParse, Escapes) {
+  auto v = Parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "a\"b\\c/d\b\f\n\r\t");
+
+  v = Parse(R"("\u0041\u00e9\u4e2d")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "A\xC3\xA9\xE4\xB8\xAD");
+
+  // Surrogate pair: U+1F600.
+  v = Parse(R"("\ud83d\ude00")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, Containers) {
+  auto v = Parse(R"({"id": 7, "tags": ["a", "b"], "nested": {"x": true}})");
+  ASSERT_TRUE(v.ok());
+  const Value& obj = v.value();
+  ASSERT_TRUE(obj.is_object());
+  ASSERT_NE(obj.Find("id"), nullptr);
+  EXPECT_EQ(obj.Find("id")->int_value(), 7);
+  const Value* tags = obj.Find("tags");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_TRUE(tags->is_array());
+  ASSERT_EQ(tags->items().size(), 2u);
+  EXPECT_EQ(tags->items()[0].string_value(), "a");
+  const Value* nested = obj.Find("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(nested->Find("x"), nullptr);
+  EXPECT_TRUE(nested->Find("x")->bool_value());
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  auto v = Parse("[]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().items().empty());
+  v = Parse("{}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().members().empty());
+}
+
+TEST(JsonParse, Rejections) {
+  const char* bad[] = {
+      "",           "tru",         "[1,]",       "{\"a\":}",
+      "{\"a\" 1}",  "[1 2]",       "\"unterminated",
+      "01",         "1.",          "1e",         "- 1",
+      "\"\\u12\"",  "\"\\ud800\"", "\"\\q\"",    "nulll",
+      "[1] trailing",
+      "\"\x01\"",  // raw control character
+  };
+  for (const char* t : bad) {
+    auto v = Parse(t);
+    EXPECT_FALSE(v.ok()) << "should reject: " << t;
+    if (!v.ok()) {
+      EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument) << t;
+    }
+  }
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  ParseOptions opts;
+  opts.max_depth = 64;
+  EXPECT_FALSE(Parse(deep, opts).ok());
+  opts.max_depth = 128;
+  EXPECT_TRUE(Parse(deep, opts).ok());
+}
+
+TEST(JsonDump, RoundTrip) {
+  const std::string doc =
+      R"({"name":"c\"1","id":12345678901,"ok":true,"none":null,)"
+      R"("frac":0.5,"list":[1,2,3]})";
+  auto v = Parse(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().Dump(), doc);
+}
+
+TEST(JsonDump, IntegersPrintWithoutFraction) {
+  Value v = Value::Object();
+  v.Set("seq", Value::Int(9007199254740992));  // 2^53
+  v.Set("small", Value::Int(0));
+  EXPECT_EQ(v.Dump(), R"({"seq":9007199254740992,"small":0})");
+}
+
+TEST(JsonDump, ControlCharactersEscaped) {
+  Value v = Value::Str(std::string("a\x01z", 3));
+  EXPECT_EQ(v.Dump(), R"("a\u0001z")");
+}
+
+TEST(JsonValue, BuildersIgnoreWrongKind) {
+  Value n = Value::Null();
+  n.Append(Value::Int(1));
+  n.Set("k", Value::Int(1));
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(n.Find("k"), nullptr);
+  EXPECT_EQ(n.int_value(), 0);
+  EXPECT_FALSE(n.bool_value());
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace util
+}  // namespace incentag

@@ -5,7 +5,7 @@ Walks a source tree for GetCounter/GetGauge/GetHistogram registrations
 and enforces, at the call site, the rules the README states for review:
 
   naming      incentag_<layer>_<what>_<unit-or-total>; layer is one of
-              core / scheduler / service / persist
+              core / scheduler / service / persist / http
   counters    end in _total
   histograms  end in their unit: _seconds, _bytes, or _batch_size
   gauges      a plain noun -- must NOT carry a counter/histogram suffix
@@ -13,8 +13,8 @@ and enforces, at the call site, the rules the README states for review:
   help        one sentence, starts with a capital letter, no trailing
               period, and identical across every site registering the
               same (name, labels) pair
-  labels      preformatted `key="value"`; bounded enums only (today:
-              class in {critical, background})
+  labels      preformatted `key="value"`; bounded enums only (see
+              BOUNDED_LABELS below: class, route, reason)
   kind        a name is one kind everywhere (no counter/gauge collisions)
 
 Metric names and labels must be string literals at the call site --
@@ -31,7 +31,7 @@ import os
 import re
 import sys
 
-LAYERS = ("core", "scheduler", "service", "persist")
+LAYERS = ("core", "scheduler", "service", "persist", "http")
 NAME_RE = re.compile(r"^incentag_(%s)_[a-z][a-z0-9_]*$" % "|".join(LAYERS))
 # Non-base units; \Z-anchored alternation so e.g. `_used_total` survives
 # but `_ms_total`, `_latency_us`, `_size_kb` do not.
@@ -40,7 +40,15 @@ BAD_UNIT_RE = re.compile(
     r"|_ns|_nanos(?:econds)?|_kb|_mb|_gb)(_|$)")
 HIST_SUFFIXES = ("_seconds", "_bytes", "_batch_size")
 LABEL_RE = re.compile(r'^([a-z_][a-z0-9_]*)="([^"\\]*)"$')
-BOUNDED_LABELS = {"class": {"critical", "background"}}
+BOUNDED_LABELS = {
+    "class": {"critical", "background"},
+    # HTTP edge (ISSUE 8): one series per REST endpoint...
+    "route": {"submit", "status", "list", "completions", "tasks",
+              "metrics"},
+    # ...and per edge-rejection cause.
+    "reason": {"malformed", "oversized", "invalid_body",
+               "unknown_campaign"},
+}
 
 CALL_RE = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(")
 
