@@ -137,7 +137,9 @@ FleetResult RunFleet(const bench::BenchDataset& bench_ds,
   std::vector<double> background_ttc;
   std::vector<double> critical_ttc;
   int64_t misses = 0;
-  for (const service::CampaignStatus& s : manager.StatusAll()) {
+  service::ListQuery all;
+  all.limit = service::ListQuery::kMaxLimit;
+  for (const service::CampaignStatus& s : manager.List(all).statuses) {
     INCENTAG_CHECK(s.state == service::CampaignState::kDone);
     const double ttc = s.queue_delay_seconds + s.elapsed_seconds;
     const bool is_critical = s.name.rfind("critical-", 0) == 0;

@@ -17,6 +17,7 @@
 // concurrency). The paper's Figure 6(g)/(h) timing discipline applies:
 // dataset preparation is outside the clock, only Submit..WaitAll is
 // timed.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -113,7 +114,9 @@ SweepResult RunOnce(const bench::BenchDataset& bench_ds, int threads,
   SweepResult result;
   result.seconds = timer.ElapsedSeconds();
   result.threads = manager.num_threads();
-  for (const service::CampaignStatus& status : manager.StatusAll()) {
+  service::ListQuery all;
+  all.limit = service::ListQuery::kMaxLimit;
+  for (const service::CampaignStatus& status : manager.List(all).statuses) {
     INCENTAG_CHECK(status.state == service::CampaignState::kDone);
     result.tasks += status.tasks_completed;
   }
@@ -217,6 +220,46 @@ int main(int argc, char** argv) {
     rates.push_back(rate);
   }
 
+  // Journaled runs also measure the durability tax:
+  // journaled_inline_ratio = journaled / inline tasks-per-sec at max
+  // threads over the same fleet and dataset, best-of-3 on both sides —
+  // the same estimator for numerator and denominator, so scheduler
+  // noise cannot bias the ratio (single ~50ms fleet runs jitter +-15%
+  // on shared machines). The gathered-append + group-commit design is
+  // only a win if this stays near 1.0; CI holds a hard >= 0.85 floor
+  // (see check_regression.py).
+  double journaled_inline_ratio = 0.0;
+  if (!journal_dir.empty()) {
+    auto run_rate = [&](const std::string& dir) {
+      SweepResult r =
+          RunOnce(*bench_ds, static_cast<int>(threads), campaigns,
+                  budget, batch, taggers, latency_us, dir,
+                  journal_batch_us);
+      return r.seconds > 0.0
+                 ? static_cast<double>(r.tasks) / r.seconds
+                 : 0.0;
+    };
+    // Best-of-5 per side, reps interleaved so a load spike on the
+    // host taxes both estimates instead of biasing one. The thread
+    // sweep already produced the first journaled max-thread sample.
+    double journaled_rate = rates.empty() ? 0.0 : rates.back();
+    double inline_rate = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      if (i > 0) {
+        journaled_rate = std::max(journaled_rate, run_rate(journal_dir));
+      }
+      inline_rate = std::max(inline_rate, run_rate(""));
+    }
+    journaled_inline_ratio =
+        inline_rate > 0.0 ? journaled_rate / inline_rate : 0.0;
+    std::printf(
+        "\njournaled_inline_ratio: %.3f "
+        "(journaled %.0f / inline %.0f tasks/sec at %lld threads, "
+        "best of 5)\n",
+        journaled_inline_ratio, journaled_rate, inline_rate,
+        static_cast<long long>(threads));
+  }
+
   // One-parameter sweeps at max threads, sharing the parse/run/print
   // machinery: the group-commit window sweep (the sink's coalescing
   // interval trades durability lag against fsync count) and the
@@ -293,17 +336,26 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     INCENTAG_CHECK(out != nullptr);
+    // Journaled runs are a distinct bench identity with their own
+    // baseline and gates (the ratio below); unjournaled output is
+    // byte-compatible with pre-ISSUE-9 "service_throughput" JSONs.
     std::fprintf(out,
-                 "{\"bench\":\"service_throughput\",\"n\":%lld,"
+                 "{\"bench\":\"%s\",\"n\":%lld,"
                  "\"campaigns\":%lld,\"budget\":%lld,\"batch\":%lld,"
-                 "\"taggers\":%lld,\"latency_us\":%g,\"journaled\":%s,"
-                 "\"results\":[",
+                 "\"taggers\":%lld,\"latency_us\":%g,\"journaled\":%s,",
+                 journal_dir.empty() ? "service_throughput"
+                                     : "service_throughput_journaled",
                  static_cast<long long>(n),
                  static_cast<long long>(campaigns),
                  static_cast<long long>(budget),
                  static_cast<long long>(batch),
                  static_cast<long long>(taggers), latency_us,
                  journal_dir.empty() ? "false" : "true");
+    if (!journal_dir.empty()) {
+      std::fprintf(out, "\"journaled_inline_ratio\":%.4f,",
+                   journaled_inline_ratio);
+    }
+    std::fprintf(out, "\"results\":[");
     for (size_t i = 0; i < results.size(); ++i) {
       std::fprintf(out,
                    "%s{\"threads\":%d,\"tasks\":%lld,\"seconds\":%.6f,"

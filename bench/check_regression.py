@@ -85,6 +85,18 @@ GATES = {
         # baseline lacks).
         ("best_batch_tasks_per_sec", "higher", "absolute"),
     ],
+    # The journaled bench_service_throughput run (ISSUE 9): the bench
+    # runs an unjournaled reference fleet in the same process and
+    # reports journaled_inline_ratio = journaled / inline tasks-per-sec
+    # at max threads. Gated against the acceptance floor (durability may
+    # cost at most 15% of fleet throughput), not the baseline — the
+    # gathered pwritev + fleet group commit is the mechanism that keeps
+    # it there. The absolute rate catches a cliff in the journaled path
+    # itself.
+    "service_throughput_journaled": [
+        ("journaled_inline_ratio", "above_abs", 0.85),
+        ("max_tasks_per_sec", "higher", "absolute"),
+    ],
     # bench_scheduler gates on the *relative* separation between EDF and
     # round-robin under an identical, self-calibrated fleet (deadlines
     # are a fraction of the machine's own round-robin wall time), so the
@@ -178,7 +190,8 @@ def derive_metrics(doc):
             doc["batch_append_speedup"] = (
                 doc["batch_append_records_per_sec"] / single
                 if single else 0.0)
-    if doc.get("bench") == "service_throughput":
+    if doc.get("bench") in ("service_throughput",
+                            "service_throughput_journaled"):
         rates = [r.get("tasks_per_sec", 0.0) for r in doc.get("results", [])]
         doc["max_tasks_per_sec"] = max(rates) if rates else 0.0
         sweep = [r.get("tasks_per_sec", 0.0)

@@ -97,7 +97,7 @@ const char* StateName(service::CampaignState state) {
 }
 
 // Every campaign's status via the paginated List API — the dashboard
-// and rollups page through it instead of the deprecated StatusAll, so
+// and rollups page through the same read path as GET /v1/campaigns, so
 // they also see campaigns submitted over HTTP.
 std::vector<service::CampaignStatus> ListAll(
     const service::CampaignManager& manager) {

@@ -1,0 +1,181 @@
+// FsyncDomain: one durability point per batching window for the fleet.
+//
+// The JournalSink used to pay one fsync per dirty journal per pass — N
+// campaigns stepping concurrently cost N platter round-trips per window.
+// The domain collapses that with a two-rung ladder:
+//
+//   * small dirty sets (<= per_fd_threshold): per-fd fdatasync, one per
+//     journal — the syscall count is already low and the bytes land in
+//     their final file immediately;
+//   * large dirty sets: each journal's unsynced tail is copied into one
+//     fleet commit log as a patch record, and a single fdatasync of the
+//     log makes the whole window durable. The journals' own files are
+//     lazily caught up (their bytes are already flushed to the kernel);
+//     after a crash, ApplyCommitLog() replays the logged patches into
+//     the journal files before normal recovery reads them.
+//
+// Durability contract (unchanged from the per-journal sink): a record is
+// power-loss durable once the Commit() covering its Schedule() returns —
+// whether the bytes physically sit in the journal or in the commit log.
+// A crash can still lose the tail of a window back to the last Commit;
+// recovery truncates to the last intact record and replays, which
+// Algorithm 1's determinism makes byte-identical.
+//
+// Patch validity across compactions: a journal compaction replaces the
+// whole file (fully fsynced before the rename), so patches logged
+// against the old incarnation must never be applied to the new one. Two
+// guards enforce that: (1) every patch carries the writer's commit
+// generation, bumped via JournalCommitObserver::OnJournalRewritten, and
+// recovery only applies the newest generation per journal; (2) every
+// patch carries a CRC of the 16 bytes immediately preceding its offset,
+// and recovery skips a journal's remaining patches on the first
+// mismatch. Either guard alone closes the crash window between a
+// compaction's rename and its first new-generation patch; both together
+// make a mis-application require a CRC collision inside an already
+// impossible interleaving.
+//
+// Locking: mu_ guards the tracking map and the log. Commit() never holds
+// mu_ while taking a writer's internal lock (writers are flushed and
+// read outside it); the compactor calls OnJournalRewritten() while
+// holding its writer's lock, so the order writer -> domain is the only
+// one that occurs and the pair cannot deadlock.
+#ifndef INCENTAG_PERSIST_FSYNC_DOMAIN_H_
+#define INCENTAG_PERSIST_FSYNC_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/persist/journal.h"
+#include "src/util/file_io.h"
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace incentag {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+namespace persist {
+
+// Shared handle to the incentag_persist_journal_syncs_total counter, so
+// the domain's rungs and the sink's teardown-straggler inline sync all
+// feed the same metric.
+obs::Counter* JournalSyncsCounter();
+
+// File name of the fleet commit log inside the journal directory. Never
+// matches ListDirFiles(dir, ".journal"), so journal scans skip it.
+inline constexpr char kFleetCommitLogName[] = "fleet-commit.log";
+
+struct FsyncDomainOptions {
+  // Path of the fleet commit log; empty disables the log rung (every
+  // Commit takes the per-fd path).
+  std::string commit_log_path;
+  // Dirty sets of at most this many journals commit per-fd; larger ones
+  // go through the commit log (one fdatasync for the window).
+  size_t per_fd_threshold = 4;
+  // When the log grows past this, the next Commit checkpoints: every
+  // tracked journal is fdatasynced and the log is truncated, bounding
+  // both log growth and recovery's patch-replay work.
+  int64_t checkpoint_bytes = 4 << 20;
+};
+
+// Shared fsync domain for a fleet of JournalWriters. Thread-safe; see
+// the header comment for the locking discipline. Tracked writers must
+// stay alive until Untrack() — the domain keeps raw pointers and a
+// checkpoint may touch any tracked writer, not just the dirty ones.
+class FsyncDomain : public JournalCommitObserver {
+ public:
+  FsyncDomain() = default;
+  ~FsyncDomain() override = default;
+
+  FsyncDomain(const FsyncDomain&) = delete;
+  FsyncDomain& operator=(const FsyncDomain&) = delete;
+
+  // Opens the fleet commit log (creating it, truncating any stale
+  // incarnation — a pre-crash log must be consumed by ApplyCommitLog()
+  // *before* the domain that would overwrite it is initialised). On
+  // failure, or when options.commit_log_path is empty, the domain stays
+  // usable with the log rung disabled.
+  util::Status Init(const FsyncDomainOptions& options) EXCLUDES(mu_);
+
+  bool commit_log_active() const EXCLUDES(mu_);
+
+  // Registers `writer` and wires its commit observer to this domain.
+  // Precondition: the journal file is power-loss durable up to its
+  // current size (Submit syncs before tracking; recovery resumes from a
+  // file that survived).
+  void Track(JournalWriter* writer) EXCLUDES(mu_);
+  // Unregisters and clears the observer; call before destroying the
+  // writer or the domain.
+  void Untrack(JournalWriter* writer) EXCLUDES(mu_);
+
+  // Makes every journal in `batch` power-loss durable (the sink's group
+  // commit). Per-journal IO errors are deliberately not fatal to the
+  // pass — the manager retries via the terminal Sync, matching the old
+  // sink behaviour — but are surfaced for logging.
+  util::Status Commit(const std::vector<JournalWriter*>& batch)
+      EXCLUDES(mu_);
+
+  // JournalCommitObserver: a compaction replaced `writer`'s file, fully
+  // durable at `durable_size`. Called with the writer's lock held.
+  void OnJournalRewritten(JournalWriter* writer,
+                          int64_t durable_size) override EXCLUDES(mu_);
+
+  // Fdatasyncs every tracked journal and truncates the log: every
+  // logged patch now describes bytes the files themselves hold. Runs
+  // automatically when the log outgrows checkpoint_bytes; the sink also
+  // calls it on clean shutdown so a leftover log never carries patches
+  // for journals a later compaction might have replaced (recovery
+  // detects that case too — see ApplyCommitLog — but a retired log
+  // makes it unreachable on the clean path).
+  void Checkpoint() EXCLUDES(mu_);
+
+  // Counters for tests and bench output: Commit() passes that took the
+  // commit-log rung, and physical fdatasync calls issued (per-fd rungs
+  // count one per journal; a log rung counts one per window).
+  int64_t log_commits() const EXCLUDES(mu_);
+  int64_t physical_syncs() const EXCLUDES(mu_);
+
+ private:
+  struct WriterState {
+    // Bumped on Track and on every compaction of this writer; patches
+    // from older generations are dead.
+    uint64_t generation = 0;
+    // Bytes of the journal known power-loss durable (in its own file or
+    // via logged patches).
+    int64_t durable_offset = 0;
+    // ApplyCommitLog resolves patch names relative to the log's own
+    // directory, so only journals living next to the log may take the
+    // log rung; others always sync per-fd.
+    bool log_eligible = false;
+  };
+
+  // Per-fd rung for one writer, updating its durable offset.
+  void SyncOne(JournalWriter* writer) EXCLUDES(mu_);
+
+  FsyncDomainOptions options_;
+  mutable util::Mutex mu_;
+  bool log_active_ GUARDED_BY(mu_) = false;
+  util::AppendFile log_ GUARDED_BY(mu_);
+  uint64_t next_generation_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<JournalWriter*, WriterState> states_ GUARDED_BY(mu_);
+  int64_t log_commits_ GUARDED_BY(mu_) = 0;
+  int64_t physical_syncs_ GUARDED_BY(mu_) = 0;
+};
+
+// Crash recovery for the commit-log rung: replays the patches in
+// `dir`/fleet-commit.log into their journal files (newest generation
+// per journal, context-CRC checked, in log order), fsyncs the patched
+// journals, then deletes the log. OK when no log exists. Must run
+// before the journals are read *and* before a new FsyncDomain truncates
+// the log — CampaignManager::Recover calls it first thing.
+util::Status ApplyCommitLog(const std::string& dir);
+
+}  // namespace persist
+}  // namespace incentag
+
+#endif  // INCENTAG_PERSIST_FSYNC_DOMAIN_H_

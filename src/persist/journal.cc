@@ -1,5 +1,6 @@
 #include "src/persist/journal.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/obs/metrics.h"
@@ -21,6 +22,13 @@ using util::wire::PutU8;
 using util::wire::Reader;
 
 constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+// Dirty-buffer bound for the batched append path: below this a quantum
+// coalesces in the writer buffer for the sink's next window flush; at
+// or past it the append flushes inline (one gathered pwritev). Sized
+// well above a window's worth of records at any realistic rate, so the
+// inline path only triggers when no sink is draining the buffer.
+constexpr int64_t kGatherFlushBytes = 32 << 10;
 
 }  // namespace
 
@@ -262,8 +270,22 @@ util::Status JournalWriter::AppendCompletionBatch(
     AppendFramedCompletionRecord(records[i], &arena);
   }
   AppendBytesCounter()->Add(static_cast<int64_t>(arena.size()));
+  // At most one syscall per quantum, usually zero: a small quantum just
+  // lands in the writer buffer (memcpy) and rides the next window
+  // commit — the sink's SyncData/CollectUnsynced flush the buffer as
+  // part of the fsync they already pay for, so steady-state appends
+  // cost the workers no kernel crossing at all. A quantum that pushes
+  // the dirty tail past kGatherFlushBytes (a sink stalled or absent)
+  // flushes inline as one gathered pwritev — the buffer plus the arena
+  // in a single syscall, never copying the arena into the buffer. The
+  // on-disk bytes are identical either way.
+  const std::string_view piece(arena);
   util::MutexLock lock(&mu_);
-  return file_.Append(arena);
+  if (file_.buffered_bytes() + static_cast<int64_t>(piece.size()) <
+      kGatherFlushBytes) {
+    return file_.Append(piece);
+  }
+  return file_.AppendGather({&piece, 1});
 }
 
 util::Status JournalWriter::AppendCancel() {
@@ -280,6 +302,45 @@ util::Status JournalWriter::Flush() {
 util::Status JournalWriter::Sync() {
   util::MutexLock lock(&mu_);
   return file_.Sync();
+}
+
+util::Status JournalWriter::SyncData(int64_t* durable_size) {
+  util::MutexLock lock(&mu_);
+  INCENTAG_RETURN_IF_ERROR(file_.SyncData());
+  if (durable_size != nullptr) *durable_size = file_.size();
+  return util::Status::OK();
+}
+
+util::Status JournalWriter::CollectUnsynced(int64_t from, std::string* data,
+                                            uint32_t* context_crc,
+                                            uint8_t* context_len) {
+  data->clear();
+  *context_crc = 0;
+  *context_len = 0;
+  util::MutexLock lock(&mu_);
+  INCENTAG_RETURN_IF_ERROR(file_.Flush());
+  const int64_t size = file_.size();
+  if (from < 0 || from > size) {
+    return util::Status::OutOfRange(
+        "stale durable offset " + std::to_string(from) + " for journal of " +
+        std::to_string(size) + " bytes");
+  }
+  const int64_t ctx = std::min<int64_t>(from, 16);
+  if (ctx > 0) {
+    std::string context;
+    INCENTAG_RETURN_IF_ERROR(file_.ReadAt(from - ctx, ctx, &context));
+    *context_crc = util::Crc32(context);
+    *context_len = static_cast<uint8_t>(ctx);
+  }
+  if (from < size) {
+    INCENTAG_RETURN_IF_ERROR(file_.ReadAt(from, size - from, data));
+  }
+  return util::Status::OK();
+}
+
+void JournalWriter::set_commit_observer(JournalCommitObserver* observer) {
+  util::MutexLock lock(&mu_);
+  observer_ = observer;
 }
 
 int64_t JournalWriter::size() {
@@ -358,6 +419,14 @@ util::Status JournalWriter::Compact(const SubmitRecord& submit,
   // failure could strand an otherwise healthy writer.
   file_ = std::move(tmp);
   file_.set_path(path_);
+  // The rewrite replaced the file wholesale: externally-tracked durable
+  // offsets refer to the dead incarnation, and the new one is durable to
+  // its full size (tmp.Sync() above). Notified under mu_, before any
+  // append can land on the new fd, so the fsync domain never observes a
+  // half-switched state.
+  if (observer_ != nullptr) {
+    observer_->OnJournalRewritten(this, file_.size());
+  }
   compactions->Increment();
   const int64_t reclaimed =
       tail_offset - static_cast<int64_t>(prefix.size());

@@ -4,16 +4,26 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
-#include "src/obs/trace.h"
 
 namespace incentag {
 namespace persist {
 
 JournalSink::JournalSink(JournalSinkOptions options) : options_(options) {
+  FsyncDomainOptions domain_options;
+  domain_options.commit_log_path = options_.commit_log_path;
+  domain_options.per_fd_threshold = options_.commit_log_threshold;
+  domain_options.checkpoint_bytes = options_.commit_log_checkpoint_bytes;
+  // An Init failure (log unopenable) degrades the domain to the per-fd
+  // ladder — correct, just not fleet-wide — so the sink starts anyway.
+  domain_.Init(domain_options);
   thread_ = std::thread([this] { Loop(); });
 }
 
 JournalSink::~JournalSink() { Stop(); }
+
+void JournalSink::Track(JournalWriter* writer) { domain_.Track(writer); }
+
+void JournalSink::Untrack(JournalWriter* writer) { domain_.Untrack(writer); }
 
 void JournalSink::Schedule(JournalWriter* writer) {
   {
@@ -24,8 +34,10 @@ void JournalSink::Schedule(JournalWriter* writer) {
       return;
     }
   }
-  // Sink already stopped (teardown straggler): stay durable, sync inline.
-  writer->Sync();
+  // Sink already stopped (teardown straggler): stay durable, sync inline
+  // — and feed the same syncs metric the group-commit passes feed, so
+  // stragglers are not invisible to the metrics gate.
+  if (writer->Sync().ok()) JournalSyncsCounter()->Increment();
 }
 
 void JournalSink::Drain() {
@@ -62,34 +74,31 @@ void JournalSink::Loop() {
   for (;;) {
     while (!stop_ && dirty_.empty()) dirty_cv_.Wait(&mu_);
     if (dirty_.empty()) {
-      // stop_ set and nothing left to sync: exit, releasing Drain waiters.
+      // stop_ set and nothing left to sync. Retire the commit log
+      // before exiting: a leftover log is legal (recovery skips patches
+      // for rewritten journals), but retiring it here means the clean
+      // path never replays patches at all.
+      mu_.Unlock();
+      domain_.Checkpoint();
+      mu_.Lock();
       stopped_ = true;
       synced_cv_.NotifyAll();
       mu_.Unlock();
       return;
     }
-    static obs::Histogram* fsync_seconds =
-        obs::Registry::Default().GetHistogram(
-            "incentag_persist_fsync_seconds", "Per-journal fsync latency",
-            obs::LatencyBoundsSeconds());
     static obs::Histogram* commit_batch =
         obs::Registry::Default().GetHistogram(
             "incentag_persist_group_commit_batch_size",
             "Journals synced per group-commit pass", obs::BatchSizeBounds());
-    static obs::Counter* syncs = obs::Registry::Default().GetCounter(
-        "incentag_persist_journal_syncs_total",
-        "Journal fsyncs performed by the group-commit sink");
     std::vector<JournalWriter*> batch(dirty_.begin(), dirty_.end());
     dirty_.clear();
     ++epoch_started_;
     mu_.Unlock();
     commit_batch->Observe(static_cast<double>(batch.size()));
-    for (JournalWriter* writer : batch) {
-      obs::TraceSpan span("fsync");
-      obs::ScopedTimer timer(fsync_seconds);
-      writer->Sync();  // an IO error here is retried at terminal Sync
-      syncs->Increment();
-    }
+    // The domain picks the ladder rung (per-fd fdatasync vs one commit
+    // log fdatasync for the window) and feeds the fsync metrics; an IO
+    // error on any journal is retried at its terminal Sync.
+    domain_.Commit(batch);
     mu_.Lock();
     // Release Drain()/Stop() waiters the moment durability is achieved —
     // the coalescing sleep below must not tax them.

@@ -10,6 +10,7 @@
 
 #include "src/core/campaign_runtime.h"
 #include "src/obs/metrics.h"
+#include "src/persist/fsync_domain.h"
 #include "src/obs/trace.h"
 #include "src/util/file_io.h"
 #include "src/util/logging.h"
@@ -290,6 +291,13 @@ CampaignManager::CampaignManager(ManagerOptions options)
   if (!options_.journal_dir.empty()) {
     // Best effort here; a failure resurfaces as an open error at Submit.
     util::CreateDirectories(options_.journal_dir);
+    // A pre-crash fleet commit log must be replayed into its journals
+    // before the sink's fsync domain opens (and truncates) a fresh one —
+    // this is the crash-recovery half of the group-commit contract, and
+    // it must run even when the caller never calls Recover(). On failure
+    // the old log is left in place and the domain runs without one.
+    commit_log_recovered_ =
+        persist::ApplyCommitLog(options_.journal_dir).ok();
     EnsureJournalWorkers();
   }
   if (!options_.deterministic) {
@@ -306,6 +314,10 @@ void CampaignManager::EnsureJournalWorkers() {
   if (sink_ == nullptr) {
     persist::JournalSinkOptions sink_options;
     sink_options.batch_interval_us = options_.journal_batch_interval_us;
+    if (!options_.journal_dir.empty() && commit_log_recovered_) {
+      sink_options.commit_log_path =
+          options_.journal_dir + "/" + persist::kFleetCommitLogName;
+    }
     sink_ = std::make_unique<persist::JournalSink>(sink_options);
   }
   if (compactor_ == nullptr && !options_.deterministic) {
@@ -392,6 +404,11 @@ util::Result<CampaignId> CampaignManager::Submit(CampaignConfig config) {
       util::RemoveFile(JournalPath(options_.journal_dir, id));
     }
     return registered;
+  }
+  // The Sync + SyncDir above established the domain's precondition: the
+  // journal is durable to its full current size.
+  if (sink_ != nullptr && raw->journal != nullptr) {
+    sink_->Track(raw->journal.get());
   }
   if (options_.deterministic) {
     RunDeterministic(raw);
@@ -545,12 +562,20 @@ void CampaignManager::OnCompletionBatch(Campaign* c,
 
 void CampaignManager::FlushJournal(Campaign* c) {
   if (c->journal == nullptr) return;
-  // Push appended records to the kernel now (cheap); the sink batches the
-  // expensive fsync across campaigns. Flush errors are not fatal here —
-  // the terminal Sync in Finalize retries and a crash in between simply
-  // loses a replayable tail.
+  // With a sink, the quantum path costs no syscall: records sit in the
+  // writer buffer until the sink's window commit flushes them as part
+  // of the fsync it already pays for (SyncData and CollectUnsynced both
+  // flush first). Durability is unchanged — buffered or flushed, a
+  // record is durable only once the commit covering its Schedule
+  // returns, and a crash in between loses a replayable tail either way.
+  // Without a sink the buffer has no draining thread, so push to the
+  // kernel here; errors are not fatal — the terminal Sync in Finalize
+  // retries.
+  if (sink_ != nullptr) {
+    sink_->Schedule(c->journal.get());
+    return;
+  }
   c->journal->Flush();
-  if (sink_ != nullptr) sink_->Schedule(c->journal.get());
 }
 
 // Runs on the stepper (token held), so the runtime, strategy, stream and
@@ -970,22 +995,6 @@ CampaignPage CampaignManager::List(const ListQuery& query) const {
   return page;
 }
 
-std::vector<CampaignStatus> CampaignManager::StatusAll() const {
-  ListQuery all;
-  all.limit = ListQuery::kMaxLimit;
-  CampaignPage page = List(all);
-  // Pages past kMaxLimit keep the legacy contract of "everything".
-  while (page.statuses.size() < page.total) {
-    ListQuery next = all;
-    next.offset = page.statuses.size();
-    CampaignPage more = List(next);
-    if (more.statuses.empty()) break;  // Fleet shrank mid-walk.
-    for (auto& s : more.statuses) page.statuses.push_back(std::move(s));
-    page.total = more.total;
-  }
-  return std::move(page.statuses);
-}
-
 util::Result<core::RunReport> CampaignManager::Wait(CampaignId id) {
   Campaign* c = Find(id);
   if (c == nullptr) return util::Status::NotFound("no such campaign");
@@ -1035,6 +1044,16 @@ void CampaignManager::WaitAll() {
 
 util::Result<std::vector<CampaignId>> CampaignManager::Recover(
     const std::string& dir, const CampaignFactory& factory) {
+  // Fold any fleet commit log into its journal files before reading
+  // them. Skipped when this manager's own sink already consumed (and
+  // re-created) the log in `dir` — replaying a *live* log would patch
+  // files that are mid-write.
+  const bool own_log_live =
+      sink_ != nullptr && dir == options_.journal_dir &&
+      sink_->domain().commit_log_active();
+  if (!own_log_live) {
+    INCENTAG_RETURN_IF_ERROR(persist::ApplyCommitLog(dir));
+  }
   auto files = util::ListDirFiles(dir, ".journal");
   if (!files.ok()) return files.status();
 
@@ -1130,6 +1149,10 @@ util::Result<CampaignId> CampaignManager::RecoverOne(
   EnsureJournalWorkers();
 
   INCENTAG_RETURN_IF_ERROR(TryRegister(id, std::move(campaign)));
+  // The file survived the crash (and ApplyCommitLog already folded any
+  // logged patches into it), so it is durable to the truncated size —
+  // the fsync domain's tracking precondition.
+  sink_->Track(c->journal.get());
 
   // ---- replay: seek to the latest snapshot, replay only the tail ----
   c->scheduled.store(true);  // the recovering thread is the stepper

@@ -320,11 +320,6 @@ class CampaignManager {
   // rollups, tests) goes through.
   CampaignPage List(const ListQuery& query) const;
 
-  // DEPRECATED: equivalent to List with no filters and no pagination
-  // cap. Kept for one release for callers that genuinely want the whole
-  // fleet; new code should page with List().
-  std::vector<CampaignStatus> StatusAll() const;
-
   // Blocks until the campaign is terminal. Returns its RunReport (for
   // kCancelled: the partial report, with stopped_early=true whenever the
   // cancellation left budget unspent); kFailed surfaces as an error
@@ -398,6 +393,10 @@ class CampaignManager {
   // Journal files already resumed by Recover (single-threaded access —
   // see Recover's contract); makes a retried Recover skip them.
   std::unordered_set<std::string> recovered_paths_;
+  // True once any fleet commit log in journal_dir has been replayed into
+  // its journals (constructor) — the precondition for the sink's fsync
+  // domain to open (and truncate) a fresh log there.
+  bool commit_log_recovered_ = false;
   std::atomic<CampaignId> next_id_{1};
   std::atomic<bool> shutdown_{false};
   std::once_flag shutdown_once_;

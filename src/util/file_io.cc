@@ -1,6 +1,8 @@
 #include "src/util/file_io.h"
 
 #include <fcntl.h>
+#include <limits.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,6 +12,8 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "src/util/io_uring.h"
 
 namespace incentag {
 namespace util {
@@ -135,17 +139,22 @@ AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
     path_ = std::move(other.path_);
     buffer_ = std::move(other.buffer_);
     size_ = other.size_;
+    max_write_bytes_for_test_ = other.max_write_bytes_for_test_;
     other.fd_ = -1;
     other.path_.clear();
     other.buffer_.clear();
     other.size_ = 0;
+    other.max_write_bytes_for_test_ = 0;
   }
   return *this;
 }
 
 Status AppendFile::Open(const std::string& path, int64_t truncate_to) {
   if (is_open()) return Status::FailedPrecondition("AppendFile already open");
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  // O_RDWR, not O_WRONLY: ReadAt() serves the commit-log rung's
+  // CollectUnsynced through this same descriptor (pread needs read
+  // permission on the fd).
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) return ErrnoStatus("open", path);
   path_ = path;
   if (truncate_to >= 0) {
@@ -164,11 +173,8 @@ Status AppendFile::Open(const std::string& path, int64_t truncate_to) {
     }
     size_ = static_cast<int64_t>(end);
   }
-  if (::lseek(fd_, static_cast<off_t>(size_), SEEK_SET) < 0) {
-    Status status = ErrnoStatus("lseek", path);
-    Close();
-    return status;
-  }
+  // All writes are positioned (pwritev at write_offset()), so the fd's
+  // own position is never consulted again.
   return Status::OK();
 }
 
@@ -179,28 +185,166 @@ Status AppendFile::Append(std::string_view data) {
   return Status::OK();
 }
 
-Status AppendFile::Flush() {
+Status AppendFile::AppendGather(std::span<const std::string_view> pieces) {
   if (!is_open()) return Status::FailedPrecondition("AppendFile not open");
+  // The pieces are logically accepted up front, like Append: size()
+  // counts them even if the write below fails part-way, because the
+  // unwritten remainder is retained in the buffer and the next
+  // Flush/Sync writes each byte exactly once.
+  const int64_t start = write_offset();
+  int64_t added = 0;
+  for (std::string_view piece : pieces) {
+    added += static_cast<int64_t>(piece.size());
+  }
+  size_ += added;
+  const size_t total = buffer_.size() + static_cast<size_t>(added);
+  if (total == 0) return Status::OK();
+
+  // Gather list: the dirty buffer rides in front of the new pieces, so
+  // everything reaches the kernel in one pwritev in the common case.
+  constexpr size_t kInlineIov = 8;
+  struct iovec inline_iov[kInlineIov];
+  std::vector<struct iovec> heap_iov;
+  struct iovec* iov = inline_iov;
+  if (pieces.size() + 1 > kInlineIov) {
+    heap_iov.resize(pieces.size() + 1);
+    iov = heap_iov.data();
+  }
+  int iov_count = 0;
+  if (!buffer_.empty()) {
+    iov[iov_count++] = {buffer_.data(), buffer_.size()};
+  }
+  for (std::string_view piece : pieces) {
+    if (piece.empty()) continue;
+    iov[iov_count++] = {const_cast<char*>(piece.data()), piece.size()};
+  }
+
   size_t written = 0;
-  while (written < buffer_.size()) {
+  int first = 0;  // first gather entry with unwritten bytes
+  while (written < total) {
+    struct iovec* window = iov + first;
+    int count = iov_count - first;
+    // Test hook: trim the window so one syscall moves at most the cap,
+    // exercising the same resume arithmetic a real short write takes.
+    struct iovec capped[kInlineIov];
+    if (max_write_bytes_for_test_ > 0) {
+      size_t budget = static_cast<size_t>(max_write_bytes_for_test_);
+      int kept = 0;
+      while (kept < count && kept < static_cast<int>(kInlineIov) &&
+             budget > 0) {
+        capped[kept] = window[kept];
+        if (capped[kept].iov_len > budget) capped[kept].iov_len = budget;
+        budget -= capped[kept].iov_len;
+        ++kept;
+      }
+      window = capped;
+      count = kept;
+    }
+    if (count > IOV_MAX) count = IOV_MAX;
     const ssize_t n =
-        ::write(fd_, buffer_.data() + written, buffer_.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      // Drop the part that did reach the kernel so a retry cannot write
-      // those bytes twice (which would corrupt a journal).
-      buffer_.erase(0, written);
-      return ErrnoStatus("write", path_);
+        ::pwritev(fd_, window, count, static_cast<off_t>(start + written));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      Status status = n < 0 ? ErrnoStatus("pwritev", path_)
+                            : Status::IoError("pwritev wrote nothing to " +
+                                              path_);
+      // Retain exactly the unwritten remainder (buffered bytes and piece
+      // tails alike) so a retry cannot write any byte twice — the iov
+      // entries already point past what reached the kernel.
+      std::string remainder;
+      remainder.reserve(total - written);
+      for (int i = first; i < iov_count; ++i) {
+        remainder.append(static_cast<const char*>(iov[i].iov_base),
+                         iov[i].iov_len);
+      }
+      buffer_ = std::move(remainder);
+      return status;
     }
     written += static_cast<size_t>(n);
+    size_t advance = static_cast<size_t>(n);
+    while (advance > 0) {
+      if (advance >= iov[first].iov_len) {
+        advance -= iov[first].iov_len;
+        ++first;
+      } else {
+        iov[first].iov_base =
+            static_cast<char*>(iov[first].iov_base) + advance;
+        iov[first].iov_len -= advance;
+        advance = 0;
+      }
+    }
   }
   buffer_.clear();
   return Status::OK();
 }
 
+Status AppendFile::Flush() {
+  // A flush is a gather of zero new pieces: write the dirty buffer (if
+  // any) at its position, with the same partial-write bookkeeping.
+  return AppendGather({});
+}
+
 Status AppendFile::Sync() {
   INCENTAG_RETURN_IF_ERROR(Flush());
   if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  return Status::OK();
+}
+
+Status AppendFile::SyncData() {
+  if (!is_open()) return Status::FailedPrecondition("AppendFile not open");
+  if (IoUringEnabled() && max_write_bytes_for_test_ == 0) {
+    // One linked WRITEV -> FDATASYNC submission: the flush and the
+    // durability point cost a single kernel crossing. Anything the ring
+    // could not finish (short write, cancelled sync, kernel refusing the
+    // opcodes) falls through to the POSIX ladder below, which resumes
+    // from the exact byte the ring reached.
+    struct iovec iov;
+    int iovcnt = 0;
+    if (!buffer_.empty()) {
+      iov = {buffer_.data(), buffer_.size()};
+      iovcnt = 1;
+    }
+    size_t written = 0;
+    bool synced = false;
+    Status status = IoUringWriteAndSync(fd_, iovcnt > 0 ? &iov : nullptr,
+                                        iovcnt, write_offset(), &written,
+                                        &synced);
+    buffer_.erase(0, written);
+    // A mid-flight ring failure is the one case with unknowable write
+    // extent; surfacing it (instead of re-flushing bytes that may have
+    // landed) keeps the no-byte-written-twice invariant.
+    if (!status.ok()) return status;
+    if (synced && buffer_.empty()) return Status::OK();
+  }
+  INCENTAG_RETURN_IF_ERROR(Flush());
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+  return Status::OK();
+}
+
+Status AppendFile::ReadAt(int64_t offset, int64_t length,
+                          std::string* out) const {
+  if (!is_open()) return Status::FailedPrecondition("AppendFile not open");
+  if (offset < 0 || length < 0) {
+    return Status::InvalidArgument("negative file range");
+  }
+  out->resize(static_cast<size_t>(length));
+  size_t have = 0;
+  while (have < out->size()) {
+    const ssize_t n =
+        ::pread(fd_, out->data() + have, out->size() - have,
+                static_cast<off_t>(offset + static_cast<int64_t>(have)));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", path_);
+    }
+    if (n == 0) {
+      return Status::OutOfRange(
+          "short read at offset " +
+          std::to_string(offset + static_cast<int64_t>(have)) + " of " +
+          path_);
+    }
+    have += static_cast<size_t>(n);
+  }
   return Status::OK();
 }
 

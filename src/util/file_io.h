@@ -1,12 +1,21 @@
 // Durable-file primitives for the persist layer.
 //
-// AppendFile is the write side of a write-ahead journal: an O_APPEND-free
-// positioned writer with an explicit three-stage durability ladder —
-// Append (buffer in memory) -> Flush (write() to the kernel) -> Sync
-// (fsync to the platter). The persist::JournalSink batches the expensive
-// third stage across campaigns; everything here is synchronous and
-// thread-compatible (callers serialise access, see persist::JournalWriter
-// for the locked wrapper).
+// AppendFile is the write side of a write-ahead journal: a positioned
+// writer (pwrite/pwritev at explicit offsets, no fd seek state) with an
+// explicit three-stage durability ladder — Append (buffer in memory) ->
+// Flush (write to the kernel) -> Sync/SyncData (fsync/fdatasync to the
+// platter). AppendGather is the one-syscall fast path: it hands a span
+// of new pieces plus any already-dirty buffered bytes to the kernel in a
+// single pwritev (ISSUE 9). The persist::JournalSink batches the
+// expensive third stage across campaigns; everything here is synchronous
+// and thread-compatible (callers serialise access, see
+// persist::JournalWriter for the locked wrapper).
+//
+// When the io_uring backend is compiled in (INCENTAG_IO_URING=ON) and
+// the kernel supports it, SyncData submits its flush + fdatasync as one
+// linked SQE chain — a single kernel crossing instead of two — and
+// falls back to the POSIX path transparently otherwise (src/util/
+// io_uring.h).
 //
 // All functions return util::Status instead of throwing; errno is folded
 // into the message.
@@ -14,6 +23,7 @@
 #define INCENTAG_UTIL_FILE_IO_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -79,12 +89,36 @@ class AppendFile {
   // Buffers `data` in memory; cheap, no syscall.
   Status Append(std::string_view data);
 
-  // Pushes the buffer to the kernel with write(). Data survives a process
-  // crash after Flush, but not a power loss — that needs Sync.
+  // Gathered append + flush: logically appends every piece, then hands
+  // the dirty buffer and the pieces to the kernel in a single pwritev —
+  // the on-disk bytes are identical to Append(piece)... + Flush(), but
+  // the common case (clean buffer, one piece) is exactly one syscall and
+  // the pieces are never copied into the buffer. On success the buffer
+  // is empty. On error the unwritten remainder (buffered bytes included)
+  // is retained in the buffer, so a later Flush/Sync retry writes every
+  // byte exactly once; size() counts the pieces either way.
+  Status AppendGather(std::span<const std::string_view> pieces);
+
+  // Pushes the buffer to the kernel with pwrite. Data survives a process
+  // crash after Flush, but not a power loss — that needs Sync/SyncData.
   Status Flush();
 
-  // Flush + fsync: data is durable when this returns OK.
+  // Flush + fsync: data and all metadata are durable when this returns
+  // OK.
   Status Sync();
+
+  // Flush + fdatasync: data (and the metadata needed to read it back,
+  // i.e. the file size) is durable when this returns OK — the cheap
+  // durability point for append-only journals, which never care about
+  // timestamps. With io_uring enabled the flush and the fdatasync are
+  // one linked submission.
+  Status SyncData();
+
+  // pread of `length` bytes at `offset` through this handle's
+  // descriptor — not the path, which a concurrent rename may have
+  // re-pointed. Fails (OutOfRange) when the file is shorter; callers
+  // read extents they computed from size() after a Flush.
+  Status ReadAt(int64_t offset, int64_t length, std::string* out) const;
 
   Status Close();
 
@@ -96,12 +130,32 @@ class AppendFile {
   void set_path(std::string path) { path_ = std::move(path); }
   // Bytes accepted so far (buffered + written), i.e. the logical size.
   int64_t size() const { return size_; }
+  // Bytes accepted but not yet handed to the kernel — the dirty tail a
+  // Flush/AppendGather/Sync would write. Callers batching syscalls (the
+  // journal's quantum path) use this to decide when the buffer is worth
+  // a gathered write of its own.
+  int64_t buffered_bytes() const {
+    return static_cast<int64_t>(buffer_.size());
+  }
+
+  // Test hook: caps the bytes any single pwritev may move, forcing the
+  // short-write resume paths that real kernels only take under memory
+  // pressure or signals. 0 disables the cap.
+  void set_max_write_bytes_for_test(int64_t max_bytes) {
+    max_write_bytes_for_test_ = max_bytes;
+  }
 
  private:
+  // Bytes already written to the kernel; the next write lands here.
+  int64_t write_offset() const {
+    return size_ - static_cast<int64_t>(buffer_.size());
+  }
+
   int fd_ = -1;
   std::string path_;
   std::string buffer_;
   int64_t size_ = 0;
+  int64_t max_write_bytes_for_test_ = 0;
 };
 
 }  // namespace util

@@ -1,0 +1,289 @@
+#include "src/util/io_uring.h"
+
+#ifdef INCENTAG_HAVE_IO_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+#endif
+
+namespace incentag {
+namespace util {
+
+#ifndef INCENTAG_HAVE_IO_URING
+
+// Compiled out (INCENTAG_IO_URING=OFF): every caller takes the POSIX
+// path. The stubs keep the call sites free of preprocessor branches.
+bool IoUringEnabled() { return false; }
+
+Status IoUringWriteAndSync(int /*fd*/, const struct iovec* /*iov*/,
+                           int /*iovcnt*/, int64_t /*offset*/,
+                           size_t* written, bool* synced) {
+  *written = 0;
+  *synced = false;
+  return Status::FailedPrecondition("io_uring backend not compiled in");
+}
+
+#else
+
+namespace {
+
+// user_data tags for matching CQEs back to their SQE.
+constexpr uint64_t kWriteTag = 1;
+constexpr uint64_t kSyncTag = 2;
+
+int SysUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+// Latched when the ring reaches a state whose outcome we could not
+// observe (an io_uring_enter error after SQEs were already submitted):
+// all later durability work takes the POSIX path.
+std::atomic<bool> g_ring_broken{false};
+
+// One SQ/CQ pair mapped from the kernel. Depth 8 is generous: the only
+// user submits chains of at most two SQEs and reaps them synchronously.
+class Ring {
+ public:
+  // nullptr when the kernel (or a seccomp sandbox) refuses io_uring —
+  // the probe result is the runtime-detection the header promises.
+  static Ring* Create() {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = SysUringSetup(8, &params);
+    if (fd < 0) return nullptr;
+
+    Ring* ring = new Ring();
+    ring->fd_ = fd;
+    ring->sq_ring_bytes_ =
+        params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    ring->cq_ring_bytes_ =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap =
+        (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && ring->cq_ring_bytes_ > ring->sq_ring_bytes_) {
+      ring->sq_ring_bytes_ = ring->cq_ring_bytes_;
+    }
+    ring->sq_ring_ = ::mmap(nullptr, ring->sq_ring_bytes_,
+                            PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                            IORING_OFF_SQ_RING);
+    if (ring->sq_ring_ == MAP_FAILED) {
+      ring->sq_ring_ = nullptr;
+      delete ring;
+      return nullptr;
+    }
+    if (single_mmap) {
+      ring->cq_ring_ = ring->sq_ring_;
+      ring->cq_ring_bytes_ = 0;  // owned by the SQ mapping
+    } else {
+      ring->cq_ring_ = ::mmap(nullptr, ring->cq_ring_bytes_,
+                              PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                              IORING_OFF_CQ_RING);
+      if (ring->cq_ring_ == MAP_FAILED) {
+        ring->cq_ring_ = nullptr;
+        delete ring;
+        return nullptr;
+      }
+    }
+    ring->sqe_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    void* sqes = ::mmap(nullptr, ring->sqe_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) {
+      delete ring;
+      return nullptr;
+    }
+    ring->sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+    char* sq = static_cast<char*>(ring->sq_ring_);
+    ring->sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    ring->sq_mask_ =
+        reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    ring->sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    char* cq = static_cast<char*>(ring->cq_ring_);
+    ring->cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    ring->cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    ring->cq_mask_ =
+        reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    ring->cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    return ring;
+  }
+
+  ~Ring() {
+    if (sqes_ != nullptr) ::munmap(sqes_, sqe_bytes_);
+    if (cq_ring_ != nullptr && cq_ring_bytes_ != 0) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status WriteAndSync(int file_fd, const struct iovec* iov, int iovcnt,
+                      int64_t offset, size_t* written, bool* synced) {
+    *written = 0;
+    *synced = false;
+    const unsigned mask = *sq_mask_;
+    unsigned tail =
+        std::atomic_ref<unsigned>(*sq_tail_).load(std::memory_order_relaxed);
+    unsigned queued = 0;
+    const auto push = [&](uint64_t tag) -> io_uring_sqe* {
+      const unsigned idx = tail & mask;
+      io_uring_sqe* sqe = &sqes_[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->fd = file_fd;
+      sqe->user_data = tag;
+      sq_array_[idx] = idx;
+      ++tail;
+      ++queued;
+      return sqe;
+    };
+    if (iovcnt > 0) {
+      io_uring_sqe* write_sqe = push(kWriteTag);
+      write_sqe->opcode = IORING_OP_WRITEV;
+      write_sqe->addr = reinterpret_cast<uint64_t>(iov);
+      write_sqe->len = static_cast<unsigned>(iovcnt);
+      write_sqe->off = static_cast<uint64_t>(offset);
+      // The chain: the fdatasync below starts only after this write
+      // completed, and is cancelled if it completed short or failed.
+      write_sqe->flags = IOSQE_IO_LINK;
+    }
+    io_uring_sqe* sync_sqe = push(kSyncTag);
+    sync_sqe->opcode = IORING_OP_FSYNC;
+    sync_sqe->fsync_flags = IORING_FSYNC_DATASYNC;
+    std::atomic_ref<unsigned>(*sq_tail_).store(tail,
+                                               std::memory_order_release);
+
+    // Submit and reap in one crossing; loop only for EINTR or a CQ that
+    // fills across two peeks.
+    unsigned submitted = 0;
+    unsigned completed = 0;
+    int64_t write_res = iovcnt > 0 ? -1 : 0;
+    int sync_res = -ECANCELED;
+    while (completed < queued) {
+      const int n = SysUringEnter(fd_, queued - submitted,
+                                  queued - completed, IORING_ENTER_GETEVENTS);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (submitted == 0) {
+          // Nothing entered the kernel; the caller can take the POSIX
+          // path as if this call never happened.
+          g_ring_broken.store(true, std::memory_order_relaxed);
+          return Status::OK();
+        }
+        // SQEs are in flight but unreapable: whether (and how much of)
+        // the write landed is unknowable, and a POSIX retry could write
+        // bytes twice. Surface a hard error instead of guessing.
+        g_ring_broken.store(true, std::memory_order_relaxed);
+        return Status::IoError(
+            std::string("io_uring_enter failed mid-flight: ") +
+            std::strerror(errno));
+      }
+      submitted += static_cast<unsigned>(n);
+      unsigned head = std::atomic_ref<unsigned>(*cq_head_)
+                          .load(std::memory_order_relaxed);
+      const unsigned cq_tail = std::atomic_ref<unsigned>(*cq_tail_)
+                                   .load(std::memory_order_acquire);
+      while (head != cq_tail && completed < queued) {
+        const io_uring_cqe& cqe = cqes_[head & *cq_mask_];
+        if (cqe.user_data == kWriteTag) {
+          write_res = cqe.res;
+        } else if (cqe.user_data == kSyncTag) {
+          sync_res = cqe.res;
+        }
+        ++head;
+        ++completed;
+      }
+      std::atomic_ref<unsigned>(*cq_head_).store(head,
+                                                 std::memory_order_release);
+    }
+
+    // A failed or short write reports written=partial/0 and synced=false;
+    // the caller's POSIX fallback resumes from the right byte and
+    // surfaces the errno if it persists.
+    if (write_res > 0) *written = static_cast<size_t>(write_res);
+    *synced = sync_res == 0;
+    return Status::OK();
+  }
+
+ private:
+  Ring() = default;
+
+  int fd_ = -1;
+  void* sq_ring_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;
+  size_t cq_ring_bytes_ = 0;  // 0 when shared with the SQ mapping
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqe_bytes_ = 0;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  io_uring_cqe* cqes_ = nullptr;
+};
+
+// The process-wide ring, created on first use and deliberately leaked
+// (durability code may run during static teardown). nullptr latches the
+// "kernel refused" probe result.
+Ring* GlobalRing() {
+  static Ring* ring = Ring::Create();
+  return ring;
+}
+
+util::Mutex* RingMutex() {
+  static util::Mutex* mu = new util::Mutex();
+  return mu;
+}
+
+bool EnvEnabled() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("INCENTAG_IO_URING");
+    if (value == nullptr) return true;
+    const std::string v(value);
+    return !(v == "0" || v == "off" || v == "OFF" || v == "false" ||
+             v == "FALSE");
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool IoUringEnabled() {
+  if (!EnvEnabled()) return false;
+  if (g_ring_broken.load(std::memory_order_relaxed)) return false;
+  return GlobalRing() != nullptr;
+}
+
+Status IoUringWriteAndSync(int fd, const struct iovec* iov, int iovcnt,
+                           int64_t offset, size_t* written, bool* synced) {
+  *written = 0;
+  *synced = false;
+  Ring* ring = GlobalRing();
+  if (ring == nullptr) {
+    return Status::FailedPrecondition("io_uring unavailable");
+  }
+  util::MutexLock lock(RingMutex());
+  return ring->WriteAndSync(fd, iov, iovcnt, offset, written, synced);
+}
+
+#endif  // INCENTAG_HAVE_IO_URING
+
+}  // namespace util
+}  // namespace incentag

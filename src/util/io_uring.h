@@ -1,0 +1,61 @@
+// Minimal io_uring backend for AppendFile's durability path (ISSUE 9).
+//
+// The journal sink's steady state is "push bytes, fdatasync" — two
+// kernel crossings per journal per batching window on the POSIX path.
+// io_uring collapses them: a WRITEV SQE linked (IOSQE_IO_LINK) to an
+// FDATASYNC SQE is one io_uring_enter that both writes and makes
+// durable, and the kernel guarantees the sync runs only after the write
+// completed. This module speaks the raw syscall interface
+// (io_uring_setup / io_uring_enter + mmap'd rings) because the tree
+// takes no dependencies — no liburing.
+//
+// Availability is decided in three stages, all graceful:
+//   * compile time — built only under INCENTAG_IO_URING=ON
+//     (INCENTAG_HAVE_IO_URING); otherwise IoUringEnabled() is a
+//     constant false and callers take the POSIX path;
+//   * environment  — INCENTAG_IO_URING=0/off/OFF disables at runtime
+//     (the CI fallback leg uses this to prove the POSIX path under an
+//     io_uring build);
+//   * runtime probe — the first use attempts io_uring_setup(2); kernels
+//     or sandboxes that refuse (ENOSYS, EPERM, seccomp) latch the
+//     fallback permanently.
+//
+// One process-wide ring serves every AppendFile, serialized by a mutex:
+// submissions here are the sink thread's durability points (milliseconds
+// of platter time), not a per-append hot path, so contention is nil and
+// a ring per file (fd + three mmaps each) would be pure overhead.
+#ifndef INCENTAG_UTIL_IO_URING_H_
+#define INCENTAG_UTIL_IO_URING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/status.h"
+
+struct iovec;  // <sys/uio.h>; kept out of this header
+
+namespace incentag {
+namespace util {
+
+// True when the io_uring backend is compiled in, not disabled via the
+// INCENTAG_IO_URING environment variable, and the kernel accepted a
+// probe ring. Cheap after the first call.
+bool IoUringEnabled();
+
+// Submits one linked WRITEV(fd, iov, offset) -> FDATASYNC(fd) chain and
+// waits for both completions with a single io_uring_enter. With
+// iovcnt == 0 only the fdatasync is submitted.
+//
+// *written reports the bytes the writev accepted — the kernel may write
+// short, in which case the linked fdatasync is cancelled and *synced is
+// false; the caller finishes the tail and syncs via the POSIX path.
+// Returns non-OK only for ring-level failures (setup refused mid-flight,
+// enter failed) or a hard write error; callers treat any non-OK as "fall
+// back to POSIX" — nothing has been made durable.
+Status IoUringWriteAndSync(int fd, const struct iovec* iov, int iovcnt,
+                           int64_t offset, size_t* written, bool* synced);
+
+}  // namespace util
+}  // namespace incentag
+
+#endif  // INCENTAG_UTIL_IO_URING_H_

@@ -183,6 +183,26 @@ class GateArithmeticTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("violates hard bound", out)
 
+    def test_journaled_inline_ratio_floor(self):
+        # The journaled service-throughput run gates the durability tax:
+        # journaled_inline_ratio >= 0.85 is an acceptance floor, so like
+        # the other *_abs gates a generous baseline must not loosen it.
+        # derive_metrics must also compute max_tasks_per_sec for the
+        # journaled bench identity.
+        base = {"bench": "service_throughput_journaled",
+                "journaled_inline_ratio": 0.5,
+                "results": [{"threads": 4, "tasks_per_sec": 1000.0}]}
+        good = dict(base, journaled_inline_ratio=0.95)
+        code, out = run_main([self.write("b.json", base),
+                              self.write("c.json", good)])
+        self.assertEqual(code, 0)
+        self.assertIn("max_tasks_per_sec", out)
+        bad = dict(base, journaled_inline_ratio=0.72)
+        code, out = run_main([self.write("b.json", base),
+                              self.write("c.json", bad)])
+        self.assertEqual(code, 1)
+        self.assertIn("violates hard bound", out)
+
     def test_metric_missing_from_current_fails(self):
         base = {"bench": "scheduler", "miss_rate_advantage": 2.0,
                 "critical_p50_speedup": 3.0}

@@ -339,7 +339,9 @@ TEST_F(CampaignManagerTest, ManyMoreCampaignsThanThreads) {
   manager.WaitAll();
   EXPECT_EQ(manager.num_campaigns(), static_cast<size_t>(kCampaigns));
   int64_t total = 0;
-  for (const CampaignStatus& status : manager.StatusAll()) {
+  ListQuery all;
+  all.limit = ListQuery::kMaxLimit;
+  for (const CampaignStatus& status : manager.List(all).statuses) {
     EXPECT_EQ(status.state, CampaignState::kDone);
     total += status.tasks_completed;
   }

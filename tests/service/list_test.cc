@@ -1,5 +1,5 @@
 // CampaignManager::List: pagination windows, state/search filters,
-// stable id order, and the StatusAll compatibility wrapper (ISSUE 8).
+// stable id order (ISSUE 8; the StatusAll wrapper is gone as of ISSUE 9).
 #include <memory>
 #include <string>
 #include <vector>
@@ -166,21 +166,20 @@ TEST_F(ListTest, TotalCountsMatchesBeyondThePage) {
   EXPECT_EQ(page.total, 5u);
 }
 
-TEST_F(ListTest, StatusAllWrapperMatchesUnfilteredList) {
+TEST_F(ListTest, UnfilteredMaxLimitPageCoversWholeFleet) {
   ManagerOptions options;
   options.deterministic = true;
   CampaignManager manager(options);
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(manager.Submit(MakeConfig("w-" + std::to_string(i))).ok());
   }
-  std::vector<CampaignStatus> all = manager.StatusAll();
   ListQuery q;
   q.limit = ListQuery::kMaxLimit;
   CampaignPage page = manager.List(q);
-  ASSERT_EQ(all.size(), page.statuses.size());
-  for (size_t i = 0; i < all.size(); ++i) {
-    EXPECT_EQ(all[i].id, page.statuses[i].id);
-    EXPECT_EQ(all[i].name, page.statuses[i].name);
+  ASSERT_EQ(page.statuses.size(), 4u);
+  EXPECT_EQ(page.total, 4u);
+  for (size_t i = 0; i + 1 < page.statuses.size(); ++i) {
+    EXPECT_LT(page.statuses[i].id, page.statuses[i + 1].id);
   }
 }
 

@@ -1,0 +1,201 @@
+// AppendFile gathered-append coverage (ISSUE 9): byte-identity of
+// AppendGather vs sequential Append+Flush, empty spans, dirty-buffer
+// interleaving, short-write resume via the injected write cap, and the
+// SyncData/ReadAt additions the fsync domain builds on.
+#include "src/util/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incentag {
+namespace util {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("file_io_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static std::string Contents(const std::string& path) {
+    auto data = ReadFileToString(path);
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    return data.ok() ? data.value() : std::string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, AppendGatherMatchesSequentialAppendByteForByte) {
+  const std::vector<std::string> pieces = {"alpha", "", "bravo-bravo", "c",
+                                           std::string(1000, 'x')};
+
+  AppendFile sequential;
+  ASSERT_TRUE(sequential.Open(Path("seq"), 0).ok());
+  for (const std::string& piece : pieces) {
+    ASSERT_TRUE(sequential.Append(piece).ok());
+  }
+  ASSERT_TRUE(sequential.Flush().ok());
+  ASSERT_TRUE(sequential.Close().ok());
+
+  AppendFile gathered;
+  ASSERT_TRUE(gathered.Open(Path("gat"), 0).ok());
+  std::vector<std::string_view> views(pieces.begin(), pieces.end());
+  ASSERT_TRUE(gathered.AppendGather(views).ok());
+  EXPECT_EQ(gathered.size(), sequential.size());
+  ASSERT_TRUE(gathered.Close().ok());
+
+  EXPECT_EQ(Contents(Path("gat")), Contents(Path("seq")));
+}
+
+TEST_F(FileIoTest, AppendGatherEmptySpanAndEmptyPiecesAreNoOps) {
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  ASSERT_TRUE(file.AppendGather({}).ok());
+  EXPECT_EQ(file.size(), 0);
+  const std::array<std::string_view, 3> empties = {"", "", ""};
+  ASSERT_TRUE(file.AppendGather(empties).ok());
+  EXPECT_EQ(file.size(), 0);
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(Contents(Path("f")), "");
+}
+
+TEST_F(FileIoTest, AppendGatherDrainsDirtyBufferFirst) {
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  ASSERT_TRUE(file.Append("buffered-").ok());  // still only in memory
+  const std::array<std::string_view, 2> pieces = {"gathered", "!"};
+  ASSERT_TRUE(file.AppendGather(pieces).ok());
+  // The gather wrote the dirty buffer and the pieces; nothing is pending.
+  EXPECT_EQ(file.size(), static_cast<int64_t>(Contents(Path("f")).size()));
+  EXPECT_EQ(Contents(Path("f")), "buffered-gathered!");
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST_F(FileIoTest, AppendGatherSurvivesInjectedShortWrites) {
+  // Cap every pwritev at 3 bytes: each gather must resume mid-piece,
+  // exercising the same arithmetic a real short write takes.
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  file.set_max_write_bytes_for_test(3);
+  ASSERT_TRUE(file.Append("0123456").ok());
+  const std::array<std::string_view, 3> pieces = {"abcdefgh", "XY",
+                                                  "0123456789"};
+  ASSERT_TRUE(file.AppendGather(pieces).ok());
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(Contents(Path("f")), "0123456abcdefghXY0123456789");
+}
+
+TEST_F(FileIoTest, ShortWriteCapStressAcrossManyGathers) {
+  // Byte-identity against an uncapped writer across many gathers with
+  // pieces straddling every cap boundary.
+  std::string expect;
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  file.set_max_write_bytes_for_test(5);
+  for (int i = 0; i < 64; ++i) {
+    const std::string a(static_cast<size_t>(i % 11), 'a' + (i % 26));
+    const std::string b(static_cast<size_t>((i * 7) % 13), '0' + (i % 10));
+    expect += a;
+    expect += b;
+    const std::array<std::string_view, 2> pieces = {a, b};
+    ASSERT_TRUE(file.AppendGather(pieces).ok());
+  }
+  EXPECT_EQ(file.size(), static_cast<int64_t>(expect.size()));
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(Contents(Path("f")), expect);
+}
+
+TEST_F(FileIoTest, AppendGatherManyPiecesSpillsPastInlineIovArray) {
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  std::vector<std::string> owned;
+  std::string expect;
+  for (int i = 0; i < 40; ++i) {  // > the 8-entry inline iovec array
+    owned.push_back("p" + std::to_string(i) + ";");
+    expect += owned.back();
+  }
+  std::vector<std::string_view> views(owned.begin(), owned.end());
+  ASSERT_TRUE(file.AppendGather(views).ok());
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(Contents(Path("f")), expect);
+}
+
+TEST_F(FileIoTest, SyncDataMakesBufferedBytesReadable) {
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  ASSERT_TRUE(file.Append("hello ").ok());
+  ASSERT_TRUE(file.SyncData().ok());
+  EXPECT_EQ(Contents(Path("f")), "hello ");
+  ASSERT_TRUE(file.Append("world").ok());
+  ASSERT_TRUE(file.SyncData().ok());
+  EXPECT_EQ(Contents(Path("f")), "hello world");
+  // Nothing buffered: SyncData is a pure fdatasync.
+  ASSERT_TRUE(file.SyncData().ok());
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST_F(FileIoTest, ReadAtReadsThroughTheHandleDescriptor) {
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  ASSERT_TRUE(file.Append("0123456789").ok());
+  ASSERT_TRUE(file.Flush().ok());
+  std::string out;
+  ASSERT_TRUE(file.ReadAt(3, 4, &out).ok());
+  EXPECT_EQ(out, "3456");
+  ASSERT_TRUE(file.ReadAt(0, 0, &out).ok());
+  EXPECT_EQ(out, "");
+  // Beyond EOF fails rather than short-reading.
+  EXPECT_FALSE(file.ReadAt(8, 5, &out).ok());
+  EXPECT_FALSE(file.ReadAt(-1, 2, &out).ok());
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST_F(FileIoTest, ReopenAppendsAtTheEndWithoutSeeking) {
+  {
+    AppendFile file;
+    ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+    ASSERT_TRUE(file.Append("first|").ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  {
+    AppendFile file;
+    ASSERT_TRUE(file.Open(Path("f")).ok());  // no truncation: resume
+    EXPECT_EQ(file.size(), 6);
+    const std::array<std::string_view, 1> pieces = {"second"};
+    ASSERT_TRUE(file.AppendGather(pieces).ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  EXPECT_EQ(Contents(Path("f")), "first|second");
+}
+
+TEST_F(FileIoTest, GatherOnClosedFileFails) {
+  AppendFile file;
+  const std::array<std::string_view, 1> pieces = {"x"};
+  EXPECT_FALSE(file.AppendGather(pieces).ok());
+  EXPECT_FALSE(file.SyncData().ok());
+  std::string out;
+  EXPECT_FALSE(file.ReadAt(0, 1, &out).ok());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace incentag
