@@ -10,11 +10,15 @@
 //                            quantum (2 counter adds + 2 histogram
 //                            observes — instrumentation is batch-level,
 //                            never per-task)
+//   BM_QuantumFailPointGuarded/N the same quantum plus the 4 disarmed
+//                            fail-point checks its journal path crosses
+//                            (pwritev, fdatasync, log append, log sync)
 //
 // The CI perf gate derives counter_overhead_frac =
 // QuantumInstrumented/QuantumBare - 1 at N=256 and fails above 5%
-// (ISSUE 6 acceptance); BM_CounterAdd is gated absolutely against
-// bench/baselines/.
+// (ISSUE 6 acceptance), failpoint_overhead_frac the same way from
+// QuantumFailPointGuarded and fails above 1% (ISSUE 10 acceptance);
+// BM_CounterAdd is gated absolutely against bench/baselines/.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -22,6 +26,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/fail_point.h"
 
 namespace {
 
@@ -139,5 +144,40 @@ void BM_QuantumInstrumented(benchmark::State& state) {
                           static_cast<int64_t>(batch));
 }
 BENCHMARK(BM_QuantumInstrumented)->Arg(64)->Arg(256);
+
+// The quantum plus the disarmed fail-point checks its journal path
+// actually crosses — pwritev, fdatasync, and the commit log's append
+// and sync (ISSUE 10). Each check must cost one relaxed load and a
+// never-taken branch; the 1% CI gate keeps it that way.
+INCENTAG_FAIL_POINT_DEFINE(g_bench_fail_pwritev, "bench/quantum_pwritev");
+INCENTAG_FAIL_POINT_DEFINE(g_bench_fail_fdatasync,
+                           "bench/quantum_fdatasync");
+INCENTAG_FAIL_POINT_DEFINE(g_bench_fail_log_append,
+                           "bench/quantum_log_append");
+INCENTAG_FAIL_POINT_DEFINE(g_bench_fail_log_sync, "bench/quantum_log_sync");
+
+void BM_QuantumFailPointGuarded(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> allocation(1024, 0);
+  uint64_t iter = 0;
+  incentag::util::FailPoint::Fault fault;
+  int64_t injected = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuantum(&allocation, iter++, batch));
+    if (INCENTAG_FAIL_POINT_FIRED(g_bench_fail_pwritev, &fault)) ++injected;
+    if (INCENTAG_FAIL_POINT_FIRED(g_bench_fail_fdatasync, &fault)) {
+      ++injected;
+    }
+    if (INCENTAG_FAIL_POINT_FIRED(g_bench_fail_log_append, &fault)) {
+      ++injected;
+    }
+    if (INCENTAG_FAIL_POINT_FIRED(g_bench_fail_log_sync, &fault)) ++injected;
+  }
+  benchmark::DoNotOptimize(injected);
+  benchmark::DoNotOptimize(allocation.data());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_QuantumFailPointGuarded)->Arg(64)->Arg(256);
 
 }  // namespace

@@ -125,8 +125,14 @@ GATES = {
     # carry the numeric bound in place of a kind. counter_add_ns rides
     # against the baseline to catch a striping regression (e.g. a stripe
     # collapse reintroducing cache-line ping-pong).
+    # failpoint_overhead_frac is the same derivation from
+    # BM_QuantumFailPointGuarded: the fraction a quantum slows down with
+    # its 4 disarmed fail-point checks compiled in — gated against the
+    # ISSUE 10 ≤1% acceptance (a disarmed check must stay one relaxed
+    # load and a never-taken branch).
     "micro_obs": [
         ("counter_overhead_frac", "below_abs", 0.05),
+        ("failpoint_overhead_frac", "below_abs", 0.01),
         ("counter_add_ns", "lower", "absolute"),
     ],
     # bench_http_ingest (ISSUE 8): completions/sec through the full REST
@@ -182,6 +188,9 @@ def derive_metrics(doc):
             instr = time_ns("BM_QuantumInstrumented/256")
             doc["counter_overhead_frac"] = (
                 instr / bare - 1.0 if instr and bare else float("inf"))
+            guarded = time_ns("BM_QuantumFailPointGuarded/256")
+            doc["failpoint_overhead_frac"] = (
+                guarded / bare - 1.0 if guarded and bare else float("inf"))
         elif "BM_AppendCompletionBatch/256" in rates:
             doc["bench"] = "micro_journal"
             doc["batch_append_records_per_sec"] = rates.get(

@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
+#include "src/service/fleet_health.h"
 #include "src/util/json.h"
 #include "src/util/text.h"
 
@@ -53,6 +55,29 @@ obs::Counter* UnknownCampaignRejects() {
   return rejects;
 }
 
+obs::Counter* DegradedRejects() {
+  static obs::Counter* rejects = obs::Registry::Default().GetCounter(
+      "incentag_http_rejects_total", "Requests rejected at the edge",
+      "reason=\"degraded\"");
+  return rejects;
+}
+
+// 503 + Retry-After when the fleet is shedding writes (ISSUE 10); null
+// when the request should proceed. Only the write endpoints consult
+// this — reads keep serving so operators can watch the episode.
+std::optional<Response> MaybeShedWrite(const CampaignRoutesOptions& options) {
+  if (options.health == nullptr || !options.health->degraded()) {
+    return std::nullopt;
+  }
+  DegradedRejects()->Increment();
+  Response r = ErrorResponse(util::Status::ResourceExhausted(
+      "fleet is in storage degraded mode; retry later"));
+  r.status = 503;
+  r.headers.emplace_back(
+      "Retry-After", std::to_string(options.health->retry_after_seconds()));
+  return r;
+}
+
 // {id} as a CampaignId; 0 is never a valid id.
 util::Result<service::CampaignId> ParseId(const PathArgs& args) {
   const std::string* raw = args.Get("id");
@@ -86,6 +111,9 @@ Response HandleSubmit(const CampaignRoutesOptions& options,
           "route=\"submit\"")};
   metrics.requests->Increment();
   obs::ScopedTimer timer(metrics.latency);
+  if (std::optional<Response> shed = MaybeShedWrite(options)) {
+    return *std::move(shed);
+  }
   if (!options.builder) {
     return ErrorResponse(util::Status::Unimplemented(
         "this server does not accept campaign submissions"));
@@ -145,7 +173,7 @@ Response HandleList(const CampaignRoutesOptions& options,
     service::CampaignState parsed;
     if (!api::ParseCampaignState(*state, &parsed)) {
       return ErrorResponse(util::Status::InvalidArgument(
-          "state must be one of running/done/cancelled/failed"));
+          "state must be one of running/done/cancelled/failed/quarantined"));
     }
     query.state = parsed;
   }
@@ -235,6 +263,9 @@ Response HandleCompletions(const CampaignRoutesOptions& options,
           "route=\"completions\"")};
   metrics.requests->Increment();
   obs::ScopedTimer timer(metrics.latency);
+  if (std::optional<Response> shed = MaybeShedWrite(options)) {
+    return *std::move(shed);
+  }
   if (options.intake == nullptr) {
     return ErrorResponse(util::Status::Unimplemented(
         "this server has no external completion intake"));

@@ -45,6 +45,11 @@ struct CampaignRoutesOptions {
   service::ExternalCompletionSource* intake = nullptr;
   // Null disables POST /v1/campaigns (501).
   CampaignBuilder builder;
+  // Fleet storage-health tracker (ISSUE 10); normally the same instance
+  // the manager was built over. While it reports degraded, the write
+  // endpoints (submit, completions) shed load with 503 + Retry-After
+  // while every read endpoint keeps serving. Null disables shedding.
+  const service::FleetHealth* health = nullptr;
 };
 
 void RegisterCampaignRoutes(Server* server, CampaignRoutesOptions options);

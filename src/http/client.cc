@@ -1,6 +1,9 @@
 #include "src/http/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 
 namespace incentag {
 namespace http {
@@ -8,6 +11,28 @@ namespace {
 
 constexpr std::string_view kCrlf = "\r\n";
 constexpr std::string_view kHeadEnd = "\r\n\r\n";
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Retry-After as whole seconds (the only form our server emits); -1 for
+// absent/unparseable — including the HTTP-date form, which falls back
+// to the computed backoff rather than a guessed clock delta.
+int64_t ParseRetryAfterMs(const ClientResponse& response) {
+  const std::string* value = response.Header("retry-after");
+  if (value == nullptr || value->empty()) return -1;
+  int64_t seconds = 0;
+  for (char c : *value) {
+    if (c < '0' || c > '9') return -1;
+    seconds = seconds * 10 + (c - '0');
+    if (seconds > 1'000'000) break;  // clamped later anyway
+  }
+  return seconds * 1000;
+}
 
 std::string ToLowerAscii(std::string_view s) {
   std::string out(s);
@@ -41,18 +66,56 @@ void Client::Disconnect() {
   buf_.clear();
 }
 
+// Backoff for the gap before the attempt'th retry: exponential rung
+// with full jitter over its upper half (deterministic given
+// jitter_seed), overridden by the server's capped Retry-After when one
+// was advertised.
+int64_t Client::NextDelayMs(int attempt, int64_t retry_after_ms) {
+  if (retry_after_ms >= 0) {
+    return std::min<int64_t>(retry_after_ms, retry_.max_retry_after_ms);
+  }
+  double rung = static_cast<double>(retry_.initial_backoff_ms);
+  for (int i = 1; i < attempt; ++i) rung *= retry_.multiplier;
+  const int64_t capped = std::min<int64_t>(
+      retry_.max_backoff_ms, static_cast<int64_t>(rung));
+  if (capped <= 1) return capped < 0 ? 0 : capped;
+  if (jitter_state_ == 0) jitter_state_ = retry_.jitter_seed | 1;
+  const int64_t half = capped / 2;
+  return half + static_cast<int64_t>(SplitMix64(&jitter_state_) %
+                                     static_cast<uint64_t>(capped - half + 1));
+}
+
 util::Result<ClientResponse> Client::Request(std::string_view method,
                                              std::string_view target,
                                              std::string_view body) {
   if (!connected()) {
     return util::Status::FailedPrecondition("client not connected");
   }
+  const int max_attempts = std::max(1, retry_.max_attempts);
   util::Result<ClientResponse> r = RoundTrip(method, target, body);
-  if (r.ok()) return r;
-  // The server may have idled out this keep-alive connection; one
-  // reconnect retry is safe for our idempotent API.
-  INCENTAG_RETURN_IF_ERROR(Connect(host_, port_));
-  return RoundTrip(method, target, body);
+  for (int attempt = 1; attempt < max_attempts; ++attempt) {
+    const bool shed =
+        r.ok() && r.value().status == 503 && retry_.retry_on_503;
+    if (r.ok() && !shed) return r;
+    const int64_t delay_ms =
+        NextDelayMs(attempt, shed ? ParseRetryAfterMs(r.value()) : -1);
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    if (!r.ok()) {
+      // Transport error: the server idled out the keep-alive connection,
+      // or the write/read died mid-flight. Rebuild the connection; safe
+      // to resend because the whole API is idempotent. A failed
+      // reconnect still counts as this attempt's outcome.
+      util::Status reconnected = Connect(host_, port_);
+      if (!reconnected.ok()) {
+        r = reconnected;
+        continue;
+      }
+    }
+    r = RoundTrip(method, target, body);
+  }
+  return r;
 }
 
 util::Result<ClientResponse> Client::RoundTrip(std::string_view method,

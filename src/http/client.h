@@ -27,9 +27,33 @@ struct ClientResponse {
   const std::string* Header(std::string_view name) const;
 };
 
+// Bounded exponential backoff + jitter for Request (ISSUE 10). Two
+// failure families retry: transport errors (the server idled out the
+// keep-alive connection, or a mid-episode socket fault), which
+// reconnect first; and 503 responses (fleet degraded-mode shedding),
+// which honor the server's Retry-After header — capped, so a shedding
+// server cannot park a client for minutes — and keep the connection.
+// Everything the API serves is idempotent (completion intake dedups by
+// seq), so resending a request whose fate is unknown is safe.
+struct ClientRetryOptions {
+  // Total round-trip attempts, including the first; 1 disables retries.
+  int max_attempts = 4;
+  int64_t initial_backoff_ms = 25;
+  double multiplier = 2.0;
+  int64_t max_backoff_ms = 1000;
+  // Clamp for the server's Retry-After advertisement.
+  int64_t max_retry_after_ms = 5000;
+  // Seed for the deterministic backoff jitter (full jitter over the
+  // upper half of each rung).
+  uint64_t jitter_seed = 1;
+  // Retry 503 responses; false returns them to the caller untouched.
+  bool retry_on_503 = true;
+};
+
 class Client {
  public:
   Client() = default;
+  explicit Client(ClientRetryOptions retry) : retry_(retry) {}
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -38,8 +62,11 @@ class Client {
   bool connected() const { return socket_.valid(); }
   void Disconnect();
 
-  // One round trip. Reconnects once if the server closed the keep-alive
-  // connection between requests. Body may be empty (GET).
+  // One logical request: up to retry_.max_attempts round trips with
+  // bounded backoff (see ClientRetryOptions). Transport errors
+  // reconnect between attempts; 503s wait out Retry-After. The last
+  // attempt's outcome — response or error — is returned as-is. Body may
+  // be empty (GET).
   util::Result<ClientResponse> Request(std::string_view method,
                                        std::string_view target,
                                        std::string_view body = {});
@@ -58,7 +85,13 @@ class Client {
                                          std::string_view target,
                                          std::string_view body);
   util::Result<ClientResponse> ReadResponse();
+  // Backoff for the gap before attempt `attempt` (1-based retry count),
+  // with deterministic jitter; respects `retry_after_ms` (>= 0 = the
+  // server's capped Retry-After) over the computed rung.
+  int64_t NextDelayMs(int attempt, int64_t retry_after_ms);
 
+  ClientRetryOptions retry_;
+  uint64_t jitter_state_ = 0;  // lazily seeded from retry_.jitter_seed
   std::string host_;
   uint16_t port_ = 0;
   util::Socket socket_;

@@ -5,14 +5,17 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/crc32.h"
+#include "src/util/fail_point.h"
 #include "src/util/wire.h"
 
 namespace incentag {
@@ -35,6 +38,34 @@ obs::Histogram* FsyncSeconds() {
       obs::LatencyBoundsSeconds());
   return histogram;
 }
+
+obs::Counter* RetryAttemptsCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "incentag_persist_retry_attempts_total",
+      "Journal sync retries after a transient storage failure");
+  return counter;
+}
+
+obs::Counter* RetrySuccessCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "incentag_persist_retry_success_total",
+      "Journal syncs that succeeded on a retry attempt");
+  return counter;
+}
+
+obs::Counter* RetryExhaustedCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "incentag_persist_retry_exhausted_total",
+      "Journal sync episodes that exhausted the retry ladder or hit a "
+      "permanent error");
+  return counter;
+}
+
+// Fault-injection sites for the commit-log rung (ISSUE 10): distinct
+// from the file_io points so tests can fault the fleet log without
+// touching the campaign journals in the same window.
+INCENTAG_FAIL_POINT_DEFINE(g_fail_log_append, "fsync_domain/log_append");
+INCENTAG_FAIL_POINT_DEFINE(g_fail_log_sync, "fsync_domain/log_sync");
 
 // One logged patch: journal `name` (basename, no slashes) holds `data`
 // at `offset`, valid for commit generation `gen` of that journal, and
@@ -159,6 +190,49 @@ void FsyncDomain::OnJournalRewritten(JournalWriter* writer,
   it->second.durable_offset = durable_size;
 }
 
+util::Status FsyncDomain::SyncWithRetry(JournalWriter* writer,
+                                        int64_t* durable) {
+  const SyncRetryPolicy& retry = options_.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  int64_t backoff_us = std::max<int64_t>(1, retry.initial_backoff_us);
+  util::Status status;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      RetryAttemptsCounter()->Increment();
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min<int64_t>(
+          std::max<int64_t>(1, retry.max_backoff_us),
+          static_cast<int64_t>(static_cast<double>(backoff_us) *
+                               retry.multiplier));
+      // fsyncgate: the failed sync poisoned the page cache behind the
+      // fd. Rebuild the writer on a fresh descriptor and re-append from
+      // the last durable offset — never re-fsync the old fd blindly.
+      util::Status recovered = writer->RecoverAfterSyncFailure();
+      if (!recovered.ok()) {
+        if (options_.on_storage_error) options_.on_storage_error(recovered);
+        RetryExhaustedCounter()->Increment();
+        return recovered;
+      }
+    }
+    {
+      obs::TraceSpan span("fsync");
+      obs::ScopedTimer timer(FsyncSeconds());
+      status = writer->SyncData(durable);
+    }
+    if (status.ok()) {
+      if (attempt > 0) RetrySuccessCounter()->Increment();
+      if (options_.on_storage_ok) options_.on_storage_ok();
+      return status;
+    }
+    if (options_.on_storage_error) options_.on_storage_error(status);
+    if (util::ClassifyIoError(status) != util::IoErrorClass::kTransient) {
+      break;  // retrying a permanent failure cannot help
+    }
+  }
+  RetryExhaustedCounter()->Increment();
+  return status;
+}
+
 void FsyncDomain::SyncOne(JournalWriter* writer) {
   uint64_t gen = 0;
   bool tracked = false;
@@ -171,12 +245,14 @@ void FsyncDomain::SyncOne(JournalWriter* writer) {
     }
   }
   int64_t durable = 0;
-  {
-    obs::TraceSpan span("fsync");
-    obs::ScopedTimer timer(FsyncSeconds());
-    // An IO error here is retried at the manager's terminal Sync, like
-    // the old per-journal sink pass.
-    if (!writer->SyncData(&durable).ok()) return;
+  util::Status status = SyncWithRetry(writer, &durable);
+  if (!status.ok()) {
+    // Ladder exhausted or permanent failure: this writer's data cannot
+    // be made durable here. Escalate — the campaign layer quarantines
+    // the journal (frozen, resumable) instead of letting the sink wedge
+    // or the failure pass silently.
+    if (options_.on_writer_sick) options_.on_writer_sick(writer, status);
+    return;
   }
   JournalSyncsCounter()->Increment();
   util::MutexLock lock(&mu_);
@@ -261,6 +337,12 @@ util::Status FsyncDomain::Commit(const std::vector<JournalWriter*>& batch) {
         // Superseded mid-collect (compaction landed): the new file is
         // fully durable, the patch describes a dead incarnation.
         if (it == states_.end() || it->second.generation != p.gen) continue;
+        util::FailPoint::Fault fault;
+        if (INCENTAG_FAIL_POINT_FIRED(g_fail_log_append, &fault) &&
+            fault.shape == util::FailPoint::Shape::kErrno) {
+          log_failed = true;
+          break;
+        }
         util::Status status = log_.Append(EncodePatchFrame(p.patch));
         if (!status.ok()) {
           log_failed = true;
@@ -271,7 +353,14 @@ util::Status FsyncDomain::Commit(const std::vector<JournalWriter*>& batch) {
       }
       if (!log_failed && appended > 0) {
         util::Status status;
-        {
+        util::FailPoint::Fault fault;
+        if (INCENTAG_FAIL_POINT_FIRED(g_fail_log_sync, &fault) &&
+            fault.shape == util::FailPoint::Shape::kErrno) {
+          status = util::Status::IoError(
+              "fdatasync " + options_.commit_log_path + ": " +
+                  std::strerror(fault.err),
+              fault.err);
+        } else {
           obs::TraceSpan span("fsync");
           obs::ScopedTimer timer(FsyncSeconds());
           status = log_.SyncData();

@@ -43,6 +43,7 @@
 #define INCENTAG_PERSIST_FSYNC_DOMAIN_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,19 @@ obs::Counter* JournalSyncsCounter();
 // matches ListDirFiles(dir, ".journal"), so journal scans skip it.
 inline constexpr char kFleetCommitLogName[] = "fleet-commit.log";
 
+// Bounded exponential backoff for transient journal-sync failures
+// (ISSUE 10). One ladder run is: sync fails transiently -> sleep the
+// backoff -> rebuild the writer's descriptor (fsyncgate: a failed sync
+// poisons the page cache, so the fd is reopened and the untrusted range
+// re-appended from the last durable offset — never re-fsynced blindly)
+// -> retry, up to max_attempts total sync attempts.
+struct SyncRetryPolicy {
+  int max_attempts = 4;
+  int64_t initial_backoff_us = 500;
+  double multiplier = 4.0;
+  int64_t max_backoff_us = 100'000;
+};
+
 struct FsyncDomainOptions {
   // Path of the fleet commit log; empty disables the log rung (every
   // Commit takes the per-fd path).
@@ -81,6 +95,18 @@ struct FsyncDomainOptions {
   // tracked journal is fdatasynced and the log is truncated, bounding
   // both log growth and recovery's patch-replay work.
   int64_t checkpoint_bytes = 4 << 20;
+  // Retry ladder for transient per-journal sync failures.
+  SyncRetryPolicy retry;
+  // Health callbacks, invoked from the sink thread with no domain locks
+  // held. The service layer uses them to drive fleet degraded mode:
+  // every failed sync attempt reports on_storage_error (with the
+  // classified status), every successful sync reports on_storage_ok,
+  // and a writer whose ladder is exhausted — or whose failure is
+  // permanent — reports on_writer_sick exactly once per episode so the
+  // campaign layer can quarantine it. All optional.
+  std::function<void(const util::Status&)> on_storage_error;
+  std::function<void()> on_storage_ok;
+  std::function<void(JournalWriter*, const util::Status&)> on_writer_sick;
 };
 
 // Shared fsync domain for a fleet of JournalWriters. Thread-safe; see
@@ -154,8 +180,17 @@ class FsyncDomain : public JournalCommitObserver {
     bool log_eligible = false;
   };
 
-  // Per-fd rung for one writer, updating its durable offset.
+  // Per-fd rung for one writer, updating its durable offset. Runs the
+  // bounded retry ladder (options_.retry) on transient failures and
+  // escalates to on_writer_sick when the ladder is exhausted or the
+  // failure is permanent.
   void SyncOne(JournalWriter* writer) EXCLUDES(mu_);
+
+  // The ladder itself: sync, classify, back off, rebuild the fd, retry.
+  // Sleeps happen with no locks held (the sink thread is the only
+  // caller). Returns the final status; `*durable` is valid on OK.
+  util::Status SyncWithRetry(JournalWriter* writer, int64_t* durable)
+      EXCLUDES(mu_);
 
   FsyncDomainOptions options_;
   mutable util::Mutex mu_;

@@ -6,6 +6,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/crc32.h"
+#include "src/util/fail_point.h"
 #include "src/util/wire.h"
 
 namespace incentag {
@@ -29,6 +30,12 @@ constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
 // well above a window's worth of records at any realistic rate, so the
 // inline path only triggers when no sink is draining the buffer.
 constexpr int64_t kGatherFlushBytes = 32 << 10;
+
+// Fault-injection sites for the compaction rewrite (ISSUE 10): the
+// fsync of the rewrite and the atomic rename are the two syscalls whose
+// failure must leave the old journal fully intact.
+INCENTAG_FAIL_POINT_DEFINE(g_fail_compact_rewrite, "compactor/rewrite");
+INCENTAG_FAIL_POINT_DEFINE(g_fail_compact_rename, "compactor/rename");
 
 }  // namespace
 
@@ -230,7 +237,12 @@ void AppendFramedCompletionRecord(const CompletionRecord& record,
 util::Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
     const std::string& path, int64_t truncate_to) {
   std::unique_ptr<JournalWriter> writer(new JournalWriter(path));
+  util::MutexLock lock(&writer->mu_);
   INCENTAG_RETURN_IF_ERROR(writer->file_.Open(path, truncate_to));
+  // Open's preconditions (Submit syncs before sharing the writer;
+  // recovery resumes from bytes that survived a crash) make the whole
+  // opening size the durable anchor.
+  writer->durable_size_ = writer->file_.size();
   return writer;
 }
 
@@ -301,14 +313,27 @@ util::Status JournalWriter::Flush() {
 
 util::Status JournalWriter::Sync() {
   util::MutexLock lock(&mu_);
-  return file_.Sync();
+  INCENTAG_RETURN_IF_ERROR(file_.Sync());
+  durable_size_ = file_.size();
+  return util::Status::OK();
 }
 
 util::Status JournalWriter::SyncData(int64_t* durable_size) {
   util::MutexLock lock(&mu_);
   INCENTAG_RETURN_IF_ERROR(file_.SyncData());
+  durable_size_ = file_.size();
   if (durable_size != nullptr) *durable_size = file_.size();
   return util::Status::OK();
+}
+
+util::Status JournalWriter::RecoverAfterSyncFailure() {
+  util::MutexLock lock(&mu_);
+  return file_.ReopenAndRestore(durable_size_);
+}
+
+int64_t JournalWriter::buffered_bytes() {
+  util::MutexLock lock(&mu_);
+  return file_.buffered_bytes();
 }
 
 util::Status JournalWriter::CollectUnsynced(int64_t from, std::string* data,
@@ -405,7 +430,20 @@ util::Status JournalWriter::Compact(const SubmitRecord& submit,
     if (!delta.ok()) return delta.status();
     INCENTAG_RETURN_IF_ERROR(tmp.Append(delta.value()));
   }
+  util::FailPoint::Fault fault;
+  if (INCENTAG_FAIL_POINT_FIRED(g_fail_compact_rewrite, &fault) &&
+      fault.shape == util::FailPoint::Shape::kErrno) {
+    errno = fault.err;
+    return util::Status::IoError(
+        "fsync " + tmp_path + ": " + std::strerror(fault.err), fault.err);
+  }
   INCENTAG_RETURN_IF_ERROR(tmp.Sync());
+  if (INCENTAG_FAIL_POINT_FIRED(g_fail_compact_rename, &fault) &&
+      fault.shape == util::FailPoint::Shape::kErrno) {
+    errno = fault.err;
+    return util::Status::IoError(
+        "rename " + tmp_path + ": " + std::strerror(fault.err), fault.err);
+  }
   INCENTAG_RETURN_IF_ERROR(util::RenameFile(tmp_path, path_));
   // The rename must be durable before anyone relies on the dropped
   // prefix being gone; the containing directory carries that entry.
@@ -419,6 +457,9 @@ util::Status JournalWriter::Compact(const SubmitRecord& submit,
   // failure could strand an otherwise healthy writer.
   file_ = std::move(tmp);
   file_.set_path(path_);
+  // The rewrite is fully durable (tmp.Sync() above): the durable anchor
+  // for any later failed-sync recovery is the whole new file.
+  durable_size_ = file_.size();
   // The rewrite replaced the file wholesale: externally-tracked durable
   // offsets refer to the dead incarnation, and the new one is durable to
   // its full size (tmp.Sync() above). Notified under mu_, before any

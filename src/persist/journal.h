@@ -195,6 +195,23 @@ class JournalWriter {
   // reports the journal size this call made power-loss durable.
   util::Status SyncData(int64_t* durable_size = nullptr) EXCLUDES(mu_);
 
+  // Fsyncgate recovery (ISSUE 10): after a failed Sync/SyncData the
+  // page cache behind the fd is untrusted — the kernel may have marked
+  // the dirty pages clean without writing them, so blindly re-syncing
+  // the same descriptor can report durability for bytes that never
+  // landed. This rebuilds the writer on a fresh descriptor truncated to
+  // the last offset a *successful* sync covered, with every byte past
+  // it restored into the write buffer (util::AppendFile::
+  // ReopenAndRestore); the caller then retries the sync, which rewrites
+  // exactly the untrusted range. On failure the writer is permanently
+  // sick and must be quarantined.
+  util::Status RecoverAfterSyncFailure() EXCLUDES(mu_);
+
+  // Bytes appended but not yet handed to the kernel — the dirty tail a
+  // retry ladder is still responsible for. The manager caps this while
+  // a journal rides out transient append failures.
+  int64_t buffered_bytes() EXCLUDES(mu_);
+
   // Commit-log support (see persist::FsyncDomain): flushes, then reads
   // back the journal bytes in [from, size()) through the writer's own
   // descriptor, plus a CRC of up to the 16 bytes immediately before
@@ -244,6 +261,13 @@ class JournalWriter {
   // the sink thread fsyncs and the compactor swaps the descriptor, all
   // through this one handle — every touch holds mu_.
   util::AppendFile file_ GUARDED_BY(mu_);
+  // Offset the journal *file* is known power-loss durable to (last
+  // successful Sync/SyncData, or the full rewrite after a compaction).
+  // The anchor RecoverAfterSyncFailure truncates back to — deliberately
+  // the file-level offset, not the fsync domain's log-rung bookkeeping:
+  // bytes covered only by commit-log patches are not in this file, and
+  // re-appending them is idempotent while trusting them would not be.
+  int64_t durable_size_ GUARDED_BY(mu_) = 0;
   JournalCommitObserver* observer_ GUARDED_BY(mu_) = nullptr;
 };
 

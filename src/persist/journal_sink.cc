@@ -13,6 +13,10 @@ JournalSink::JournalSink(JournalSinkOptions options) : options_(options) {
   domain_options.commit_log_path = options_.commit_log_path;
   domain_options.per_fd_threshold = options_.commit_log_threshold;
   domain_options.checkpoint_bytes = options_.commit_log_checkpoint_bytes;
+  domain_options.retry = options_.retry;
+  domain_options.on_storage_error = options_.on_storage_error;
+  domain_options.on_storage_ok = options_.on_storage_ok;
+  domain_options.on_writer_sick = options_.on_writer_sick;
   // An Init failure (log unopenable) degrades the domain to the per-fd
   // ladder — correct, just not fleet-wide — so the sink starts anyway.
   domain_.Init(domain_options);
@@ -23,7 +27,18 @@ JournalSink::~JournalSink() { Stop(); }
 
 void JournalSink::Track(JournalWriter* writer) { domain_.Track(writer); }
 
-void JournalSink::Untrack(JournalWriter* writer) { domain_.Untrack(writer); }
+void JournalSink::Untrack(JournalWriter* writer) {
+  // Drop any pending dirty mark too (ISSUE 10): a quarantined writer's
+  // fd must never be synced again, not even by a pass already signalled.
+  // A batch the loop has already popped may still reference the writer —
+  // that sync fails like the one that caused the quarantine and the
+  // repeat sick-callback is a no-op — but no *new* pass will touch it.
+  {
+    util::MutexLock lock(&mu_);
+    dirty_.erase(writer);
+  }
+  domain_.Untrack(writer);
+}
 
 void JournalSink::Schedule(JournalWriter* writer) {
   {

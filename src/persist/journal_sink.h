@@ -47,6 +47,14 @@ struct JournalSinkOptions {
   size_t commit_log_threshold = 4;
   // Log size that triggers a checkpoint (sync journals, truncate log).
   int64_t commit_log_checkpoint_bytes = 4 << 20;
+  // Retry ladder for transient per-journal sync failures, and the
+  // health callbacks the domain invokes from the sink thread (see
+  // FsyncDomainOptions for the exact contract). The service layer wires
+  // these to fleet degraded mode and per-campaign quarantine.
+  SyncRetryPolicy retry;
+  std::function<void(const util::Status&)> on_storage_error;
+  std::function<void()> on_storage_ok;
+  std::function<void(JournalWriter*, const util::Status&)> on_writer_sick;
 };
 
 class JournalSink {

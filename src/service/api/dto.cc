@@ -171,6 +171,8 @@ std::string_view CampaignStateName(CampaignState state) {
       return "cancelled";
     case CampaignState::kFailed:
       return "failed";
+    case CampaignState::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }
@@ -184,6 +186,8 @@ bool ParseCampaignState(std::string_view name, CampaignState* out) {
     *out = CampaignState::kCancelled;
   } else if (name == "failed") {
     *out = CampaignState::kFailed;
+  } else if (name == "quarantined") {
+    *out = CampaignState::kQuarantined;
   } else {
     return false;
   }

@@ -11,6 +11,7 @@
 #include "src/core/campaign_runtime.h"
 #include "src/obs/metrics.h"
 #include "src/persist/fsync_domain.h"
+#include "src/service/fleet_health.h"
 #include "src/obs/trace.h"
 #include "src/util/file_io.h"
 #include "src/util/logging.h"
@@ -71,6 +72,25 @@ CampaignId ParseJournalId(const std::string& path) {
 }
 
 constexpr char kSourceClosedError[] = "completion source closed";
+
+// A transient journal-append failure (ENOSPC mid-episode) keeps the
+// campaign running with the records retained in the writer's buffer —
+// the sink's retry ladder will land them — up to this many buffered
+// bytes. Past the cap the episode has outlived plausible recovery and
+// the campaign quarantines instead of growing the heap unboundedly.
+constexpr int64_t kMaxBufferedJournalBytes = 4 << 20;
+
+// Degraded mode compacts aggressively: a journal this many bytes past
+// its last snapshot rewrites even though the normal triggers have not
+// fired, reclaiming disk while ENOSPC is the fleet's binding constraint.
+constexpr int64_t kDegradedCompactBytes = 64 << 10;
+
+obs::Counter* QuarantinesCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "incentag_service_quarantines_total",
+      "Campaigns frozen after their journal fd went permanently sick");
+  return counter;
+}
 
 // Fleet-wide service instruments (src/obs/README.md). Grouped in one
 // lazily-built struct so each call site pays a single static-init guard.
@@ -202,6 +222,15 @@ struct CampaignManager::Campaign {
   // queue-wait histogram. 0 = not currently stamped.
   std::atomic<uint64_t> enqueued_ns{0};
   std::atomic<bool> cancel_requested{false};
+  // Set by the sink's on_writer_sick callback (the retry ladder gave up
+  // on this campaign's journal fd); consumed at a step boundary, which
+  // freezes the campaign as kQuarantined. The error itself travels in
+  // quarantine_error under status_mu.
+  std::atomic<bool> quarantine_requested{false};
+  // True while the campaign sits out fleet degraded mode (priority <= 1
+  // and storage unhealthy): the token is released without stepping, and
+  // FleetHealth's exit edge (ResumeParked) reschedules it.
+  std::atomic<bool> parked{false};
   // Set by an explicit Compact() call; consumed at a step boundary.
   std::atomic<bool> compact_requested{false};
   // True while a compaction job for this campaign is queued or running.
@@ -238,6 +267,7 @@ struct CampaignManager::Campaign {
   // while it runs, Status computes the live value instead.
   double final_deadline_slack_seconds GUARDED_BY(status_mu) = 0.0;
   std::string error GUARDED_BY(status_mu);
+  std::string quarantine_error GUARDED_BY(status_mu);
   core::RunReport report GUARDED_BY(status_mu);
 
   double DeadlineSlackNow() const {
@@ -303,6 +333,12 @@ CampaignManager::CampaignManager(ManagerOptions options)
   if (!options_.deterministic) {
     pool_ = std::make_unique<util::ThreadPool>(threads);
   }
+  if (options_.health != nullptr) {
+    // Claim the exit edge: parked campaigns resume the moment storage
+    // recovers instead of waiting for their next completion to poke
+    // them. The hook is dropped again in Shutdown.
+    options_.health->set_on_exit([this] { ResumeParked(); });
+  }
 }
 
 // Spins up the journal's background helpers — the fsync batcher, and
@@ -318,6 +354,18 @@ void CampaignManager::EnsureJournalWorkers() {
       sink_options.commit_log_path =
           options_.journal_dir + "/" + persist::kFleetCommitLogName;
     }
+    sink_options.retry = options_.journal_retry;
+    if (options_.health != nullptr) {
+      FleetHealth* health = options_.health;
+      sink_options.on_storage_error = [health](const util::Status& status) {
+        health->ReportStorageError(status);
+      };
+      sink_options.on_storage_ok = [health] { health->ReportStorageOk(); };
+    }
+    sink_options.on_writer_sick = [this](persist::JournalWriter* writer,
+                                         const util::Status& status) {
+      OnWriterSick(writer, status);
+    };
     sink_ = std::make_unique<persist::JournalSink>(sink_options);
   }
   if (compactor_ == nullptr && !options_.deterministic) {
@@ -460,7 +508,27 @@ bool CampaignManager::ApplyRun(Campaign* c) {
         c->journal_batch.data(), c->journal_batch.size());
     if (!journaled.ok()) {
       c->next_apply_seq += c->apply_run.size();
-      Finalize(c, CampaignState::kFailed, journaled.ToString());
+      const util::IoErrorClass io_class = util::ClassifyIoError(journaled);
+      if (io_class == util::IoErrorClass::kNotIoError) {
+        // Encoding/precondition bugs, not storage: fail as before.
+        Finalize(c, CampaignState::kFailed, journaled.ToString());
+        return false;
+      }
+      if (options_.health != nullptr) {
+        options_.health->ReportStorageError(journaled);
+      }
+      // A failed AppendGather retains the unwritten remainder in the
+      // writer's buffer, so the batch is fully part of the journal's
+      // logical state — the campaign can keep running and the sink's
+      // next flush/sync retries the bytes. Bounded: past the buffer cap
+      // (or on a permanent error) the campaign quarantines with its
+      // durable prefix intact.
+      if (io_class == util::IoErrorClass::kTransient &&
+          c->journal->buffered_bytes() <= kMaxBufferedJournalBytes) {
+        FlushJournal(c);
+        return true;
+      }
+      Quarantine(c, "journal append failed: " + journaled.ToString());
       return false;
     }
   }
@@ -479,6 +547,15 @@ void CampaignManager::DriveDeterministic(Campaign* c) {
   c->quanta_run.fetch_add(1, std::memory_order_relaxed);
   util::Status status;
   for (;;) {
+    if (c->quarantine_requested.load()) {
+      std::string error;
+      {
+        util::MutexLock lock(&c->status_mu);
+        error = c->quarantine_error;
+      }
+      Quarantine(c, std::move(error));
+      return;
+    }
     if (!c->pending.empty()) {
       c->apply_run.assign(c->pending.begin(), c->pending.end());
       c->pending.clear();
@@ -591,8 +668,14 @@ void CampaignManager::MaybeCompact(Campaign* c) {
   // with the PR 3 completion-count policy as a fallback trigger.
   const int64_t bytes_since =
       c->journal->size() - c->bytes_at_last_compact.load();
+  // In degraded mode disk space is the fleet's binding constraint, so
+  // any journal meaningfully past its snapshot rewrites now — the
+  // snapshot-based rewrite usually shrinks the file.
+  const bool degraded_due =
+      options_.health != nullptr && options_.health->degraded() &&
+      bytes_since >= kDegradedCompactBytes;
   const bool due =
-      c->compact_requested.load() ||
+      c->compact_requested.load() || degraded_due ||
       (options_.compact_journal_bytes > 0 &&
        bytes_since >= options_.compact_journal_bytes) ||
       (options_.compact_every_n_completions > 0 &&
@@ -666,6 +749,35 @@ void CampaignManager::MaybeCompact(Campaign* c) {
 // hand high-priority campaigns proportionally more work per dispatch.
 void CampaignManager::Step(Campaign* c) {
   if (c->finalized.load()) return;
+  if (c->quarantine_requested.load()) {
+    std::string error;
+    {
+      util::MutexLock lock(&c->status_mu);
+      error = c->quarantine_error;
+    }
+    Quarantine(c, std::move(error));
+    return;
+  }
+  // Fleet degraded mode: background-class campaigns give up their turn
+  // (admission pause) so the storage stack's remaining headroom serves
+  // critical campaigns and compaction. Cancellation still wins — a
+  // parked campaign must stay cancellable.
+  if (options_.health != nullptr && options_.health->degraded() &&
+      c->priority <= 1 && !c->cancel_requested.load()) {
+    c->parked.store(true);
+    c->scheduled.store(false);
+    // Re-check after releasing the token: ResumeParked may have swept
+    // past between the degraded() read and the release, and a cancel
+    // may have raced in. Without this the campaign would sleep until
+    // its next completion.
+    if ((!options_.health->degraded() || c->cancel_requested.load()) &&
+        !c->scheduled.exchange(true)) {
+      c->parked.store(false);
+      EnqueueDispatch(c);
+    }
+    return;
+  }
+  c->parked.store(false);
   const ServiceMetrics& metrics = ServiceMetrics::Get();
   // Queue wait: the delta from this campaign's last enqueue stamp.
   // exchange(0) so a stamp is observed exactly once even if a spurious
@@ -709,6 +821,15 @@ void CampaignManager::Step(Campaign* c) {
   for (;;) {
     if (c->cancel_requested.load()) {
       Finalize(c, CampaignState::kCancelled, "");
+      return;
+    }
+    if (c->quarantine_requested.load()) {
+      std::string error;
+      {
+        util::MutexLock lock(&c->status_mu);
+        error = c->quarantine_error;
+      }
+      Quarantine(c, std::move(error));
       return;
     }
 
@@ -905,6 +1026,97 @@ void CampaignManager::Finalize(Campaign* c, CampaignState state,
   c->terminal_cv.NotifyAll();
 }
 
+// Freezes a campaign whose journal fd is permanently sick. Runs on the
+// stepper (token held). The deliberate differences from Finalize:
+//   * no terminal Sync — after a permanently failed fdatasync the page
+//     cache is untrusted (fsyncgate), and syncing through the sick fd
+//     would either fail again or, worse, succeed vacuously;
+//   * no AppendCancel and no report — the journal's durable prefix is
+//     the campaign's resumable truth, and Recover() on a healthy disk
+//     replays it exactly like a crash tail;
+//   * the writer is untracked from the sink first, so no later group
+//     commit (or teardown straggler sync) touches the fd again.
+void CampaignManager::Quarantine(Campaign* c, std::string error) {
+  if (sink_ != nullptr && c->journal != nullptr) {
+    sink_->Untrack(c->journal.get());
+  }
+  {
+    util::MutexLock lock(&c->status_mu);
+    c->state = CampaignState::kQuarantined;
+    c->error = std::move(error);
+    c->tasks_in_flight = static_cast<int64_t>(c->pending.size());
+    c->queue_delay_seconds = c->queue_delay_s;
+    c->elapsed_seconds = c->begun ? c->started.ElapsedSeconds() : 0.0;
+    c->final_deadline_slack_seconds = c->DeadlineSlackNow();
+  }
+  scheduler_->Unregister(c->id);
+  scheduler_->compaction_budget().Forget(c->id);
+  c->finalized.store(true);
+  {
+    util::MutexLock lock(&c->inbox_mu);
+    if (!c->inbox.empty()) {
+      ServiceMetrics::Get().inbox_depth->Add(
+          -static_cast<int64_t>(c->inbox.size()));
+      c->inbox.clear();
+    }
+  }
+  QuarantinesCounter()->Increment();
+  c->terminal_cv.NotifyAll();
+}
+
+// Sink-thread callback: the retry ladder exhausted (or hit a permanent
+// error on) `writer`. Flag the owning campaign; its next step boundary
+// performs the actual quarantine on the stepper, where the journal and
+// runtime state are safe to touch. Repeat reports for the same writer
+// (a commit already in flight when the campaign untracked) are no-ops.
+void CampaignManager::OnWriterSick(persist::JournalWriter* writer,
+                                   const util::Status& status) {
+  for (const auto& shard : shards_) {
+    Campaign* found = nullptr;
+    {
+      util::MutexLock lock(&shard->mu);
+      for (const auto& [id, campaign] : shard->campaigns) {
+        // `journal` is set before registration and never reassigned, so
+        // reading the pointer under the shard lock is safe.
+        if (campaign->journal.get() == writer) {
+          found = campaign.get();
+          break;
+        }
+      }
+    }
+    if (found == nullptr) continue;
+    if (found->finalized.load() ||
+        found->quarantine_requested.exchange(true)) {
+      return;
+    }
+    {
+      util::MutexLock lock(&found->status_mu);
+      found->quarantine_error =
+          "journal sync failed permanently: " + status.ToString();
+    }
+    if (!options_.deterministic) ScheduleStep(found);
+    return;
+  }
+}
+
+// FleetHealth exit edge: reschedule everything that sat out degraded
+// mode. ScheduleStep is a no-op for campaigns whose token is held, and
+// a re-park is harmless if the health flaps back before the step runs.
+void CampaignManager::ResumeParked() {
+  if (options_.deterministic) return;
+  std::vector<Campaign*> parked;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(&shard->mu);
+    for (const auto& [id, campaign] : shard->campaigns) {
+      if (campaign->parked.load()) parked.push_back(campaign.get());
+    }
+  }
+  for (Campaign* c : parked) {
+    c->parked.store(false);
+    if (!c->finalized.load()) ScheduleStep(c);
+  }
+}
+
 util::Status CampaignManager::Cancel(CampaignId id) {
   Campaign* c = Find(id);
   if (c == nullptr) return util::Status::NotFound("no such campaign");
@@ -1004,6 +1216,12 @@ util::Result<core::RunReport> CampaignManager::Wait(CampaignId id) {
   }
   if (c->state == CampaignState::kFailed) {
     return util::Status::Internal("campaign failed: " + c->error);
+  }
+  if (c->state == CampaignState::kQuarantined) {
+    // No report: the campaign froze mid-run. Its journal is the
+    // resumable truth; Recover() on healthy storage continues it.
+    return util::Status::FailedPrecondition("campaign quarantined: " +
+                                            c->error);
   }
   return c->report;
 }
@@ -1312,6 +1530,9 @@ void CampaignManager::Shutdown() {
   // so no caller can join the pool while another is still sweeping.
   shutdown_.store(true);
   std::call_once(shutdown_once_, [this] {
+    // Drop the health exit hook first: after this no storage-recovery
+    // edge can call back into a manager that is tearing down.
+    if (options_.health != nullptr) options_.health->set_on_exit(nullptr);
     if (pool_ != nullptr) {
       // Sweep every live campaign into cancellation, wait for the steps
       // to finalize them, then drain and join the pool.

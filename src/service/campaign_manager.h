@@ -86,6 +86,8 @@
 namespace incentag {
 namespace service {
 
+class FleetHealth;
+
 // Everything one campaign needs. `initial_posts` and `references` must
 // outlive the manager (they are shared, read-only dataset vectors);
 // `strategy` and `stream` are owned by the campaign and must not be
@@ -109,11 +111,16 @@ struct CampaignConfig {
 };
 
 enum class CampaignState {
-  kRunning,    // submitted; stepping or waiting for completions
-  kDone,       // budget spent or strategy stopped early; report ready
-  kCancelled,  // Cancel() took effect; partial report ready
-  kFailed,     // configuration, strategy, journal or completion-source
-               // error; see CampaignStatus::error
+  kRunning,      // submitted; stepping or waiting for completions
+  kDone,         // budget spent or strategy stopped early; report ready
+  kCancelled,    // Cancel() took effect; partial report ready
+  kFailed,       // configuration, strategy or completion-source error;
+                 // see CampaignStatus::error
+  kQuarantined,  // the campaign's journal fd went permanently sick
+                 // (ISSUE 10): the campaign is frozen with its durable
+                 // journal prefix intact and resumable — Recover() on a
+                 // healthy disk replays it like a crash tail. No report;
+                 // see CampaignStatus::error for the storage error.
 };
 
 // A point-in-time snapshot, pollable while the campaign runs.
@@ -244,6 +251,19 @@ struct ManagerOptions {
   // may be set; whichever fires first wins. 0 disables it. With both 0,
   // only explicit Compact(id) rewrites journals.
   int64_t compact_every_n_completions = 0;
+  // Retry ladder for transient journal-sync failures, forwarded to the
+  // sink's fsync domain (ISSUE 10; see persist::SyncRetryPolicy).
+  persist::SyncRetryPolicy journal_retry;
+  // Fleet storage-health tracker (ISSUE 10). When set: journal sync
+  // outcomes feed it; while it reports degraded, background-class
+  // campaigns (priority <= 1) park at their next step boundary instead
+  // of running, and compaction triggers aggressively to reclaim journal
+  // bytes. The manager claims the tracker's on_exit hook to resume
+  // parked campaigns the moment storage recovers. Must outlive the
+  // manager; share one instance with the HTTP layer so intake sheds
+  // writes over the same signal. Optional — null disables degraded
+  // mode (sick writers still quarantine their campaigns).
+  FleetHealth* health = nullptr;
 };
 
 class CampaignManager {
@@ -376,6 +396,17 @@ class CampaignManager {
   void FlushJournal(Campaign* campaign);
   void MaybeCompact(Campaign* campaign);
   void EnsureJournalWorkers();
+  // Freezes a campaign as kQuarantined: journal untracked from the sink
+  // (its durable prefix stays resumable on disk), scheduler entry and
+  // compaction budget dropped, waiters notified. Unlike Finalize, never
+  // syncs through the (sick) fd and produces no report.
+  void Quarantine(Campaign* campaign, std::string error);
+  // Sink-thread callback: the retry ladder gave up on `writer`. Flags
+  // the owning campaign for quarantine at its next step boundary.
+  void OnWriterSick(persist::JournalWriter* writer,
+                    const util::Status& status);
+  // FleetHealth on_exit hook: reschedules every parked campaign.
+  void ResumeParked();
 
   ManagerOptions options_;
   std::unique_ptr<InlineCompletionSource> inline_source_;

@@ -1,0 +1,83 @@
+#include "src/service/fleet_health.h"
+
+#include "src/obs/metrics.h"
+
+namespace incentag {
+namespace service {
+
+namespace {
+
+obs::Gauge* DegradedGauge() {
+  static obs::Gauge* gauge = obs::Registry::Default().GetGauge(
+      "incentag_service_degraded_mode",
+      "One while the fleet is in storage degraded mode, else zero");
+  return gauge;
+}
+
+obs::Counter* EntriesCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "incentag_service_degraded_entries_total",
+      "Transitions into storage degraded mode");
+  return counter;
+}
+
+obs::Counter* ExitsCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "incentag_service_degraded_exits_total",
+      "Transitions out of storage degraded mode");
+  return counter;
+}
+
+}  // namespace
+
+FleetHealth::FleetHealth(FleetHealthOptions options) : options_(options) {
+  DegradedGauge()->Set(0);
+}
+
+void FleetHealth::ReportStorageError(const util::Status& status) {
+  if (util::ClassifyIoError(status) != util::IoErrorClass::kTransient) {
+    return;
+  }
+  util::MutexLock lock(&mu_);
+  consecutive_successes_ = 0;
+  ++consecutive_failures_;
+  if (degraded_.load(std::memory_order_relaxed)) return;
+  if (consecutive_failures_ < options_.enter_after_failures) return;
+  degraded_.store(true, std::memory_order_relaxed);
+  ++entries_;
+  DegradedGauge()->Set(1);
+  EntriesCounter()->Increment();
+}
+
+void FleetHealth::ReportStorageOk() {
+  bool exited = false;
+  {
+    util::MutexLock lock(&mu_);
+    consecutive_failures_ = 0;
+    if (!degraded_.load(std::memory_order_relaxed)) return;
+    ++consecutive_successes_;
+    if (consecutive_successes_ < options_.exit_after_successes) return;
+    consecutive_successes_ = 0;
+    degraded_.store(false, std::memory_order_relaxed);
+    ++exits_;
+    DegradedGauge()->Set(0);
+    ExitsCounter()->Increment();
+    exited = true;
+  }
+  // Outside mu_: the callback reschedules parked campaigns, which may
+  // take manager locks that themselves report back here.
+  if (exited && on_exit_) on_exit_();
+}
+
+int64_t FleetHealth::entries() const {
+  util::MutexLock lock(&mu_);
+  return entries_;
+}
+
+int64_t FleetHealth::exits() const {
+  util::MutexLock lock(&mu_);
+  return exits_;
+}
+
+}  // namespace service
+}  // namespace incentag

@@ -1,0 +1,93 @@
+// FleetHealth: hysteresis between storage failures and fleet degraded
+// mode (ISSUE 10).
+//
+// The journal sink reports every sync outcome here. Sustained transient
+// storage failure (ENOSPC and friends, classified by
+// util::ClassifyIoError) flips the fleet into degraded mode after
+// enter_after_failures consecutive failed attempts; exit_after_successes
+// consecutive successful syncs flip it back. While degraded:
+//
+//   * the scheduler parks background-class campaigns (admission pause),
+//   * HTTP intake sheds writes with 503 + Retry-After while status and
+//     metrics reads keep serving,
+//   * compaction triggers aggressively to reclaim journal bytes.
+//
+// Both transitions are counted and exported
+// (incentag_service_degraded_mode gauge, ..._entries_total /
+// ..._exits_total counters) so an operator can see flap rates, and the
+// exit edge invokes an optional callback so the campaign manager can
+// reschedule parked campaigns immediately instead of waiting for the
+// next completion to poke them.
+//
+// Thread-safe. degraded() is a single relaxed atomic load — it sits on
+// the HTTP hot path and the scheduler step path.
+#ifndef INCENTAG_SERVICE_FLEET_HEALTH_H_
+#define INCENTAG_SERVICE_FLEET_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace incentag {
+namespace service {
+
+struct FleetHealthOptions {
+  // Consecutive transient storage failures that enter degraded mode.
+  int enter_after_failures = 3;
+  // Consecutive successful syncs that exit it.
+  int exit_after_successes = 2;
+  // Advertised to shed clients via the Retry-After header.
+  int retry_after_seconds = 5;
+};
+
+class FleetHealth {
+ public:
+  explicit FleetHealth(FleetHealthOptions options = {});
+
+  FleetHealth(const FleetHealth&) = delete;
+  FleetHealth& operator=(const FleetHealth&) = delete;
+
+  // True while the fleet is shedding writes. Relaxed load; hot path.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  int retry_after_seconds() const { return options_.retry_after_seconds; }
+
+  // A sync attempt failed. Only transient classifications count toward
+  // entering degraded mode: a permanent error is one writer's problem
+  // (quarantine territory), not the storage stack's.
+  void ReportStorageError(const util::Status& status) EXCLUDES(mu_);
+
+  // A sync succeeded; enough of these in a row exit degraded mode.
+  void ReportStorageOk() EXCLUDES(mu_);
+
+  // Invoked (with no FleetHealth locks held) on every degraded->healthy
+  // edge. Set before the first report; not synchronised against them.
+  void set_on_exit(std::function<void()> on_exit) {
+    on_exit_ = std::move(on_exit);
+  }
+
+  // Transition counts, for tests.
+  int64_t entries() const EXCLUDES(mu_);
+  int64_t exits() const EXCLUDES(mu_);
+
+ private:
+  const FleetHealthOptions options_;
+  std::atomic<bool> degraded_{false};
+  std::function<void()> on_exit_;
+  mutable util::Mutex mu_;
+  int consecutive_failures_ GUARDED_BY(mu_) = 0;
+  int consecutive_successes_ GUARDED_BY(mu_) = 0;
+  int64_t entries_ GUARDED_BY(mu_) = 0;
+  int64_t exits_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace service
+}  // namespace incentag
+
+#endif  // INCENTAG_SERVICE_FLEET_HEALTH_H_

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/fail_point.h"
 #include "src/util/io_uring.h"
 
 namespace incentag {
@@ -23,7 +24,35 @@ namespace fs = std::filesystem;
 namespace {
 
 Status ErrnoStatus(const std::string& op, const std::string& path) {
-  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+  const int err = errno;
+  return Status::IoError(op + " " + path + ": " + std::strerror(err), err);
+}
+
+// Fault-injection sites for the whole append-file surface (ISSUE 10).
+// One point per syscall kind; the persist and service layers above are
+// hardened against exactly the failures these can synthesize.
+INCENTAG_FAIL_POINT_DEFINE(g_fail_open, "file_io/open");
+INCENTAG_FAIL_POINT_DEFINE(g_fail_pwritev, "file_io/pwritev");
+INCENTAG_FAIL_POINT_DEFINE(g_fail_fsync, "file_io/fsync");
+INCENTAG_FAIL_POINT_DEFINE(g_fail_fdatasync, "file_io/fdatasync");
+
+// Evaluates a sync-shaped fail point: kErrno skips the syscall and
+// fails; kTornSync really syncs first (the data is durable) and then
+// reports failure anyway — the shape fsyncgate hardening must survive.
+// Returns true when the site should report failure with errno set.
+bool SyncFaultFired(FailPoint& point, int fd, bool data_only) {
+  FailPoint::Fault fault;
+  if (!INCENTAG_FAIL_POINT_FIRED(point, &fault)) return false;
+  if (fault.shape == FailPoint::Shape::kShortWrite) return false;
+  if (fault.shape == FailPoint::Shape::kTornSync) {
+    if (data_only) {
+      ::fdatasync(fd);
+    } else {
+      ::fsync(fd);
+    }
+  }
+  errno = fault.err;
+  return true;
 }
 
 }  // namespace
@@ -139,18 +168,22 @@ AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
     path_ = std::move(other.path_);
     buffer_ = std::move(other.buffer_);
     size_ = other.size_;
-    max_write_bytes_for_test_ = other.max_write_bytes_for_test_;
     other.fd_ = -1;
     other.path_.clear();
     other.buffer_.clear();
     other.size_ = 0;
-    other.max_write_bytes_for_test_ = 0;
   }
   return *this;
 }
 
 Status AppendFile::Open(const std::string& path, int64_t truncate_to) {
   if (is_open()) return Status::FailedPrecondition("AppendFile already open");
+  FailPoint::Fault fault;
+  if (INCENTAG_FAIL_POINT_FIRED(g_fail_open, &fault) &&
+      fault.shape == FailPoint::Shape::kErrno) {
+    errno = fault.err;
+    return ErrnoStatus("open", path);
+  }
   // O_RDWR, not O_WRONLY: ReadAt() serves the commit-log rung's
   // CollectUnsynced through this same descriptor (pread needs read
   // permission on the fd).
@@ -224,11 +257,15 @@ Status AppendFile::AppendGather(std::span<const std::string_view> pieces) {
   while (written < total) {
     struct iovec* window = iov + first;
     int count = iov_count - first;
-    // Test hook: trim the window so one syscall moves at most the cap,
-    // exercising the same resume arithmetic a real short write takes.
+    FailPoint::Fault fault;
+    const bool injected = INCENTAG_FAIL_POINT_FIRED(g_fail_pwritev, &fault);
+    // A short-write fault trims the window so one syscall moves at most
+    // the armed cap, forcing the resume arithmetic real kernels only
+    // exercise under memory pressure or signals.
     struct iovec capped[kInlineIov];
-    if (max_write_bytes_for_test_ > 0) {
-      size_t budget = static_cast<size_t>(max_write_bytes_for_test_);
+    if (injected && fault.shape == FailPoint::Shape::kShortWrite &&
+        fault.max_bytes > 0) {
+      size_t budget = static_cast<size_t>(fault.max_bytes);
       int kept = 0;
       while (kept < count && kept < static_cast<int>(kInlineIov) &&
              budget > 0) {
@@ -241,10 +278,17 @@ Status AppendFile::AppendGather(std::span<const std::string_view> pieces) {
       count = kept;
     }
     if (count > IOV_MAX) count = IOV_MAX;
-    const ssize_t n =
-        ::pwritev(fd_, window, count, static_cast<off_t>(start + written));
-    if (n <= 0) {
+    ssize_t n;
+    if (injected && fault.shape == FailPoint::Shape::kErrno) {
+      // Injected failures bypass the EINTR-absorb below on purpose: an
+      // armed EINTR must surface to the caller, not retry inline.
+      errno = fault.err;
+      n = -1;
+    } else {
+      n = ::pwritev(fd_, window, count, static_cast<off_t>(start + written));
       if (n < 0 && errno == EINTR) continue;
+    }
+    if (n <= 0) {
       Status status = n < 0 ? ErrnoStatus("pwritev", path_)
                             : Status::IoError("pwritev wrote nothing to " +
                                               path_);
@@ -286,13 +330,21 @@ Status AppendFile::Flush() {
 
 Status AppendFile::Sync() {
   INCENTAG_RETURN_IF_ERROR(Flush());
+  if (SyncFaultFired(g_fail_fsync, fd_, /*data_only=*/false)) {
+    return ErrnoStatus("fsync", path_);
+  }
   if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
   return Status::OK();
 }
 
 Status AppendFile::SyncData() {
   if (!is_open()) return Status::FailedPrecondition("AppendFile not open");
-  if (IoUringEnabled() && max_write_bytes_for_test_ == 0) {
+  // Any armed write/sync fault forces the POSIX ladder: the ring's
+  // linked submission cannot model a short write or a torn sync, and
+  // the hardened paths above must see the same failure shapes either
+  // way.
+  if (IoUringEnabled() && !INCENTAG_FAIL_POINT_ARMED(g_fail_pwritev) &&
+      !INCENTAG_FAIL_POINT_ARMED(g_fail_fdatasync)) {
     // One linked WRITEV -> FDATASYNC submission: the flush and the
     // durability point cost a single kernel crossing. Anything the ring
     // could not finish (short write, cancelled sync, kernel refusing the
@@ -317,7 +369,41 @@ Status AppendFile::SyncData() {
     if (synced && buffer_.empty()) return Status::OK();
   }
   INCENTAG_RETURN_IF_ERROR(Flush());
+  if (SyncFaultFired(g_fail_fdatasync, fd_, /*data_only=*/true)) {
+    return ErrnoStatus("fdatasync", path_);
+  }
   if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+  return Status::OK();
+}
+
+Status AppendFile::ReopenAndRestore(int64_t durable_offset) {
+  if (!is_open()) return Status::FailedPrecondition("AppendFile not open");
+  if (durable_offset < 0 || durable_offset > write_offset()) {
+    return Status::InvalidArgument(
+        "durable offset " + std::to_string(durable_offset) +
+        " outside flushed range of " + path_);
+  }
+  // Read the flushed-but-unsynced range back through the old fd first:
+  // the failed sync left those pages cache-resident (possibly marked
+  // clean without reaching the platter), and this read is the only
+  // remaining copy of them.
+  std::string tail;
+  const int64_t flushed_tail = write_offset() - durable_offset;
+  if (flushed_tail > 0) {
+    INCENTAG_RETURN_IF_ERROR(ReadAt(durable_offset, flushed_tail, &tail));
+  }
+  tail.append(buffer_);
+  // Raw close, not Close(): Close() flushes the buffer through the
+  // descriptor this routine exists to distrust.
+  ::close(fd_);
+  fd_ = -1;
+  const std::string path = path_;
+  const int64_t logical_size = size_;
+  buffer_.clear();
+  size_ = 0;
+  INCENTAG_RETURN_IF_ERROR(Open(path, durable_offset));
+  buffer_ = std::move(tail);
+  size_ = logical_size;
   return Status::OK();
 }
 

@@ -120,6 +120,20 @@ class AppendFile {
   // read extents they computed from size() after a Flush.
   Status ReadAt(int64_t offset, int64_t length, std::string* out) const;
 
+  // Recovery after a failed fsync/fdatasync (ISSUE 10). A failed sync
+  // poisons the page cache: the kernel may mark the dirty pages clean
+  // without having written them, so re-syncing the same fd silently
+  // drops data (the fsyncgate failure mode). This routine rebuilds the
+  // writer on a fresh descriptor: it reads the flushed-but-unsynced
+  // range [durable_offset, write_offset) back through the old fd while
+  // the pages are still cache-resident, closes the fd raw (no flush
+  // through the untrusted descriptor), reopens the path truncated to
+  // `durable_offset`, and restores the read-back bytes plus the old
+  // buffer as the new dirty buffer. size() is unchanged; the next
+  // Flush/Sync rewrites exactly the untrusted range. On failure the
+  // file is closed and the writer is unusable — the caller escalates.
+  Status ReopenAndRestore(int64_t durable_offset);
+
   Status Close();
 
   bool is_open() const { return fd_ >= 0; }
@@ -138,13 +152,6 @@ class AppendFile {
     return static_cast<int64_t>(buffer_.size());
   }
 
-  // Test hook: caps the bytes any single pwritev may move, forcing the
-  // short-write resume paths that real kernels only take under memory
-  // pressure or signals. 0 disables the cap.
-  void set_max_write_bytes_for_test(int64_t max_bytes) {
-    max_write_bytes_for_test_ = max_bytes;
-  }
-
  private:
   // Bytes already written to the kernel; the next write lands here.
   int64_t write_offset() const {
@@ -155,7 +162,6 @@ class AppendFile {
   std::string path_;
   std::string buffer_;
   int64_t size_ = 0;
-  int64_t max_write_bytes_for_test_ = 0;
 };
 
 }  // namespace util

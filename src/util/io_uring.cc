@@ -1,5 +1,7 @@
 #include "src/util/io_uring.h"
 
+#include "src/util/fail_point.h"
+
 #ifdef INCENTAG_HAVE_IO_URING
 #include <linux/io_uring.h>
 #include <sys/mman.h>
@@ -271,10 +273,23 @@ bool IoUringEnabled() {
   return GlobalRing() != nullptr;
 }
 
+// Models the worst ring outcome — io_uring_enter failing after SQEs
+// were submitted, leaving the write extent unknowable. Deliberately
+// does NOT latch g_ring_broken: torture runs inject this repeatedly
+// and still expect later windows to use the ring.
+INCENTAG_FAIL_POINT_DEFINE(g_fail_submit, "io_uring/submit");
+
 Status IoUringWriteAndSync(int fd, const struct iovec* iov, int iovcnt,
                            int64_t offset, size_t* written, bool* synced) {
   *written = 0;
   *synced = false;
+  FailPoint::Fault fault;
+  if (INCENTAG_FAIL_POINT_FIRED(g_fail_submit, &fault)) {
+    return Status::IoError(
+        std::string("io_uring_enter failed mid-flight (injected): ") +
+            std::strerror(fault.err),
+        fault.err);
+  }
   Ring* ring = GlobalRing();
   if (ring == nullptr) {
     return Status::FailedPrecondition("io_uring unavailable");

@@ -13,14 +13,23 @@
 
 #include <utility>
 
+#include "src/util/fail_point.h"
+
 namespace incentag {
 namespace util {
 namespace {
 
 Status Errno(std::string_view what) {
-  return Status::IoError(std::string(what) + ": " +
-                         std::strerror(errno));
+  const int err = errno;
+  return Status::IoError(std::string(what) + ": " + std::strerror(err),
+                         err);
 }
+
+// Fault-injection sites for the network edge (ISSUE 10): the HTTP
+// client's retry ladder and the server's transport handling are
+// exercised against exactly these synthesized failures.
+INCENTAG_FAIL_POINT_DEFINE(g_fail_read, "socket/read");
+INCENTAG_FAIL_POINT_DEFINE(g_fail_write, "socket/write");
 
 // "localhost" and IPv4 literals; the fleet edge binds addresses, it
 // does not resolve names.
@@ -51,6 +60,12 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 Result<size_t> Socket::ReadSome(char* buf, size_t capacity) {
   if (!valid()) return Status::FailedPrecondition("read on closed socket");
+  FailPoint::Fault fault;
+  if (INCENTAG_FAIL_POINT_FIRED(g_fail_read, &fault) &&
+      fault.shape == FailPoint::Shape::kErrno) {
+    errno = fault.err;
+    return Errno("recv");
+  }
   while (true) {
     ssize_t n = ::recv(fd_, buf, capacity, 0);
     if (n >= 0) return static_cast<size_t>(n);
@@ -64,6 +79,12 @@ Result<size_t> Socket::ReadSome(char* buf, size_t capacity) {
 
 Status Socket::WriteAll(std::string_view data) {
   if (!valid()) return Status::FailedPrecondition("write on closed socket");
+  FailPoint::Fault fault;
+  if (INCENTAG_FAIL_POINT_FIRED(g_fail_write, &fault) &&
+      fault.shape == FailPoint::Shape::kErrno) {
+    errno = fault.err;
+    return Errno("send");
+  }
   size_t off = 0;
   while (off < data.size()) {
     // MSG_NOSIGNAL: a peer that hangs up mid-response must surface as

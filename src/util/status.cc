@@ -1,5 +1,7 @@
 #include "src/util/status.h"
 
+#include <cerrno>
+
 namespace incentag {
 namespace util {
 
@@ -37,6 +39,32 @@ std::string Status::ToString() const {
   out += ": ";
   out += message_;
   return out;
+}
+
+IoErrorClass ClassifyIoError(const Status& status) {
+  if (status.ok()) return IoErrorClass::kNotIoError;
+  // kResourceExhausted maps to the same retry ladder as ENOSPC: both
+  // mean "the resource may come back".
+  if (status.code() == StatusCode::kResourceExhausted) {
+    return IoErrorClass::kTransient;
+  }
+  if (status.code() != StatusCode::kIoError) return IoErrorClass::kNotIoError;
+  switch (status.sys_errno()) {
+    case ENOSPC:      // Disk full: compaction/unlink elsewhere can clear it.
+    case EDQUOT:      // Quota full: same shape as ENOSPC.
+    case EAGAIN:      // Kernel would block; transient by definition.
+    case EINTR:       // Signal; the loops normally absorb this inline.
+    case ENOMEM:      // Kernel allocation pressure.
+    case EBUSY:       // Contended resource.
+    case ETIMEDOUT:   // Slow path under load.
+    case EIO:         // Bounded-transient: one medium hiccup is worth the
+                      // ladder; a sick medium exhausts it and escalates.
+      return IoErrorClass::kTransient;
+    default:
+      // Includes errno 0 (not captured): guessing "transient" on an
+      // unknown failure risks a retry loop against a dead disk.
+      return IoErrorClass::kPermanent;
+  }
 }
 
 }  // namespace util

@@ -69,6 +69,14 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  // I/O error that keeps the raw errno alongside the rendered message,
+  // so retry ladders can classify it (see ClassifyIoError below) without
+  // parsing strerror text back out of the string.
+  static Status IoError(std::string msg, int sys_errno) {
+    Status status(StatusCode::kIoError, std::move(msg));
+    status.sys_errno_ = sys_errno;
+    return status;
+  }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
@@ -85,6 +93,9 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  // The errno behind a kIoError built via IoError(msg, sys_errno); 0
+  // when unknown or not an I/O error.
+  int sys_errno() const { return sys_errno_; }
 
   // "ok" for OK statuses, otherwise "<code_name>: <message>".
   std::string ToString() const;
@@ -99,7 +110,28 @@ class Status {
 
   StatusCode code_;
   std::string message_;
+  int sys_errno_ = 0;
 };
+
+// How a storage layer should react to an I/O failure (ISSUE 10).
+//
+//   kTransient — the condition can clear on its own (disk fills drain,
+//     memory pressure passes, signals end): worth a bounded
+//     backoff-and-retry ladder before escalating.
+//   kPermanent — retrying the same syscall cannot help (bad fd, read-only
+//     filesystem, medium error surfaced as an unknown errno): escalate
+//     immediately (the campaign layer quarantines the journal).
+//
+// kIoError with no captured errno classifies permanent: guessing
+// "transient" on an unknown failure risks retry loops against a dead
+// disk, while a spurious quarantine is recoverable by design.
+enum class IoErrorClass {
+  kNotIoError,
+  kTransient,
+  kPermanent,
+};
+
+IoErrorClass ClassifyIoError(const Status& status);
 
 // A Status plus a value of type T when (and only when) the status is OK.
 // Accessing value() on a non-OK result aborts in debug builds and is

@@ -1,0 +1,313 @@
+// Storage-fault recovery sweep (ISSUE 10): ENOSPC injected at every
+// sync-path fail point must either be retried to success (transient,
+// within the ladder budget) or escalate to on_writer_sick (exhausted) —
+// and in both cases every appended record must survive to a reader once
+// the fault clears. Silent data loss is the one unacceptable outcome.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/persist/fsync_domain.h"
+#include "src/persist/journal.h"
+#include "src/persist/journal_sink.h"
+#include "src/util/fail_point.h"
+
+namespace incentag {
+namespace persist {
+namespace {
+
+#if !INCENTAG_FAILPOINTS
+
+TEST(FaultRecoveryTest, CompiledOut) {
+  GTEST_SKIP() << "built with INCENTAG_FAILPOINTS=OFF";
+}
+
+#else
+
+using util::FailPoint;
+
+// Arms a registered fail point for the enclosing scope.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(const char* name, FailPoint::Trigger trigger,
+                  FailPoint::Fault fault)
+      : point_(FailPoint::Find(name)) {
+    EXPECT_NE(point_, nullptr) << name;
+    if (point_ != nullptr) point_->Arm(trigger, fault);
+  }
+  ~ScopedFailPoint() {
+    if (point_ != nullptr) point_->Disarm();
+  }
+  FailPoint* point() { return point_; }
+
+  static FailPoint::Trigger Fires(uint64_t max_fires) {
+    FailPoint::Trigger t;
+    t.mode = FailPoint::Mode::kAlways;
+    t.max_fires = max_fires;
+    return t;
+  }
+  static FailPoint::Fault Enospc() {
+    FailPoint::Fault f;
+    f.shape = FailPoint::Shape::kErrno;
+    f.err = ENOSPC;
+    return f;
+  }
+  static FailPoint::Fault TornSync() {
+    FailPoint::Fault f;
+    f.shape = FailPoint::Shape::kTornSync;
+    f.err = EIO;
+    return f;
+  }
+
+ private:
+  FailPoint* point_;
+};
+
+// A ladder that retries fast (microsecond backoffs) so the sweep stays
+// well under a second per episode.
+SyncRetryPolicy FastRetry() {
+  SyncRetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_us = 1;
+  retry.multiplier = 2.0;
+  retry.max_backoff_us = 50;
+  return retry;
+}
+
+int64_t CounterValue(const char* name) {
+  return obs::Registry::Default().GetCounter(name, "")->Value();
+}
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fault_recovery_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FailPoint::DisarmAll();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::unique_ptr<JournalWriter> MakeWriter(const std::string& name) {
+    auto writer = JournalWriter::Open(Path(name));
+    EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+    SubmitRecord submit;
+    submit.name = name;
+    submit.strategy_name = "round_robin";
+    EXPECT_TRUE(writer.value()->AppendSubmit(submit).ok());
+    EXPECT_TRUE(writer.value()->SyncData().ok());
+    return std::move(writer).value();
+  }
+
+  static void AppendBatch(JournalWriter* writer, uint64_t first_seq,
+                          size_t count) {
+    std::vector<CompletionRecord> records(count);
+    for (size_t i = 0; i < count; ++i) {
+      records[i].seq = first_seq + i;
+      records[i].resource = static_cast<core::ResourceId>(i % 7);
+    }
+    ASSERT_TRUE(
+        writer->AppendCompletionBatch(records.data(), records.size()).ok());
+  }
+
+  // Every record appended before the fault must be readable afterwards.
+  void ExpectIntact(const std::string& name, size_t expected_completions) {
+    auto contents = ReadJournal(Path(name));
+    ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+    EXPECT_TRUE(contents.value().has_submit);
+    ASSERT_EQ(contents.value().completions.size(), expected_completions);
+    for (size_t i = 0; i < expected_completions; ++i) {
+      EXPECT_EQ(contents.value().completions[i].seq, i);
+    }
+  }
+
+  std::filesystem::path dir_;
+};
+
+// Transient ENOSPC at each per-fd sync point: the ladder retries within
+// budget, the sick escalation never fires, and the journal is intact.
+TEST_F(FaultRecoveryTest, TransientEnospcAtEverySyncPointIsRetried) {
+  const char* kPoints[] = {"file_io/pwritev", "file_io/fdatasync"};
+  for (const char* point : kPoints) {
+    SCOPED_TRACE(point);
+    FsyncDomain domain;
+    FsyncDomainOptions options;
+    options.retry = FastRetry();
+    std::atomic<int> sick{0};
+    options.on_writer_sick = [&](JournalWriter*, const util::Status&) {
+      ++sick;
+    };
+    ASSERT_TRUE(domain.Init(options).ok());
+    const std::string name = std::string("t_") + (point + 8) + ".journal";
+    auto writer = MakeWriter(name);
+    domain.Track(writer.get());
+    AppendBatch(writer.get(), 0, 16);
+
+    const int64_t attempts_before =
+        CounterValue("incentag_persist_retry_attempts_total");
+    const int64_t success_before =
+        CounterValue("incentag_persist_retry_success_total");
+    {
+      // Two failures, then clean: inside the 4-attempt ladder.
+      ScopedFailPoint fp(point, ScopedFailPoint::Fires(2),
+                         ScopedFailPoint::Enospc());
+      ASSERT_TRUE(domain.Commit({writer.get()}).ok());
+      EXPECT_EQ(fp.point()->fires(), 2u);
+    }
+    EXPECT_EQ(sick.load(), 0);
+    EXPECT_GE(CounterValue("incentag_persist_retry_attempts_total"),
+              attempts_before + 2);
+    EXPECT_GE(CounterValue("incentag_persist_retry_success_total"),
+              success_before + 1);
+    domain.Untrack(writer.get());
+    writer.reset();
+    ExpectIntact(name, 16);
+  }
+}
+
+// Sustained ENOSPC: the ladder exhausts, the writer is reported sick
+// exactly once — and once space returns, nothing has been lost.
+TEST_F(FaultRecoveryTest, ExhaustedLadderEscalatesWithoutDataLoss) {
+  FsyncDomain domain;
+  FsyncDomainOptions options;
+  options.retry = FastRetry();
+  std::atomic<int> sick{0};
+  util::Status sick_status;
+  options.on_writer_sick = [&](JournalWriter*, const util::Status& status) {
+    ++sick;
+    sick_status = status;
+  };
+  ASSERT_TRUE(domain.Init(options).ok());
+  auto writer = MakeWriter("exhausted.journal");
+  domain.Track(writer.get());
+  AppendBatch(writer.get(), 0, 32);
+
+  const int64_t exhausted_before =
+      CounterValue("incentag_persist_retry_exhausted_total");
+  {
+    ScopedFailPoint fp("file_io/fdatasync", ScopedFailPoint::Fires(0),
+                       ScopedFailPoint::Enospc());
+    ASSERT_TRUE(domain.Commit({writer.get()}).ok());  // per-journal, not fatal
+  }
+  EXPECT_EQ(sick.load(), 1);
+  EXPECT_EQ(util::ClassifyIoError(sick_status),
+            util::IoErrorClass::kTransient);
+  EXPECT_GE(CounterValue("incentag_persist_retry_exhausted_total"),
+            exhausted_before + 1);
+
+  // Space returns (fault disarmed): the buffered bytes are still in the
+  // writer and a plain sync lands them.
+  ASSERT_TRUE(writer->Sync().ok());
+  domain.Untrack(writer.get());
+  writer.reset();
+  ExpectIntact("exhausted.journal", 32);
+}
+
+// A torn fdatasync (bytes durable, completion lost — the fsyncgate
+// shape) must not double-apply on retry: the reopen-and-restore rebuild
+// re-appends from the durable offset and the journal decodes cleanly.
+TEST_F(FaultRecoveryTest, TornSyncRetriesWithoutDuplication) {
+  FsyncDomain domain;
+  FsyncDomainOptions options;
+  options.retry = FastRetry();
+  std::atomic<int> sick{0};
+  options.on_writer_sick = [&](JournalWriter*, const util::Status&) {
+    ++sick;
+  };
+  ASSERT_TRUE(domain.Init(options).ok());
+  auto writer = MakeWriter("torn.journal");
+  domain.Track(writer.get());
+  AppendBatch(writer.get(), 0, 24);
+  {
+    ScopedFailPoint fp("file_io/fdatasync", ScopedFailPoint::Fires(1),
+                       ScopedFailPoint::TornSync());
+    ASSERT_TRUE(domain.Commit({writer.get()}).ok());
+  }
+  EXPECT_EQ(sick.load(), 0);
+  domain.Untrack(writer.get());
+  writer.reset();
+  ExpectIntact("torn.journal", 24);
+}
+
+// ENOSPC on the commit-log rung (append or its single fdatasync): the
+// window falls back to per-fd syncs and stays durable.
+TEST_F(FaultRecoveryTest, CommitLogFaultsFallBackToPerFd) {
+  const char* kPoints[] = {"fsync_domain/log_append",
+                           "fsync_domain/log_sync"};
+  for (const char* point : kPoints) {
+    SCOPED_TRACE(point);
+    FsyncDomain domain;
+    FsyncDomainOptions options;
+    options.commit_log_path = Path(kFleetCommitLogName);
+    options.per_fd_threshold = 0;  // every window takes the log rung
+    options.retry = FastRetry();
+    ASSERT_TRUE(domain.Init(options).ok());
+    ASSERT_TRUE(domain.commit_log_active());
+    const std::string name = std::string("log_") + (point + 13) + ".journal";
+    auto writer = MakeWriter(name);
+    domain.Track(writer.get());
+    AppendBatch(writer.get(), 0, 8);
+    {
+      ScopedFailPoint fp(point, ScopedFailPoint::Fires(1),
+                         ScopedFailPoint::Enospc());
+      ASSERT_TRUE(domain.Commit({writer.get()}).ok());
+      EXPECT_EQ(fp.point()->fires(), 1u);
+    }
+    domain.Untrack(writer.get());
+    writer.reset();
+    ExpectIntact(name, 8);
+  }
+}
+
+// The sink forwards the ladder and the sick escalation (the service
+// layer builds on exactly this wiring for quarantine).
+TEST_F(FaultRecoveryTest, SinkForwardsRetryPolicyAndSickCallback) {
+  JournalSinkOptions options;
+  options.batch_interval_us = 0;
+  options.retry = FastRetry();
+  std::atomic<int> sick{0};
+  options.on_writer_sick = [&](JournalWriter*, const util::Status&) {
+    ++sick;
+  };
+  std::atomic<int> storage_errors{0};
+  options.on_storage_error = [&](const util::Status&) { ++storage_errors; };
+  JournalSink sink(options);
+  auto writer = MakeWriter("sink.journal");
+  sink.Track(writer.get());
+  AppendBatch(writer.get(), 0, 12);
+  {
+    ScopedFailPoint fp("file_io/fdatasync", ScopedFailPoint::Fires(0),
+                       ScopedFailPoint::Enospc());
+    sink.Schedule(writer.get());
+    sink.Drain();
+  }
+  EXPECT_EQ(sick.load(), 1);
+  EXPECT_GE(storage_errors.load(), 4);  // one per ladder attempt
+  // Quarantine wiring: untrack drops the writer from the sink entirely.
+  sink.Untrack(writer.get());
+  // Fault cleared: the records are still buffered and a sync lands them.
+  ASSERT_TRUE(writer->Sync().ok());
+  sink.Stop();
+  writer.reset();
+  ExpectIntact("sink.journal", 12);
+}
+
+#endif  // INCENTAG_FAILPOINTS
+
+}  // namespace
+}  // namespace persist
+}  // namespace incentag

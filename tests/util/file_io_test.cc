@@ -1,21 +1,57 @@
 // AppendFile gathered-append coverage (ISSUE 9): byte-identity of
 // AppendGather vs sequential Append+Flush, empty spans, dirty-buffer
-// interleaving, short-write resume via the injected write cap, and the
-// SyncData/ReadAt additions the fsync domain builds on.
+// interleaving, short-write resume via the file_io/pwritev fail point
+// (ISSUE 10), and the SyncData/ReadAt additions the fsync domain builds
+// on.
 #include "src/util/file_io.h"
 
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/util/fail_point.h"
+
 namespace incentag {
 namespace util {
 namespace {
+
+#if INCENTAG_FAILPOINTS
+// Arms a fail point for the scope of one test body and disarms it on
+// every exit path, so a failing assertion cannot leak faults into the
+// next test.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(const char* name, const FailPoint::Trigger& trigger,
+                  const FailPoint::Fault& fault)
+      : point_(FailPoint::Find(name)) {
+    EXPECT_NE(point_, nullptr) << "unknown fail point " << name;
+    if (point_ != nullptr) point_->Arm(trigger, fault);
+  }
+  ~ScopedFailPoint() {
+    if (point_ != nullptr) point_->Disarm();
+  }
+
+  FailPoint* point() const { return point_; }
+
+  // Every-pwritev short write capped at `max_bytes`.
+  static FailPoint::Trigger Always() { return FailPoint::Trigger{}; }
+  static FailPoint::Fault ShortWrite(int64_t max_bytes) {
+    FailPoint::Fault fault;
+    fault.shape = FailPoint::Shape::kShortWrite;
+    fault.max_bytes = max_bytes;
+    return fault;
+  }
+
+ private:
+  FailPoint* point_;
+};
+#endif  // INCENTAG_FAILPOINTS
 
 class FileIoTest : public ::testing::Test {
  protected:
@@ -91,26 +127,38 @@ TEST_F(FileIoTest, AppendGatherDrainsDirtyBufferFirst) {
 }
 
 TEST_F(FileIoTest, AppendGatherSurvivesInjectedShortWrites) {
+#if !INCENTAG_FAILPOINTS
+  GTEST_SKIP() << "built with INCENTAG_FAILPOINTS=OFF";
+#else
   // Cap every pwritev at 3 bytes: each gather must resume mid-piece,
   // exercising the same arithmetic a real short write takes.
   AppendFile file;
   ASSERT_TRUE(file.Open(Path("f"), 0).ok());
-  file.set_max_write_bytes_for_test(3);
+  ScopedFailPoint cap("file_io/pwritev", ScopedFailPoint::Always(),
+                      ScopedFailPoint::ShortWrite(3));
   ASSERT_TRUE(file.Append("0123456").ok());
   const std::array<std::string_view, 3> pieces = {"abcdefgh", "XY",
                                                   "0123456789"};
   ASSERT_TRUE(file.AppendGather(pieces).ok());
   ASSERT_TRUE(file.Close().ok());
   EXPECT_EQ(Contents(Path("f")), "0123456abcdefghXY0123456789");
+  // Every write was capped, so the gather took several syscalls — each
+  // one a recorded fire.
+  EXPECT_GT(cap.point()->fires(), 1u);
+#endif
 }
 
 TEST_F(FileIoTest, ShortWriteCapStressAcrossManyGathers) {
+#if !INCENTAG_FAILPOINTS
+  GTEST_SKIP() << "built with INCENTAG_FAILPOINTS=OFF";
+#else
   // Byte-identity against an uncapped writer across many gathers with
   // pieces straddling every cap boundary.
   std::string expect;
   AppendFile file;
   ASSERT_TRUE(file.Open(Path("f"), 0).ok());
-  file.set_max_write_bytes_for_test(5);
+  ScopedFailPoint cap("file_io/pwritev", ScopedFailPoint::Always(),
+                      ScopedFailPoint::ShortWrite(5));
   for (int i = 0; i < 64; ++i) {
     const std::string a(static_cast<size_t>(i % 11), 'a' + (i % 26));
     const std::string b(static_cast<size_t>((i * 7) % 13), '0' + (i % 10));
@@ -122,6 +170,64 @@ TEST_F(FileIoTest, ShortWriteCapStressAcrossManyGathers) {
   EXPECT_EQ(file.size(), static_cast<int64_t>(expect.size()));
   ASSERT_TRUE(file.Close().ok());
   EXPECT_EQ(Contents(Path("f")), expect);
+#endif
+}
+
+TEST_F(FileIoTest, InjectedWriteErrorRetainsRemainderForExactRetry) {
+#if !INCENTAG_FAILPOINTS
+  GTEST_SKIP() << "built with INCENTAG_FAILPOINTS=OFF";
+#else
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  {
+    FailPoint::Fault enospc;
+    enospc.shape = FailPoint::Shape::kErrno;
+    enospc.err = ENOSPC;
+    ScopedFailPoint fp("file_io/pwritev", ScopedFailPoint::Always(),
+                       enospc);
+    const std::array<std::string_view, 2> pieces = {"hello ", "world"};
+    EXPECT_FALSE(file.AppendGather(pieces).ok());
+    // The pieces were logically accepted; the unwritten remainder is
+    // buffered for a retry that writes every byte exactly once.
+    EXPECT_EQ(file.size(), 11);
+    EXPECT_EQ(file.buffered_bytes(), 11);
+  }
+  ASSERT_TRUE(file.Flush().ok());  // disk healthy again
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(Contents(Path("f")), "hello world");
+#endif
+}
+
+TEST_F(FileIoTest, ReopenAndRestoreRewritesUntrustedRangeAfterTornSync) {
+#if !INCENTAG_FAILPOINTS
+  GTEST_SKIP() << "built with INCENTAG_FAILPOINTS=OFF";
+#else
+  AppendFile file;
+  ASSERT_TRUE(file.Open(Path("f"), 0).ok());
+  ASSERT_TRUE(file.Append("durable|").ok());
+  ASSERT_TRUE(file.SyncData().ok());
+  const int64_t durable = file.size();
+  ASSERT_TRUE(file.Append("flushed|").ok());
+  ASSERT_TRUE(file.Flush().ok());
+  ASSERT_TRUE(file.Append("buffered").ok());
+  {
+    FailPoint::Fault torn;
+    torn.shape = FailPoint::Shape::kTornSync;
+    torn.err = EIO;
+    ScopedFailPoint fp("file_io/fdatasync", ScopedFailPoint::Always(),
+                       torn);
+    EXPECT_FALSE(file.SyncData().ok());
+  }
+  // fsyncgate recovery: rebuild on a fresh fd, re-append from the last
+  // durable offset. size() is unchanged and everything past `durable`
+  // is dirty again.
+  ASSERT_TRUE(file.ReopenAndRestore(durable).ok());
+  EXPECT_EQ(file.size(), 24);
+  EXPECT_EQ(file.buffered_bytes(), 24 - durable);
+  ASSERT_TRUE(file.SyncData().ok());
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(Contents(Path("f")), "durable|flushed|buffered");
+#endif
 }
 
 TEST_F(FileIoTest, AppendGatherManyPiecesSpillsPastInlineIovArray) {

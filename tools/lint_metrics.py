@@ -31,7 +31,10 @@ import os
 import re
 import sys
 
-LAYERS = ("core", "scheduler", "service", "persist", "http")
+# "fault" is the fail-point harness (src/util/fail_point.cc): injection
+# accounting lives outside any one I/O layer because a single armed
+# point can fire in persist, http, and service paths alike.
+LAYERS = ("core", "scheduler", "service", "persist", "http", "fault")
 NAME_RE = re.compile(r"^incentag_(%s)_[a-z][a-z0-9_]*$" % "|".join(LAYERS))
 # Non-base units; \Z-anchored alternation so e.g. `_used_total` survives
 # but `_ms_total`, `_latency_us`, `_size_kb` do not.
@@ -45,9 +48,10 @@ BOUNDED_LABELS = {
     # HTTP edge (ISSUE 8): one series per REST endpoint...
     "route": {"submit", "status", "list", "completions", "tasks",
               "metrics"},
-    # ...and per edge-rejection cause.
+    # ...and per edge-rejection cause ("degraded" = fleet storage-health
+    # shedding, ISSUE 10).
     "reason": {"malformed", "oversized", "invalid_body",
-               "unknown_campaign"},
+               "unknown_campaign", "degraded"},
 }
 
 CALL_RE = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(")
